@@ -1,0 +1,39 @@
+//! Micro-benchmarks for the neural-network substrate: forward and
+//! forward+backward passes at the DQN's working sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = MlpConfig::new(64, &[128, 128], 10);
+    let net = Mlp::new(&config, &mut rng);
+    let batch = Matrix::from_fn(32, 64, |r, c| ((r * 31 + c) % 17) as f32 / 17.0);
+    c.bench_function("mlp_forward_32x64_128x128x10", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batch))))
+    });
+    let single = Matrix::from_fn(1, 64, |_, c| (c % 13) as f32 / 13.0);
+    c.bench_function("mlp_forward_single", |b| {
+        b.iter(|| black_box(net.forward(black_box(&single))))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = MlpConfig::new(64, &[128, 128], 10);
+    let mut model = TrainableMlp::new(&config, OptimizerConfig::adam(1e-3), Loss::Huber(1.0), Some(10.0), &mut rng);
+    let x = Matrix::from_fn(32, 64, |r, c| ((r * 7 + c) % 19) as f32 / 19.0);
+    let y = Matrix::from_fn(32, 10, |r, c| ((r + c) % 5) as f32 / 5.0);
+    c.bench_function("mlp_train_batch32", |b| b.iter(|| black_box(model.step(&x, &y))));
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(128, 128, |r, c| ((r * c) % 23) as f32 / 23.0);
+    let bm = Matrix::from_fn(128, 128, |r, c| ((r + c) % 29) as f32 / 29.0);
+    c.bench_function("matmul_128x128", |b| b.iter(|| black_box(a.matmul(black_box(&bm)))));
+}
+
+criterion_group!(benches, bench_forward, bench_train_step, bench_matmul);
+criterion_main!(benches);

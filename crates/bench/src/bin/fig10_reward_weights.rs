@@ -1,0 +1,40 @@
+//! Figure 10 — reward-weight sensitivity: sweeping α (latency weight) vs
+//! β (cost weight) traces the latency/cost trade-off frontier of the DRL
+//! manager.
+//!
+//! Expected shape: latency-heavy weights produce low latency and higher
+//! cost; cost-heavy the reverse; the points form a monotone frontier.
+
+use bench::{bench_scenario, default_passes, drl_default, emit_csv};
+use mano::prelude::*;
+
+fn main() {
+    let scenario = bench_scenario(8.0);
+    let weights = [(4.0f32, 0.25f32), (2.0, 0.5), (1.0, 1.0), (0.5, 2.0), (0.25, 4.0)];
+    let mut lines =
+        vec!["alpha,beta,mean_latency_ms,mean_slot_cost_usd,acceptance_ratio,sla_violation_ratio"
+            .to_string()];
+    for (alpha, beta) in weights {
+        eprintln!("[fig10] training with α={alpha}, β={beta}…");
+        let reward = RewardConfig {
+            alpha_latency: alpha,
+            beta_cost: beta,
+            ..RewardConfig::default()
+        };
+        let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
+        let result = evaluate_policy(&scenario, reward, &mut trained.policy, 31);
+        let s = &result.summary;
+        eprintln!(
+            "[fig10]   → {:.2} ms, ${:.4}/slot",
+            s.mean_admission_latency_ms, s.mean_slot_cost_usd
+        );
+        lines.push(format!(
+            "{alpha},{beta},{:.4},{:.6},{:.4},{:.4}",
+            s.mean_admission_latency_ms,
+            s.mean_slot_cost_usd,
+            s.acceptance_ratio,
+            s.sla_violation_ratio
+        ));
+    }
+    emit_csv("fig10_reward_weights.csv", &lines);
+}

@@ -1,0 +1,22 @@
+//! Figure 3 — mean per-slot operational cost vs arrival rate λ.
+//!
+//! Expected shape: cost grows roughly linearly with load for all
+//! policies; greedy-latency pays a growing premium (it spawns instances
+//! wherever latency is lowest); cloud-only pays the cloud-traffic premium;
+//! DRL and weighted-greedy sit lowest.
+
+use bench::{emit_sweep_csv, load_sweep_results};
+
+fn main() {
+    let sweep = load_sweep_results();
+    emit_sweep_csv("fig3_cost_vs_load.csv", &sweep);
+    for (rate, results) in &sweep {
+        let mut best = ("", f64::MAX);
+        for r in results {
+            if r.summary.mean_slot_cost_usd < best.1 {
+                best = (&r.policy, r.summary.mean_slot_cost_usd);
+            }
+        }
+        eprintln!("[fig3] λ={rate:>4.1}: best cost {} (${:.4}/slot)", best.0, best.1);
+    }
+}

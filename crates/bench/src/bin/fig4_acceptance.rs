@@ -1,0 +1,24 @@
+//! Figure 4 — request acceptance ratio vs arrival rate λ.
+//!
+//! Expected shape: near 1.0 for everyone below the capacity knee, then
+//! degrading at overload; DRL and the packing-aware heuristics degrade
+//! last; policies ignoring capacity (cloud-only excepted — the cloud is
+//! effectively infinite) drop first.
+
+use bench::{emit_sweep_csv, load_sweep_results};
+
+fn main() {
+    let sweep = load_sweep_results();
+    emit_sweep_csv("fig4_acceptance.csv", &sweep);
+    for (rate, results) in &sweep {
+        for r in results {
+            if r.summary.acceptance_ratio < 0.999 {
+                eprintln!(
+                    "[fig4] λ={rate:>4.1}: {} accepts {:.1}%",
+                    r.policy,
+                    100.0 * r.summary.acceptance_ratio
+                );
+            }
+        }
+    }
+}

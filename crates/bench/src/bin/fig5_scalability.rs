@@ -1,0 +1,43 @@
+//! Figure 5 — scalability: per-decision wall-clock time and achieved
+//! latency/cost as the number of edge sites grows.
+//!
+//! Expected shape: heuristic decision time grows linearly in N (candidate
+//! scan); DRL decision time grows with the network's input width but stays
+//! in the tens of microseconds; solution quality is stable across N.
+
+use bench::{
+    comparison_baselines, default_passes, drl_default, emit_csv, fast_mode, scaled,
+};
+use mano::prelude::*;
+
+fn main() {
+    let sizes: Vec<usize> = if fast_mode() { vec![4, 8] } else { vec![4, 8, 12, 16] };
+    let reward = RewardConfig::default();
+    let mut lines = vec![format!("{},n_sites", summary_csv_header())];
+
+    for &n in &sizes {
+        eprintln!("[fig5] sites = {n}");
+        let mut scenario = Scenario::default_metro().with_arrival_rate(6.0);
+        scenario.topology = TopologySpec::Metro { sites: n };
+        scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+        scenario.horizon_slots = scaled(240, 30) as u64;
+
+        // Train a DRL manager per size (the observation width depends on N).
+        let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(5));
+        let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 555)];
+        for mut p in comparison_baselines() {
+            results.push(evaluate_policy(&scenario, reward, p.as_mut(), 555));
+        }
+        for r in &results {
+            lines.push(format!("{},{n}", summary_csv_row(&r.policy, n as f64, &r.summary)));
+            eprintln!(
+                "[fig5]   {:>16}: {:>6.2} ms, ${:.4}/slot, {:.1} µs/decision",
+                r.policy,
+                r.summary.mean_admission_latency_ms,
+                r.summary.mean_slot_cost_usd,
+                r.summary.mean_decision_time_us
+            );
+        }
+    }
+    emit_csv("fig5_scalability.csv", &lines);
+}

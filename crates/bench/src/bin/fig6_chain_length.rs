@@ -1,0 +1,75 @@
+//! Figure 6 — effect of SFC length (1–6 VNFs) on latency and cost.
+//!
+//! Builds a synthetic chain catalog where chain *k* has *k* VNFs drawn
+//! from the standard light-to-medium types, trains one DRL manager on the
+//! uniform mix, then evaluates every policy on single-length workloads.
+//!
+//! Expected shape: latency and cost grow roughly linearly with chain
+//! length for all policies; the gap between placement-aware policies and
+//! random/first-fit widens with length (more decisions to get wrong).
+
+use bench::{comparison_baselines, default_passes, drl_default, emit_csv, fast_mode, scaled};
+use mano::prelude::*;
+use sfc::chain::{ChainCatalog, ChainId, ChainSpec};
+use sfc::vnf::VnfCatalog;
+
+fn synthetic_chains(vnfs: &VnfCatalog, max_len: usize) -> ChainCatalog {
+    let order = ["nat", "firewall", "load-balancer", "proxy", "encryption-gw", "wan-optimizer"];
+    let chains: Vec<ChainSpec> = (1..=max_len)
+        .map(|len| {
+            let seq = order[..len]
+                .iter()
+                .map(|n| vnfs.by_name(n).expect("standard catalog").id)
+                .collect();
+            ChainSpec::new(
+                ChainId(len - 1),
+                format!("len-{len}"),
+                seq,
+                40.0 + 25.0 * len as f64, // budget grows with length
+                0.05,
+                10.0,
+            )
+        })
+        .collect();
+    ChainCatalog::new(chains, vnfs)
+}
+
+fn main() {
+    let max_len = if fast_mode() { 3 } else { 6 };
+    let vnfs = VnfCatalog::standard();
+    let chains = synthetic_chains(&vnfs, max_len);
+    let reward = RewardConfig::default();
+
+    let mut scenario = Scenario::default_metro().with_arrival_rate(5.0);
+    scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+    scenario.horizon_slots = scaled(240, 30) as u64;
+    scenario.workload.chain_mix = vec![1.0; max_len];
+
+    eprintln!("[fig6] training DRL on the uniform length mix…");
+    let mut trained = train_drl_with_catalogs(
+        &scenario,
+        reward,
+        drl_default(),
+        default_passes().min(6),
+        &vnfs,
+        &chains,
+    );
+
+    let mut lines = vec![format!("{},chain_len", summary_csv_header())];
+    for len in 1..=max_len {
+        eprintln!("[fig6] evaluating length {len}…");
+        // Workload concentrated on the single length under test.
+        let mut s = scenario.clone();
+        s.workload.chain_mix = (0..max_len).map(|i| if i + 1 == len { 1.0 } else { 0.0 }).collect();
+        let mut results = vec![evaluate_policy_with_catalogs(
+            &s, reward, &mut trained.policy, 333, &vnfs, &chains,
+        )];
+        for mut p in comparison_baselines() {
+            results.push(evaluate_policy_with_catalogs(&s, reward, p.as_mut(), 333, &vnfs, &chains));
+        }
+        for r in &results {
+            lines.push(format!("{},{len}", summary_csv_row(&r.policy, len as f64, &r.summary)));
+        }
+    }
+    emit_csv("fig6_chain_length.csv", &lines);
+}

@@ -1,0 +1,67 @@
+//! Figure 7 — time-varying load: per-slot cost and latency under a diurnal
+//! cycle with a flash crowd, DRL vs static heuristics.
+//!
+//! Expected shape: every policy's cost follows the load envelope; during
+//! the flash crowd the adaptive policies (DRL, weighted-greedy) absorb the
+//! spike by spilling to reuse/cloud while first-fit's latency spikes.
+
+use bench::{default_passes, drl_default, emit_csv, scaled};
+use mano::prelude::*;
+use workload::pattern::LoadPattern;
+
+fn dynamic_scenario() -> Scenario {
+    let mut s = Scenario::default_metro();
+    s.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+    s.horizon_slots = scaled(480, 60) as u64;
+    s.workload.pattern = LoadPattern::Diurnal {
+        base: 6.0,
+        amplitude: 4.0,
+        period: scaled(240, 30) as u64,
+        phase: 0,
+    };
+    s
+}
+
+fn flash_scenario() -> Scenario {
+    let mut s = dynamic_scenario();
+    s.workload.pattern = LoadPattern::FlashCrowd {
+        base: 4.0,
+        spike_rate: 14.0,
+        spike_start: scaled(160, 20) as u64,
+        spike_duration: scaled(80, 10) as u64,
+    };
+    s
+}
+
+fn run_and_collect(
+    label: &str,
+    scenario: &Scenario,
+    policy: &mut dyn PlacementPolicy,
+    lines: &mut Vec<String>,
+    workload_tag: &str,
+) {
+    policy.set_training(false);
+    let mut sim = Simulation::new(scenario, RewardConfig::default());
+    let _ = sim.run(policy, 2024);
+    for r in sim.metrics().slots() {
+        lines.push(format!("{workload_tag},{}", slot_csv_row(label, r)));
+    }
+}
+
+fn main() {
+    let reward = RewardConfig::default();
+    let mut lines = vec![format!("workload,{}", slot_csv_header())];
+
+    for (tag, scenario) in [("diurnal", dynamic_scenario()), ("flash", flash_scenario())] {
+        eprintln!("[fig7] training DRL on {tag} workload…");
+        let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
+        run_and_collect(&trained.policy.name(), &scenario, &mut trained.policy, &mut lines, tag);
+        let mut wg = WeightedGreedyPolicy::default();
+        run_and_collect("weighted-greedy", &scenario, &mut wg, &mut lines, tag);
+        let mut ff = FirstFitPolicy;
+        run_and_collect("first-fit", &scenario, &mut ff, &mut lines, tag);
+        let mut gl = GreedyLatencyPolicy;
+        run_and_collect("greedy-latency", &scenario, &mut gl, &mut lines, tag);
+    }
+    emit_csv("fig7_dynamic.csv", &lines);
+}

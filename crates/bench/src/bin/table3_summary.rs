@@ -1,0 +1,33 @@
+//! Table 3 — head-to-head summary of every policy on the reference
+//! scenario (λ = 8, scarce edge capacity): the paper's main comparison.
+
+use bench::{bench_scenario, default_passes, drl_default, emit_markdown};
+use mano::prelude::*;
+
+fn main() {
+    let scenario = bench_scenario(8.0);
+    let reward = RewardConfig::default();
+    eprintln!("[table3] training DRL…");
+    let mut trained = train_drl(&scenario, reward, drl_default(), default_passes());
+
+    let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 12345)];
+    for mut p in standard_baselines() {
+        results.push(evaluate_policy(&scenario, reward, p.as_mut(), 12345));
+    }
+    results.sort_by(|a, b| {
+        a.summary
+            .combined_objective(1.0, 1.0)
+            .partial_cmp(&b.summary.combined_objective(1.0, 1.0))
+            .unwrap()
+    });
+    let mut md = String::from(
+        "# Table 3 — head-to-head on the reference scenario (λ=8, 8 sites + cloud)\n\n\
+         Rows sorted by the combined objective (α·latency + β·cost + rejection penalty).\n\n",
+    );
+    md.push_str(&markdown_comparison(&results));
+    md.push_str("\n| policy | combined objective |\n|---|---|\n");
+    for r in &results {
+        md.push_str(&format!("| {} | {:.2} |\n", r.policy, r.summary.combined_objective(1.0, 1.0)));
+    }
+    emit_markdown("table3_summary.md", &md);
+}

@@ -1,0 +1,215 @@
+//! # bench — experiment harness shared utilities
+//!
+//! Presets and plumbing shared by the `fig*`/`table*` binaries that
+//! regenerate every figure and table of the evaluation (see DESIGN.md §4
+//! for the experiment index). Binaries write CSV/markdown into
+//! `results/` (override with the `RESULTS_DIR` environment variable).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use mano::prelude::*;
+use rl::dqn::DqnConfig;
+use rl::qnet::QNetworkConfig;
+use rl::replay::PerConfig;
+use rl::schedule::EpsilonSchedule;
+use std::path::PathBuf;
+
+/// Directory experiment outputs are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Resolve an output file inside [`results_dir`].
+pub fn out_path(name: &str) -> PathBuf {
+    results_dir().join(name)
+}
+
+/// Scale factor for experiment sizes: `FAST=1` shrinks horizons/passes for
+/// smoke runs (used by integration tests); unset runs at full size.
+pub fn fast_mode() -> bool {
+    std::env::var_os("FAST").is_some_and(|v| v == "1")
+}
+
+/// Shrinks `full` when [`fast_mode`] is active.
+pub fn scaled(full: usize, fast: usize) -> usize {
+    if fast_mode() {
+        fast
+    } else {
+        full
+    }
+}
+
+/// The evaluation's reference DQN configuration (Table 2).
+pub fn dqn_config() -> DqnConfig {
+    DqnConfig {
+        network: QNetworkConfig::Standard { hidden: vec![128, 128] },
+        gamma: 0.95,
+        optimizer: nn::prelude::OptimizerConfig::adam(5e-4),
+        loss: nn::prelude::Loss::Huber(1.0),
+        max_grad_norm: Some(10.0),
+        replay_capacity: 50_000,
+        batch_size: 32,
+        learn_start: 500,
+        train_every: 1,
+        target_sync_every: 250,
+        soft_tau: None,
+        double: true,
+        prioritized: None,
+        epsilon: EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 20_000 },
+    }
+}
+
+/// DRL manager variants used in the convergence/ablation figures.
+pub fn drl_variants() -> Vec<DrlManagerConfig> {
+    let base = dqn_config();
+    vec![
+        DrlManagerConfig {
+            dqn: DqnConfig { double: false, ..base.clone() },
+            label: "dqn".into(),
+        },
+        DrlManagerConfig { dqn: base.clone(), label: "double-dqn".into() },
+        DrlManagerConfig {
+            dqn: DqnConfig {
+                network: QNetworkConfig::Dueling { trunk: vec![128], head: 64 },
+                ..base.clone()
+            },
+            label: "dueling-dqn".into(),
+        },
+        DrlManagerConfig {
+            dqn: DqnConfig { prioritized: Some(PerConfig::default()), ..base },
+            label: "per-dqn".into(),
+        },
+    ]
+}
+
+/// The headline DRL manager (Double DQN, uniform replay).
+pub fn drl_default() -> DrlManagerConfig {
+    DrlManagerConfig { dqn: dqn_config(), label: "drl".into() }
+}
+
+/// Training passes used by the headline experiments.
+pub fn default_passes() -> usize {
+    scaled(8, 1)
+}
+
+/// Prints and persists a markdown document.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn emit_markdown(name: &str, content: &str) {
+    println!("{content}");
+    write_lines(out_path(name), &[content.to_string()]).expect("write results file");
+    eprintln!("[bench] wrote {}", out_path(name).display());
+}
+
+/// Persists CSV lines and logs the path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn emit_csv(name: &str, lines: &[String]) {
+    write_lines(out_path(name), lines).expect("write results file");
+    eprintln!("[bench] wrote {} ({} rows)", out_path(name).display(), lines.len().saturating_sub(1));
+}
+
+/// The evaluation scenario: 8 metro sites + cloud with moderately scarce
+/// edge capacity (32 vCPU / 128 GB per site) so load actually pressures
+/// placement, at the given constant arrival rate.
+pub fn bench_scenario(rate: f64) -> Scenario {
+    let mut s = Scenario::default_metro().with_arrival_rate(rate);
+    s.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+    s.horizon_slots = scaled(360, 40) as u64;
+    s
+}
+
+/// Trains the headline DRL manager for `scenario`.
+pub fn train_headline(scenario: &Scenario) -> TrainedDrl {
+    train_drl(scenario, RewardConfig::default(), drl_default(), default_passes())
+}
+
+/// Runs the λ sweep shared by figures 2–4: the DRL manager is trained once
+/// at the high end of the sweep (standard practice — the observation
+/// includes utilization, so one policy generalizes across loads), then
+/// every policy is evaluated on identical traces at each rate.
+pub fn load_sweep_results() -> Vec<(f64, Vec<PolicyResult>)> {
+    let rates = load_sweep_rates();
+    let train_rate = *rates.last().expect("non-empty sweep") * 0.8;
+    eprintln!("[sweep] training DRL at rate {train_rate:.1}…");
+    let mut trained = train_headline(&bench_scenario(train_rate));
+    let reward = RewardConfig::default();
+    rates
+        .into_iter()
+        .map(|rate| {
+            eprintln!("[sweep] evaluating at rate {rate:.1}…");
+            let scenario = bench_scenario(rate);
+            let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 777)];
+            for mut p in comparison_baselines() {
+                results.push(evaluate_policy(&scenario, reward, p.as_mut(), 777));
+            }
+            (rate, results)
+        })
+        .collect()
+}
+
+/// Emits one sweep CSV (all summary columns at each sweep coordinate).
+pub fn emit_sweep_csv(name: &str, sweep: &[(f64, Vec<PolicyResult>)]) {
+    let mut lines = vec![summary_csv_header().to_string()];
+    for (x, results) in sweep {
+        for r in results {
+            lines.push(summary_csv_row(&r.policy, *x, &r.summary));
+        }
+    }
+    emit_csv(name, &lines);
+}
+
+/// The λ sweep (requests per slot) shared by figures 2-4.
+pub fn load_sweep_rates() -> Vec<f64> {
+    if fast_mode() {
+        vec![2.0, 6.0]
+    } else {
+        vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+    }
+}
+
+/// Builds the boxed baseline set used by comparison figures (a subset of
+/// `standard_baselines` that keeps plots readable).
+pub fn comparison_baselines() -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(RandomPolicy),
+        Box::new(FirstFitPolicy),
+        Box::new(GreedyLatencyPolicy),
+        Box::new(GreedyCostPolicy),
+        Box::new(CloudOnlyPolicy),
+        Box::new(WeightedGreedyPolicy::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        dqn_config().validate();
+        for v in drl_variants() {
+            v.dqn.validate();
+        }
+    }
+
+    #[test]
+    fn variant_labels_unique() {
+        let labels: Vec<String> = drl_variants().into_iter().map(|v| v.label).collect();
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn sweep_rates_increasing() {
+        let rates = load_sweep_rates();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+    }
+}

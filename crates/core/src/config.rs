@@ -1,0 +1,198 @@
+//! Scenario configuration: one struct describes everything an experiment
+//! needs — topology, workload, pricing, SLA handling and timing.
+
+use edgenet::energy::EnergyModel;
+use edgenet::node::Resources;
+use edgenet::price::PriceModel;
+use edgenet::topology::{Topology, TopologyBuilder};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use workload::trace::WorkloadSpec;
+
+/// Which topology the scenario runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// `n` real metro sites, fully meshed, plus a cloud.
+    Metro {
+        /// Number of edge sites (≤ 16).
+        sites: usize,
+    },
+    /// `n` edge sites in a ring plus a cloud.
+    Ring {
+        /// Number of edge sites.
+        sites: usize,
+    },
+    /// Waxman random graph (scalability sweeps).
+    Waxman {
+        /// Number of edge sites.
+        sites: usize,
+        /// Square side in km.
+        side_km: f64,
+        /// Waxman α.
+        alpha: f64,
+        /// Waxman β.
+        beta: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Materializes the topology. Waxman uses `rng`; the other presets are
+    /// deterministic.
+    pub fn build<R: Rng>(&self, builder: &TopologyBuilder, rng: &mut R) -> Topology {
+        match *self {
+            TopologySpec::Metro { sites } => builder.metro(sites),
+            TopologySpec::Ring { sites } => builder.ring(sites),
+            TopologySpec::Waxman { sites, side_km, alpha, beta } => {
+                builder.waxman(sites, side_km, alpha, beta, rng)
+            }
+        }
+    }
+
+    /// Number of edge sites requested.
+    pub fn site_count(&self) -> usize {
+        match *self {
+            TopologySpec::Metro { sites }
+            | TopologySpec::Ring { sites }
+            | TopologySpec::Waxman { sites, .. } => sites,
+        }
+    }
+}
+
+/// Full scenario: the unit of experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Topology to build.
+    pub topology: TopologySpec,
+    /// Topology-builder knobs (capacities, cloud latency…).
+    pub topology_builder: TopologyBuilder,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
+    /// Simulation horizon in slots.
+    pub horizon_slots: u64,
+    /// Wall-clock duration of one slot, in seconds.
+    pub slot_seconds: f64,
+    /// Pricing model.
+    pub prices: PriceModel,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Maximum M/M/1 utilization an instance may reach when admitting a
+    /// new flow (headroom against bursts), in `(0, 1]`.
+    pub max_instance_utilization: f64,
+    /// Idle instances older than this many slots are retired at slot end.
+    pub idle_retire_slots: u64,
+    /// Base RNG seed; every run derives sub-seeds from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The default evaluation scenario: 8 metro sites + cloud, Poisson
+    /// arrivals at a moderate rate, 5-second slots, one simulated hour.
+    pub fn default_metro() -> Self {
+        Self {
+            topology: TopologySpec::Metro { sites: 8 },
+            topology_builder: TopologyBuilder::default(),
+            workload: WorkloadSpec::poisson(4.0, 4, 12.0),
+            horizon_slots: 720,
+            slot_seconds: 5.0,
+            prices: PriceModel::default(),
+            energy: EnergyModel::default(),
+            max_instance_utilization: 0.9,
+            idle_retire_slots: 6,
+            seed: 42,
+        }
+    }
+
+    /// A small scenario for tests: 4 metro sites, short horizon.
+    pub fn small_test() -> Self {
+        Self {
+            topology: TopologySpec::Metro { sites: 4 },
+            workload: WorkloadSpec::poisson(2.0, 4, 6.0),
+            horizon_slots: 60,
+            ..Self::default_metro()
+        }
+    }
+
+    /// Validates all components.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        self.workload.validate();
+        self.prices.validate();
+        self.energy.validate();
+        assert!(self.horizon_slots > 0, "horizon must be positive");
+        assert!(self.slot_seconds > 0.0, "slot duration must be positive");
+        assert!(
+            self.max_instance_utilization > 0.0 && self.max_instance_utilization <= 1.0,
+            "max instance utilization must be in (0,1]"
+        );
+        assert!(self.topology.site_count() >= 1, "need at least one edge site");
+    }
+
+    /// Returns a copy with a different arrival-rate constant (for λ sweeps).
+    /// Only meaningful when the pattern is `Constant`.
+    pub fn with_arrival_rate(&self, rate: f64) -> Self {
+        let mut s = self.clone();
+        s.workload.pattern = workload::pattern::LoadPattern::Constant { rate };
+        s
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut s = self.clone();
+        s.seed = seed;
+        s
+    }
+
+    /// Returns a copy with uniformly scaled edge capacity.
+    pub fn with_edge_capacity(&self, capacity: Resources) -> Self {
+        let mut s = self.clone();
+        s.topology_builder.edge_capacity = capacity;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_scenario_validates() {
+        Scenario::default_metro().validate();
+        Scenario::small_test().validate();
+    }
+
+    #[test]
+    fn topology_spec_builds_requested_sites() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let builder = TopologyBuilder::default();
+        let metro = TopologySpec::Metro { sites: 5 }.build(&builder, &mut rng);
+        assert_eq!(metro.edge_nodes().len(), 5);
+        let ring = TopologySpec::Ring { sites: 6 }.build(&builder, &mut rng);
+        assert_eq!(ring.edge_nodes().len(), 6);
+        let wax = TopologySpec::Waxman { sites: 7, side_km: 300.0, alpha: 0.8, beta: 0.4 }
+            .build(&builder, &mut rng);
+        assert_eq!(wax.edge_nodes().len(), 7);
+    }
+
+    #[test]
+    fn with_arrival_rate_changes_pattern_only() {
+        let s = Scenario::default_metro().with_arrival_rate(9.0);
+        assert_eq!(
+            s.workload.pattern,
+            workload::pattern::LoadPattern::Constant { rate: 9.0 }
+        );
+        assert_eq!(s.horizon_slots, Scenario::default_metro().horizon_slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let mut s = Scenario::small_test();
+        s.horizon_slots = 0;
+        s.validate();
+    }
+}

@@ -1,0 +1,75 @@
+//! # mano — DRL-based VNF management in geo-distributed edge computing
+//!
+//! The paper's primary contribution, reproduced end to end: online VNF
+//! placement, instance scaling (spawn/reuse/retire) and request admission
+//! for service function chains across geo-distributed edge nodes and a
+//! remote cloud, driven by a deep Q-network.
+//!
+//! * **MDP formulation** — [`state`] (observation encoding), [`action`]
+//!   (place-on-node / reject with feasibility masks), [`reward`]
+//!   (α·latency + β·cost shaping with acceptance bonuses).
+//! * **Engine** — [`sim`] drives slotted time: arrivals → per-VNF placement
+//!   decisions → flow lifecycle → cost accounting. DRL and heuristics run
+//!   through the identical code path.
+//! * **Managers** — [`drl`] (the DQN policy) and [`baselines`] (random,
+//!   first/best/worst-fit, greedy-latency, greedy-cost, cloud-only,
+//!   weighted-greedy, exhaustive).
+//! * **Harness support** — [`runner`] (training/evaluation),
+//!   [`metrics`]/[`report`] (summaries, CSV, markdown).
+//!
+//! # Examples
+//!
+//! ```
+//! use mano::prelude::*;
+//!
+//! // Evaluate two heuristics on an identical 4-site workload.
+//! let scenario = Scenario::small_test();
+//! let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+//!     Box::new(FirstFitPolicy),
+//!     Box::new(GreedyLatencyPolicy),
+//! ];
+//! let results = compare_policies(&scenario, RewardConfig::default(), &mut policies, 0);
+//! assert_eq!(results.len(), 2);
+//! println!("{}", markdown_comparison(&results));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod action;
+pub mod baselines;
+pub mod config;
+pub mod drl;
+pub mod metrics;
+pub mod pg;
+pub mod policy;
+pub mod report;
+pub mod reward;
+pub mod runner;
+pub mod sim;
+pub mod state;
+
+/// Convenient glob-import of the common types.
+pub mod prelude {
+    pub use crate::action::{ActionSpace, PlacementAction};
+    pub use crate::baselines::{
+        standard_baselines, BestFitPolicy, CloudOnlyPolicy, ExhaustivePolicy, FirstFitPolicy,
+        GreedyCostPolicy, GreedyLatencyPolicy, RandomPolicy, WeightedGreedyPolicy, WorstFitPolicy,
+    };
+    pub use crate::config::{Scenario, TopologySpec};
+    pub use crate::drl::{DrlManagerConfig, DrlPolicy};
+    pub use crate::pg::{train_pg, PgManagerConfig, PgPolicy};
+    pub use crate::metrics::{MetricsCollector, RunSummary, SlotRecord};
+    pub use crate::policy::{CandidateInfo, DecisionContext, DecisionFeedback, PlacementPolicy};
+    pub use crate::report::{
+        convergence_csv, markdown_comparison, slot_csv_header, slot_csv_row, summary_csv_header,
+        summary_csv_row, write_lines,
+    };
+    pub use crate::reward::RewardConfig;
+    pub use crate::runner::{
+        compare_policies, evaluate_policy, evaluate_policy_with_catalogs, moving_average,
+        train_drl, train_drl_with_catalogs, PolicyResult, TrainedDrl,
+    };
+    pub use crate::sim::{PlacementOutcome, Simulation};
+    pub use crate::state::{StateEncoder, StateEncoderConfig};
+}

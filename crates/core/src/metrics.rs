@@ -1,0 +1,267 @@
+//! Per-slot and per-run metrics: everything the experiment harness plots.
+
+use serde::{Deserialize, Serialize};
+
+/// One slot's worth of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Slot index.
+    pub slot: u64,
+    /// Requests that arrived this slot.
+    pub arrivals: u32,
+    /// Requests accepted this slot.
+    pub accepted: u32,
+    /// Requests rejected this slot.
+    pub rejected: u32,
+    /// Accepted requests that violated their SLA at admission.
+    pub sla_violations: u32,
+    /// Flows active at slot end.
+    pub active_flows: u32,
+    /// Live VNF instances at slot end.
+    pub live_instances: u32,
+    /// Mean end-to-end latency over active flows (ms); 0 when none.
+    pub mean_latency_ms: f64,
+    /// Instance compute cost this slot (USD).
+    pub compute_cost: f64,
+    /// Edge energy cost this slot (USD).
+    pub energy_cost: f64,
+    /// WAN traffic cost this slot (USD).
+    pub traffic_cost: f64,
+    /// Deployment cost incurred this slot (USD).
+    pub deployment_cost: f64,
+    /// Mean dominant node utilization at slot end.
+    pub mean_utilization: f64,
+}
+
+impl SlotRecord {
+    /// Total operational cost of the slot.
+    pub fn total_cost(&self) -> f64 {
+        self.compute_cost + self.energy_cost + self.traffic_cost + self.deployment_cost
+    }
+}
+
+/// Collects observations during a run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsCollector {
+    slots: Vec<SlotRecord>,
+    /// End-to-end latency of each accepted request at admission (ms).
+    admission_latencies: Vec<f64>,
+    /// Wall-clock nanoseconds per placement decision.
+    decision_times_ns: Vec<u64>,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a slot record.
+    pub fn push_slot(&mut self, record: SlotRecord) {
+        self.slots.push(record);
+    }
+
+    /// Records an accepted request's admission latency.
+    pub fn push_admission_latency(&mut self, latency_ms: f64) {
+        self.admission_latencies.push(latency_ms);
+    }
+
+    /// Records a decision's wall-clock duration.
+    pub fn push_decision_time(&mut self, ns: u64) {
+        self.decision_times_ns.push(ns);
+    }
+
+    /// All slot records.
+    pub fn slots(&self) -> &[SlotRecord] {
+        &self.slots
+    }
+
+    /// Finalizes into a summary.
+    pub fn summarize(&self) -> RunSummary {
+        let total_arrivals: u64 = self.slots.iter().map(|s| s.arrivals as u64).sum();
+        let total_accepted: u64 = self.slots.iter().map(|s| s.accepted as u64).sum();
+        let total_rejected: u64 = self.slots.iter().map(|s| s.rejected as u64).sum();
+        let total_sla_violations: u64 = self.slots.iter().map(|s| s.sla_violations as u64).sum();
+        let total_cost: f64 = self.slots.iter().map(SlotRecord::total_cost).sum();
+        let slot_count = self.slots.len() as f64;
+
+        let mut sorted = self.admission_latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let percentile = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        let mean_latency = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        let mean_decision_us = if self.decision_times_ns.is_empty() {
+            0.0
+        } else {
+            self.decision_times_ns.iter().sum::<u64>() as f64
+                / self.decision_times_ns.len() as f64
+                / 1000.0
+        };
+
+        RunSummary {
+            slots: self.slots.len() as u64,
+            total_arrivals,
+            total_accepted,
+            total_rejected,
+            acceptance_ratio: if total_arrivals > 0 {
+                total_accepted as f64 / total_arrivals as f64
+            } else {
+                1.0
+            },
+            sla_violation_ratio: if total_accepted > 0 {
+                total_sla_violations as f64 / total_accepted as f64
+            } else {
+                0.0
+            },
+            mean_admission_latency_ms: mean_latency,
+            p50_admission_latency_ms: percentile(0.50),
+            p95_admission_latency_ms: percentile(0.95),
+            total_cost_usd: total_cost,
+            mean_slot_cost_usd: if slot_count > 0.0 { total_cost / slot_count } else { 0.0 },
+            mean_utilization: if slot_count > 0.0 {
+                self.slots.iter().map(|s| s.mean_utilization).sum::<f64>() / slot_count
+            } else {
+                0.0
+            },
+            mean_active_flows: if slot_count > 0.0 {
+                self.slots.iter().map(|s| s.active_flows as f64).sum::<f64>() / slot_count
+            } else {
+                0.0
+            },
+            mean_live_instances: if slot_count > 0.0 {
+                self.slots.iter().map(|s| s.live_instances as f64).sum::<f64>() / slot_count
+            } else {
+                0.0
+            },
+            mean_decision_time_us: mean_decision_us,
+        }
+    }
+}
+
+/// Aggregated results of one simulation run — the row every comparison
+/// table in EXPERIMENTS.md reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Number of simulated slots.
+    pub slots: u64,
+    /// Requests that arrived.
+    pub total_arrivals: u64,
+    /// Requests accepted.
+    pub total_accepted: u64,
+    /// Requests rejected.
+    pub total_rejected: u64,
+    /// Accepted / arrived.
+    pub acceptance_ratio: f64,
+    /// SLA violations / accepted.
+    pub sla_violation_ratio: f64,
+    /// Mean end-to-end latency at admission (ms).
+    pub mean_admission_latency_ms: f64,
+    /// Median admission latency (ms).
+    pub p50_admission_latency_ms: f64,
+    /// 95th-percentile admission latency (ms).
+    pub p95_admission_latency_ms: f64,
+    /// Total operational cost over the run (USD).
+    pub total_cost_usd: f64,
+    /// Mean cost per slot (USD).
+    pub mean_slot_cost_usd: f64,
+    /// Mean node utilization.
+    pub mean_utilization: f64,
+    /// Mean concurrently active flows.
+    pub mean_active_flows: f64,
+    /// Mean live instances.
+    pub mean_live_instances: f64,
+    /// Mean wall-clock time per placement decision (µs).
+    pub mean_decision_time_us: f64,
+}
+
+impl RunSummary {
+    /// The combined objective the paper optimizes: mean per-slot cost plus
+    /// latency, each in its natural unit; used for rankings, not plots.
+    pub fn combined_objective(&self, alpha: f64, beta: f64) -> f64 {
+        alpha * self.mean_admission_latency_ms + beta * self.mean_slot_cost_usd * 1000.0
+            + 100.0 * (1.0 - self.acceptance_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: u64, arrivals: u32, accepted: u32) -> SlotRecord {
+        SlotRecord {
+            slot: i,
+            arrivals,
+            accepted,
+            rejected: arrivals - accepted,
+            sla_violations: 0,
+            active_flows: accepted,
+            live_instances: accepted,
+            mean_latency_ms: 10.0,
+            compute_cost: 1.0,
+            energy_cost: 0.5,
+            traffic_cost: 0.25,
+            deployment_cost: 0.25,
+            mean_utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn total_cost_sums_components() {
+        assert_eq!(slot(0, 1, 1).total_cost(), 2.0);
+    }
+
+    #[test]
+    fn summary_ratios() {
+        let mut m = MetricsCollector::new();
+        m.push_slot(slot(0, 4, 3));
+        m.push_slot(slot(1, 6, 5));
+        for l in [10.0, 20.0, 30.0, 40.0] {
+            m.push_admission_latency(l);
+        }
+        let s = m.summarize();
+        assert_eq!(s.total_arrivals, 10);
+        assert_eq!(s.total_accepted, 8);
+        assert!((s.acceptance_ratio - 0.8).abs() < 1e-9);
+        assert!((s.mean_admission_latency_ms - 25.0).abs() < 1e-9);
+        assert!((s.total_cost_usd - 4.0).abs() < 1e-9);
+        assert!((s.mean_slot_cost_usd - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_from_sorted_latencies() {
+        let mut m = MetricsCollector::new();
+        m.push_slot(slot(0, 100, 100));
+        for i in 1..=100 {
+            m.push_admission_latency(i as f64);
+        }
+        let s = m.summarize();
+        assert!((s.p50_admission_latency_ms - 50.0).abs() <= 1.0);
+        assert!((s.p95_admission_latency_ms - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_collector_summarizes_benignly() {
+        let s = MetricsCollector::new().summarize();
+        assert_eq!(s.total_arrivals, 0);
+        assert_eq!(s.acceptance_ratio, 1.0);
+        assert_eq!(s.mean_admission_latency_ms, 0.0);
+        assert_eq!(s.mean_decision_time_us, 0.0);
+    }
+
+    #[test]
+    fn decision_time_mean_in_us() {
+        let mut m = MetricsCollector::new();
+        m.push_decision_time(1_000);
+        m.push_decision_time(3_000);
+        assert!((m.summarize().mean_decision_time_us - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Result emission: CSV series and markdown tables for the experiment
+//! harness (the same rows/series the paper's figures and tables report).
+
+use crate::metrics::{RunSummary, SlotRecord};
+use crate::runner::PolicyResult;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a set of policy results as a markdown comparison table.
+pub fn markdown_comparison(results: &[PolicyResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| policy | accept % | mean lat (ms) | p95 lat (ms) | SLA viol % | cost/slot ($) | util % | decide (µs) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in results {
+        let s = &r.summary;
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.2} | {:.2} | {:.1} | {:.4} | {:.1} | {:.1} |",
+            r.policy,
+            100.0 * s.acceptance_ratio,
+            s.mean_admission_latency_ms,
+            s.p95_admission_latency_ms,
+            100.0 * s.sla_violation_ratio,
+            s.mean_slot_cost_usd,
+            100.0 * s.mean_utilization,
+            s.mean_decision_time_us,
+        );
+    }
+    out
+}
+
+/// CSV header matching [`summary_csv_row`].
+pub fn summary_csv_header() -> &'static str {
+    "policy,x,acceptance_ratio,mean_latency_ms,p50_latency_ms,p95_latency_ms,\
+     sla_violation_ratio,total_cost_usd,mean_slot_cost_usd,mean_utilization,\
+     mean_active_flows,mean_live_instances,mean_decision_time_us"
+}
+
+/// One CSV row for a summary at sweep coordinate `x` (e.g. arrival rate).
+pub fn summary_csv_row(policy: &str, x: f64, s: &RunSummary) -> String {
+    format!(
+        "{policy},{x},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.3}",
+        s.acceptance_ratio,
+        s.mean_admission_latency_ms,
+        s.p50_admission_latency_ms,
+        s.p95_admission_latency_ms,
+        s.sla_violation_ratio,
+        s.total_cost_usd,
+        s.mean_slot_cost_usd,
+        s.mean_utilization,
+        s.mean_active_flows,
+        s.mean_live_instances,
+        s.mean_decision_time_us,
+    )
+}
+
+/// CSV header for per-slot time series.
+pub fn slot_csv_header() -> &'static str {
+    "policy,slot,arrivals,accepted,rejected,sla_violations,active_flows,live_instances,\
+     mean_latency_ms,compute_cost,energy_cost,traffic_cost,deployment_cost,total_cost,\
+     mean_utilization"
+}
+
+/// One CSV row for a slot record.
+pub fn slot_csv_row(policy: &str, r: &SlotRecord) -> String {
+    format!(
+        "{policy},{},{},{},{},{},{},{},{:.4},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4}",
+        r.slot,
+        r.arrivals,
+        r.accepted,
+        r.rejected,
+        r.sla_violations,
+        r.active_flows,
+        r.live_instances,
+        r.mean_latency_ms,
+        r.compute_cost,
+        r.energy_cost,
+        r.traffic_cost,
+        r.deployment_cost,
+        r.total_cost(),
+        r.mean_utilization,
+    )
+}
+
+/// Writes lines to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_lines<P: AsRef<Path>>(path: P, lines: &[String]) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, lines.join("\n") + "\n")
+}
+
+/// A convergence-curve CSV: episode index, raw return, smoothed return.
+pub fn convergence_csv(label: &str, returns: &[f32], smoothed: &[f32]) -> Vec<String> {
+    assert_eq!(returns.len(), smoothed.len(), "curve lengths must match");
+    let mut lines = Vec::with_capacity(returns.len() + 1);
+    lines.push("policy,episode,return,smoothed_return".to_string());
+    for (i, (&r, &s)) in returns.iter().zip(smoothed.iter()).enumerate() {
+        lines.push(format!("{label},{i},{r:.4},{s:.4}"));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RunSummary {
+        RunSummary {
+            slots: 10,
+            total_arrivals: 100,
+            total_accepted: 90,
+            total_rejected: 10,
+            acceptance_ratio: 0.9,
+            sla_violation_ratio: 0.05,
+            mean_admission_latency_ms: 25.0,
+            p50_admission_latency_ms: 20.0,
+            p95_admission_latency_ms: 60.0,
+            total_cost_usd: 5.0,
+            mean_slot_cost_usd: 0.5,
+            mean_utilization: 0.4,
+            mean_active_flows: 30.0,
+            mean_live_instances: 12.0,
+            mean_decision_time_us: 15.0,
+        }
+    }
+
+    #[test]
+    fn markdown_table_contains_policy_rows() {
+        let results = vec![
+            PolicyResult { policy: "drl".into(), summary: summary() },
+            PolicyResult { policy: "first-fit".into(), summary: summary() },
+        ];
+        let md = markdown_comparison(&results);
+        assert!(md.contains("| drl |"));
+        assert!(md.contains("| first-fit |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let header_fields = summary_csv_header().split(',').count();
+        let row_fields = summary_csv_row("p", 1.0, &summary()).split(',').count();
+        assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn slot_csv_row_has_header_arity() {
+        let r = SlotRecord {
+            slot: 0,
+            arrivals: 1,
+            accepted: 1,
+            rejected: 0,
+            sla_violations: 0,
+            active_flows: 1,
+            live_instances: 1,
+            mean_latency_ms: 1.0,
+            compute_cost: 0.1,
+            energy_cost: 0.1,
+            traffic_cost: 0.1,
+            deployment_cost: 0.1,
+            mean_utilization: 0.2,
+        };
+        assert_eq!(
+            slot_csv_header().split(',').count(),
+            slot_csv_row("p", &r).split(',').count()
+        );
+    }
+
+    #[test]
+    fn convergence_csv_shape() {
+        let lines = convergence_csv("drl", &[1.0, 2.0], &[1.0, 1.5]);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("drl,0,"));
+    }
+
+    #[test]
+    fn write_lines_roundtrip() {
+        let dir = std::env::temp_dir().join("mano_report_test");
+        let path = dir.join("out.csv");
+        write_lines(&path, &["a".into(), "b".into()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a\nb\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

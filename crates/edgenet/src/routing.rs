@@ -1,0 +1,238 @@
+//! Latency-weighted shortest-path routing (Dijkstra) with an all-pairs
+//! cache sized for the simulator's hot loop.
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed path: ordered node sequence plus total one-way latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Node sequence from source to destination (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// Sum of link latencies along the path, in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Path {
+    /// Number of hops (links) on the path.
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; ties broken by node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra over link latency. Returns per-node
+/// `(latency, predecessor)`; unreachable nodes have `f64::INFINITY`.
+pub fn dijkstra(topology: &Topology, source: NodeId) -> Vec<(f64, Option<NodeId>)> {
+    let n = topology.node_count();
+    assert!(source.0 < n, "source {source} out of range");
+    let mut dist: Vec<(f64, Option<NodeId>)> = vec![(f64::INFINITY, None); n];
+    dist[source.0] = (0.0, None);
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { cost: 0.0, node: source });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.0].0 {
+            continue; // stale entry
+        }
+        for &(next, li) in topology.neighbours(node) {
+            let w = topology.link(li).latency_ms;
+            let candidate = cost + w;
+            if candidate < dist[next.0].0 {
+                dist[next.0] = (candidate, Some(node));
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs routing table: latency matrix plus path reconstruction.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// `latency[s * n + d]`, `INFINITY` if unreachable.
+    latency: Vec<f64>,
+    /// Predecessor of `d` on the shortest path from `s`.
+    predecessor: Vec<Option<NodeId>>,
+}
+
+impl RoutingTable {
+    /// Computes all-pairs shortest paths by running Dijkstra from every
+    /// node (`O(n · (m + n) log n)` — fine for the topology sizes here).
+    pub fn build(topology: &Topology) -> Self {
+        let n = topology.node_count();
+        let mut latency = Vec::with_capacity(n * n);
+        let mut predecessor = Vec::with_capacity(n * n);
+        for s in 0..n {
+            for (d, pred) in dijkstra(topology, NodeId(s)) {
+                latency.push(d);
+                predecessor.push(pred);
+            }
+        }
+        Self { n, latency, predecessor }
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// One-way latency from `s` to `d` in milliseconds; `INFINITY` if
+    /// unreachable. Zero when `s == d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn latency_ms(&self, s: NodeId, d: NodeId) -> f64 {
+        assert!(s.0 < self.n && d.0 < self.n, "routing lookup out of range");
+        self.latency[s.0 * self.n + d.0]
+    }
+
+    /// `true` if `d` is reachable from `s`.
+    pub fn reachable(&self, s: NodeId, d: NodeId) -> bool {
+        self.latency_ms(s, d).is_finite()
+    }
+
+    /// Reconstructs the shortest path, or `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn path(&self, s: NodeId, d: NodeId) -> Option<Path> {
+        assert!(s.0 < self.n && d.0 < self.n, "routing lookup out of range");
+        let total = self.latency_ms(s, d);
+        if !total.is_finite() {
+            return None;
+        }
+        let mut nodes = vec![d];
+        let mut current = d;
+        while current != s {
+            let pred = self.predecessor[s.0 * self.n + current.0]?;
+            nodes.push(pred);
+            current = pred;
+        }
+        nodes.reverse();
+        Some(Path { nodes, latency_ms: total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn ring(n: usize) -> Topology {
+        TopologyBuilder { with_cloud: false, ..Default::default() }.ring(n)
+    }
+
+    #[test]
+    fn self_latency_is_zero() {
+        let topo = ring(5);
+        let table = RoutingTable::build(&topo);
+        for i in 0..5 {
+            assert_eq!(table.latency_ms(NodeId(i), NodeId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_is_symmetric_on_undirected_graph() {
+        let topo = TopologyBuilder::default().metro(6);
+        let table = RoutingTable::build(&topo);
+        for a in 0..topo.node_count() {
+            for b in 0..topo.node_count() {
+                let ab = table.latency_ms(NodeId(a), NodeId(b));
+                let ba = table.latency_ms(NodeId(b), NodeId(a));
+                assert!((ab - ba).abs() < 1e-9, "asymmetry {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_path_takes_shorter_arc() {
+        let topo = ring(6);
+        let table = RoutingTable::build(&topo);
+        // From 0 to 2: two hops forward vs four hops back.
+        let p = table.path(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn path_latency_matches_sum_of_links() {
+        let topo = ring(5);
+        let table = RoutingTable::build(&topo);
+        let p = table.path(NodeId(0), NodeId(2)).unwrap();
+        let mut sum = 0.0;
+        for w in p.nodes.windows(2) {
+            let li = topo
+                .neighbours(w[0])
+                .iter()
+                .find(|&&(nb, _)| nb == w[1])
+                .map(|&(_, li)| li)
+                .expect("link exists");
+            sum += topo.link(li).latency_ms;
+        }
+        assert!((p.latency_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let topo = TopologyBuilder::default().metro(8);
+        let table = RoutingTable::build(&topo);
+        let n = topo.node_count();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let direct = table.latency_ms(NodeId(a), NodeId(c));
+                    let via = table.latency_ms(NodeId(a), NodeId(b)) + table.latency_ms(NodeId(b), NodeId(c));
+                    assert!(direct <= via + 1e-9, "triangle violated {a}->{b}->{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_direct_matches_table() {
+        let topo = ring(7);
+        let table = RoutingTable::build(&topo);
+        let from_zero = dijkstra(&topo, NodeId(0));
+        for d in 0..7 {
+            assert!((from_zero[d].0 - table.latency_ms(NodeId(0), NodeId(d))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_endpoints_are_correct() {
+        let topo = TopologyBuilder::default().metro(5);
+        let table = RoutingTable::build(&topo);
+        let p = table.path(NodeId(1), NodeId(4)).unwrap();
+        assert_eq!(*p.nodes.first().unwrap(), NodeId(1));
+        assert_eq!(*p.nodes.last().unwrap(), NodeId(4));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the edgenet substrate: routing optimality and
+//! capacity-ledger invariants.
+
+use edgenet::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn waxman_topologies_always_connected(n in 2usize..30, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TopologyBuilder { with_cloud: seed % 2 == 0, ..Default::default() }
+            .waxman(n, 400.0, 0.7, 0.3, &mut rng);
+        prop_assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn shortest_path_beats_every_two_hop_detour(n in 4usize..12, seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TopologyBuilder { with_cloud: false, ..Default::default() }
+            .waxman(n, 300.0, 0.8, 0.4, &mut rng);
+        let table = RoutingTable::build(&topo);
+        for s in 0..n {
+            for d in 0..n {
+                let direct = table.latency_ms(NodeId(s), NodeId(d));
+                for via in 0..n {
+                    let detour = table.latency_ms(NodeId(s), NodeId(via))
+                        + table.latency_ms(NodeId(via), NodeId(d));
+                    prop_assert!(direct <= detour + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_reconstruction_matches_latency(n in 4usize..15, seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TopologyBuilder { with_cloud: false, ..Default::default() }
+            .waxman(n, 300.0, 0.6, 0.3, &mut rng);
+        let table = RoutingTable::build(&topo);
+        for s in 0..n {
+            for d in 0..n {
+                let p = table.path(NodeId(s), NodeId(d)).expect("connected");
+                // Recompute from links.
+                let mut sum = 0.0;
+                for w in p.nodes.windows(2) {
+                    let li = topo.neighbours(w[0]).iter().find(|&&(nb, _)| nb == w[1])
+                        .map(|&(_, li)| li).expect("adjacent");
+                    sum += topo.link(li).latency_ms;
+                }
+                prop_assert!((p.latency_ms - sum).abs() < 1e-9);
+                prop_assert_eq!(*p.nodes.first().unwrap(), NodeId(s));
+                prop_assert_eq!(*p.nodes.last().unwrap(), NodeId(d));
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_alloc_free_round_trip(
+        ops in proptest::collection::vec((0usize..4, 0.0f64..4.0, 0.0f64..8.0), 1..40)
+    ) {
+        let mut ledger = CapacityLedger::from_capacities(vec![
+            Resources::new(16.0, 32.0); 4
+        ]);
+        let baseline = ledger.clone();
+        let mut applied = Vec::new();
+        for (node, cpu, mem) in ops {
+            let demand = Resources::new(cpu, mem);
+            if ledger.allocate(NodeId(node), &demand).is_ok() {
+                applied.push((node, demand));
+            }
+            // Invariant: utilization never exceeds 1.
+            for i in 0..4 {
+                prop_assert!(ledger.utilization_of(NodeId(i)).unwrap() <= 1.0 + 1e-9);
+            }
+        }
+        // Free everything in reverse; the ledger must return to baseline
+        // modulo floating-point accumulation.
+        for (node, demand) in applied.into_iter().rev() {
+            ledger.release(NodeId(node), &demand).unwrap();
+        }
+        for i in 0..4 {
+            let used = ledger.used_of(NodeId(i)).unwrap();
+            prop_assert!(used.cpu.abs() < 1e-6 && used.mem.abs() < 1e-6);
+        }
+        let _ = baseline;
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        (lat1, lon1) in (-80.0f64..80.0, -170.0f64..170.0),
+        (lat2, lon2) in (-80.0f64..80.0, -170.0f64..170.0),
+        (lat3, lon3) in (-80.0f64..80.0, -170.0f64..170.0),
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        prop_assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+    }
+}

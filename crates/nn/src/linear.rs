@@ -1,0 +1,287 @@
+//! Fully-connected (dense) layer with cached forward pass for backprop.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer computing `a = act(x · W + b)`.
+///
+/// `W` is `in_dim x out_dim`, `b` is `1 x out_dim`, and inputs are batched
+/// row-wise (`batch x in_dim`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Matrix,
+    activation: Activation,
+    /// Gradient accumulators, same shape as the parameters.
+    #[serde(skip)]
+    grad_weights: Option<Matrix>,
+    #[serde(skip)]
+    grad_bias: Option<Matrix>,
+    /// Cached forward tensors (input and pre-activation).
+    #[serde(skip)]
+    cache: Option<ForwardCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ForwardCache {
+    input: Matrix,
+    pre_activation: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer with freshly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            weights: init.weights(in_dim, out_dim, rng),
+            bias: init.bias(out_dim),
+            activation,
+            grad_weights: None,
+            grad_bias: None,
+            cache: None,
+        }
+    }
+
+    /// Creates a layer from explicit parameters (used by tests and loaders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x weights.cols()`.
+    pub fn from_parameters(weights: Matrix, bias: Matrix, activation: Activation) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weights.cols(), "bias width must match weight columns");
+        Self { weights, bias, activation, grad_weights: None, grad_bias: None, cache: None }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable view of the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Immutable view of the bias vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Inference-only forward pass (no cache is stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != in_dim`.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let z = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        self.activation.apply(&z)
+    }
+
+    /// Training forward pass: caches the input and pre-activation so a
+    /// subsequent [`Dense::backward`] can compute gradients.
+    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let z = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        let out = self.activation.apply(&z);
+        self.cache = Some(ForwardCache { input: input.clone(), pre_activation: z });
+        out
+    }
+
+    /// Backward pass. `grad_output` is dL/da for this layer's output;
+    /// returns dL/dx for the layer's input and accumulates parameter
+    /// gradients internally (summed across calls until [`Dense::take_gradients`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`Dense::forward_train`].
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .take()
+            .expect("Dense::backward called without a cached forward_train pass");
+        // dL/dz = dL/da ⊙ f'(z)
+        let grad_z = grad_output.hadamard(&self.activation.derivative(&cache.pre_activation));
+        // dL/dW = xᵀ · dL/dz ; dL/db = column-sum(dL/dz) ; dL/dx = dL/dz · Wᵀ
+        let gw = cache.input.tmatmul(&grad_z);
+        let gb = grad_z.col_sum();
+        match (&mut self.grad_weights, &mut self.grad_bias) {
+            (Some(acc_w), Some(acc_b)) => {
+                acc_w.add_scaled_assign(&gw, 1.0);
+                acc_b.add_scaled_assign(&gb, 1.0);
+            }
+            _ => {
+                self.grad_weights = Some(gw);
+                self.grad_bias = Some(gb);
+            }
+        }
+        grad_z.matmul_t(&self.weights)
+    }
+
+    /// Removes and returns accumulated `(dW, db)` gradients, resetting the
+    /// accumulators. Returns zero matrices if no backward pass happened.
+    pub fn take_gradients(&mut self) -> (Matrix, Matrix) {
+        let gw = self.grad_weights.take().unwrap_or_else(|| Matrix::zeros(self.weights.rows(), self.weights.cols()));
+        let gb = self.grad_bias.take().unwrap_or_else(|| Matrix::zeros(1, self.bias.cols()));
+        (gw, gb)
+    }
+
+    /// Peeks at accumulated gradients without clearing them.
+    pub fn gradients(&self) -> Option<(&Matrix, &Matrix)> {
+        match (&self.grad_weights, &self.grad_bias) {
+            (Some(w), Some(b)) => Some((w, b)),
+            _ => None,
+        }
+    }
+
+    /// Applies a parameter delta in place: `W += dw`, `b += db`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply_delta(&mut self, dw: &Matrix, db: &Matrix) {
+        self.weights.add_scaled_assign(dw, 1.0);
+        self.bias.add_scaled_assign(db, 1.0);
+    }
+
+    /// Polyak/soft update toward `other`: `p ← (1 - tau) * p + tau * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers have different shapes or `tau ∉ [0, 1]`.
+    pub fn soft_update_from(&mut self, other: &Dense, tau: f32) {
+        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1], got {tau}");
+        assert_eq!(self.weights.shape(), other.weights.shape(), "soft update shape mismatch");
+        self.weights.scale_assign(1.0 - tau);
+        self.weights.add_scaled_assign(&other.weights, tau);
+        self.bias.scale_assign(1.0 - tau);
+        self.bias.add_scaled_assign(&other.bias, tau);
+    }
+
+    /// Mutable parameter access for optimizers: `(weights, bias)`.
+    pub(crate) fn parameters_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.weights, &mut self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer_2x3() -> Dense {
+        Dense::from_parameters(
+            Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[2.0, 1.0, 0.5]]),
+            Matrix::row_vector(&[0.1, -0.1, 0.0]),
+            Activation::Identity,
+        )
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let layer = layer_2x3();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let out = layer.forward(&x);
+        // z = [1*1+2*2, 1*0+2*1, 1*-1+2*0.5] + b = [5.1, 1.9, 0.0]
+        assert!((out.get(0, 0) - 5.1).abs() < 1e-6);
+        assert!((out.get(0, 1) - 1.9).abs() < 1e-6);
+        assert!((out.get(0, 2) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_produces_expected_shapes() {
+        let mut layer = layer_2x3();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0]]);
+        let _ = layer.forward_train(&x);
+        let grad_in = layer.backward(&Matrix::full(2, 3, 1.0));
+        assert_eq!(grad_in.shape(), (2, 2));
+        let (gw, gb) = layer.take_gradients();
+        assert_eq!(gw.shape(), (2, 3));
+        assert_eq!(gb.shape(), (1, 3));
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut layer = layer_2x3();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let g = Matrix::full(1, 3, 1.0);
+        let _ = layer.forward_train(&x);
+        let _ = layer.backward(&g);
+        let (gw1, _) = {
+            let (w, b) = layer.gradients().expect("grads present");
+            (w.clone(), b.clone())
+        };
+        let _ = layer.forward_train(&x);
+        let _ = layer.backward(&g);
+        let (gw2, _) = layer.take_gradients();
+        assert_eq!(gw2, gw1.scale(2.0));
+        // Accumulator cleared after take.
+        assert!(layer.gradients().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a cached forward_train")]
+    fn backward_without_forward_panics() {
+        let mut layer = layer_2x3();
+        let _ = layer.backward(&Matrix::full(1, 3, 1.0));
+    }
+
+    #[test]
+    fn identity_layer_backward_is_linear_map() {
+        // With identity activation: grad_in = grad_out · Wᵀ exactly.
+        let mut layer = layer_2x3();
+        let x = Matrix::from_rows(&[&[0.3, -0.7]]);
+        let _ = layer.forward_train(&x);
+        let g = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let grad_in = layer.backward(&g);
+        let expected = g.matmul_t(layer.weights());
+        assert_eq!(grad_in, expected);
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut a = layer_2x3();
+        let mut b = layer_2x3();
+        let (w, _) = b.parameters_mut();
+        w.scale_assign(3.0);
+        a.soft_update_from(&b, 0.5);
+        // Original weight (0,0) = 1.0, b's = 3.0, expect 2.0.
+        assert!((a.weights().get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_init_respects_dims() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Dense::new(4, 8, Activation::Relu, Init::HeUniform, &mut rng);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 8);
+        assert_eq!(layer.param_count(), 4 * 8 + 8);
+    }
+}

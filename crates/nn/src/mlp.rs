@@ -1,0 +1,495 @@
+//! Multi-layer perceptron: the function approximator used by every deep-RL
+//! agent in this workspace.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::linear::Dense;
+use crate::loss::Loss;
+use crate::optimizer::{clip_global_norm, Optimizer, OptimizerConfig};
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative MLP architecture.
+///
+/// # Examples
+///
+/// ```
+/// use nn::mlp::{Mlp, MlpConfig};
+/// use nn::activation::Activation;
+/// use rand::SeedableRng;
+///
+/// let config = MlpConfig::new(4, &[16, 16], 2)
+///     .hidden_activation(Activation::Relu);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Mlp::new(&config, &mut rng);
+/// assert_eq!(net.output_dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Hidden layer widths, in order.
+    pub hidden: Vec<usize>,
+    /// Output dimension.
+    pub output_dim: usize,
+    /// Activation for hidden layers.
+    pub hidden_activation: Activation,
+    /// Activation for the output layer (identity for Q-values).
+    pub output_activation: Activation,
+    /// Weight initialization scheme.
+    pub init: Init,
+}
+
+impl MlpConfig {
+    /// Config with ReLU hidden layers, identity output, He init.
+    pub fn new(input_dim: usize, hidden: &[usize], output_dim: usize) -> Self {
+        Self {
+            input_dim,
+            hidden: hidden.to_vec(),
+            output_dim,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Identity,
+            init: Init::HeUniform,
+        }
+    }
+
+    /// Sets the hidden-layer activation.
+    pub fn hidden_activation(mut self, act: Activation) -> Self {
+        self.hidden_activation = act;
+        self
+    }
+
+    /// Sets the output-layer activation.
+    pub fn output_activation(mut self, act: Activation) -> Self {
+        self.output_activation = act;
+        self
+    }
+
+    /// Sets the weight initialization scheme.
+    pub fn init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sequence of `(in, out, activation)` for each layer.
+    fn layer_specs(&self) -> Vec<(usize, usize, Activation)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.input_dim);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.output_dim);
+        let mut specs = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { self.output_activation } else { self.hidden_activation };
+            specs.push((dims[i], dims[i + 1], act));
+        }
+        specs
+    }
+}
+
+/// A feed-forward network of dense layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    config: MlpConfig,
+}
+
+impl Mlp {
+    /// Builds a network with freshly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension in the config is zero.
+    pub fn new<R: Rng + ?Sized>(config: &MlpConfig, rng: &mut R) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(config.output_dim > 0, "output_dim must be positive");
+        assert!(config.hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        let layers = config
+            .layer_specs()
+            .into_iter()
+            .map(|(i, o, a)| Dense::new(i, o, a, config.init, rng))
+            .collect();
+        Self { layers, config: config.clone() }
+    }
+
+    /// The architecture this network was built from.
+    pub fn architecture(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.config.input_dim
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.config.output_dim
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Immutable access to the layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Inference forward pass over a batch (`batch x input_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != input_dim`.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.config.input_dim, "input width mismatch");
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference on a single state vector; returns the output row.
+    pub fn forward_one(&self, input: &[f32]) -> Vec<f32> {
+        let out = self.forward(&Matrix::row_vector(input));
+        out.row(0).to_vec()
+    }
+
+    /// Training forward pass, caching per-layer tensors for backprop.
+    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.config.input_dim, "input width mismatch");
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x);
+        }
+        x
+    }
+
+    /// Backpropagates `grad_output` (dL/d output) through the network,
+    /// accumulating parameter gradients. Returns dL/d input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`Mlp::forward_train`] preceded this call.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Applies accumulated gradients via `optimizer`, optionally clipping
+    /// the global gradient norm first. Clears the accumulators.
+    ///
+    /// Returns the pre-clip global gradient norm.
+    pub fn apply_gradients(&mut self, optimizer: &mut Optimizer, max_grad_norm: Option<f32>) -> f32 {
+        let mut grads: Vec<(Matrix, Matrix)> = self.layers.iter_mut().map(Dense::take_gradients).collect();
+        let norm = {
+            let mut refs: Vec<&mut Matrix> = Vec::with_capacity(grads.len() * 2);
+            for (gw, gb) in grads.iter_mut() {
+                refs.push(gw);
+                refs.push(gb);
+            }
+            match max_grad_norm {
+                Some(limit) => clip_global_norm(&mut refs, limit),
+                None => refs.iter().map(|g| g.frobenius_norm().powi(2)).sum::<f32>().sqrt(),
+            }
+        };
+        optimizer.begin_step();
+        for (i, (layer, (gw, gb))) in self.layers.iter_mut().zip(grads.iter()).enumerate() {
+            let (w, b) = layer.parameters_mut();
+            optimizer.update(2 * i, w, gw);
+            optimizer.update(2 * i + 1, b, gb);
+        }
+        norm
+    }
+
+    /// One supervised training step on `(input, target)` with the given
+    /// loss. Returns the batch loss.
+    pub fn train_batch(
+        &mut self,
+        input: &Matrix,
+        target: &Matrix,
+        loss: Loss,
+        optimizer: &mut Optimizer,
+        max_grad_norm: Option<f32>,
+    ) -> f32 {
+        let pred = self.forward_train(input);
+        let (l, grad) = loss.evaluate(&pred, target);
+        self.backward(&grad);
+        self.apply_gradients(optimizer, max_grad_norm);
+        l
+    }
+
+    /// One Q-learning style step: regress `prediction[r, selected[r]]`
+    /// toward `targets[r]`, with optional per-row importance weights.
+    ///
+    /// Returns `(loss, td_errors)` where `td_errors[r] = pred - target`
+    /// (used by prioritized replay to update priorities).
+    pub fn train_selected(
+        &mut self,
+        input: &Matrix,
+        selected: &[usize],
+        targets: &[f32],
+        weights: Option<&[f32]>,
+        loss: Loss,
+        optimizer: &mut Optimizer,
+        max_grad_norm: Option<f32>,
+    ) -> (f32, Vec<f32>) {
+        let pred = self.forward_train(input);
+        let td: Vec<f32> = selected
+            .iter()
+            .zip(targets.iter())
+            .enumerate()
+            .map(|(r, (&c, &t))| pred.get(r, c) - t)
+            .collect();
+        let (l, grad) = loss.evaluate_selected(&pred, selected, targets, weights);
+        self.backward(&grad);
+        self.apply_gradients(optimizer, max_grad_norm);
+        (l, td)
+    }
+
+    /// Drains accumulated per-layer gradients as `(dW, db)` pairs without
+    /// applying them. Used by gradient checking and custom update rules.
+    pub fn drain_gradients(&mut self) -> Vec<(Matrix, Matrix)> {
+        self.layers.iter_mut().map(Dense::take_gradients).collect()
+    }
+
+    /// Applies externally drained gradients (from [`Mlp::drain_gradients`])
+    /// through `optimizer`, using optimizer slots
+    /// `slot_base + 2*layer` / `slot_base + 2*layer + 1`.
+    ///
+    /// The caller is responsible for [`Optimizer::begin_step`]; this makes it
+    /// possible for several sub-networks (e.g. a dueling Q-network's trunk
+    /// and heads) to share one optimizer step with disjoint slot ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != layer_count()` or shapes mismatch.
+    pub fn apply_external_gradients(
+        &mut self,
+        grads: &[(Matrix, Matrix)],
+        optimizer: &mut Optimizer,
+        slot_base: usize,
+    ) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count must match layer count");
+        for (i, (layer, (gw, gb))) in self.layers.iter_mut().zip(grads.iter()).enumerate() {
+            let (w, b) = layer.parameters_mut();
+            optimizer.update(slot_base + 2 * i, w, gw);
+            optimizer.update(slot_base + 2 * i + 1, b, gb);
+        }
+    }
+
+    /// Adds `delta` to one parameter scalar: layer `layer`, `which` selects
+    /// weights (`0`) or bias (`1`), at `(r, c)`.
+    ///
+    /// Intended for gradient checking; not a training API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn perturb_parameter(&mut self, layer: usize, which: usize, r: usize, c: usize, delta: f32) {
+        assert!(layer < self.layers.len(), "layer {layer} out of range");
+        let (w, b) = self.layers[layer].parameters_mut();
+        let target = match which {
+            0 => w,
+            1 => b,
+            other => panic!("`which` must be 0 (weights) or 1 (bias), got {other}"),
+        };
+        let v = target.get(r, c);
+        target.set(r, c, v + delta);
+    }
+
+    /// Hard copy of parameters from `other` (target-network sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if architectures differ.
+    pub fn copy_parameters_from(&mut self, other: &Mlp) {
+        assert_eq!(self.config, other.config, "cannot copy parameters between different architectures");
+        self.layers = other.layers.clone();
+    }
+
+    /// Polyak soft update `p ← (1-tau)·p + tau·other` (target-network track).
+    ///
+    /// # Panics
+    ///
+    /// Panics if architectures differ or `tau ∉ [0,1]`.
+    pub fn soft_update_from(&mut self, other: &Mlp, tau: f32) {
+        assert_eq!(self.config, other.config, "cannot soft-update between different architectures");
+        for (mine, theirs) in self.layers.iter_mut().zip(other.layers.iter()) {
+            mine.soft_update_from(theirs, tau);
+        }
+    }
+
+    /// `true` if any parameter is NaN/inf — a cheap divergence tripwire.
+    pub fn has_non_finite_params(&self) -> bool {
+        self.layers.iter().any(|l| l.weights().has_non_finite() || l.bias().has_non_finite())
+    }
+}
+
+/// Convenience: build network + optimizer together.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainableMlp {
+    /// The network.
+    pub net: Mlp,
+    /// Its optimizer state.
+    pub optimizer: Optimizer,
+    /// Loss used by [`TrainableMlp::step`].
+    pub loss: Loss,
+    /// Optional global gradient-norm clip.
+    pub max_grad_norm: Option<f32>,
+}
+
+impl TrainableMlp {
+    /// Builds the network and its optimizer from configs.
+    pub fn new<R: Rng + ?Sized>(
+        config: &MlpConfig,
+        optimizer: OptimizerConfig,
+        loss: Loss,
+        max_grad_norm: Option<f32>,
+        rng: &mut R,
+    ) -> Self {
+        Self { net: Mlp::new(config, rng), optimizer: optimizer.build(), loss, max_grad_norm }
+    }
+
+    /// One supervised step; returns the batch loss.
+    pub fn step(&mut self, input: &Matrix, target: &Matrix) -> f32 {
+        self.net.train_batch(input, target, self.loss, &mut self.optimizer, self.max_grad_norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let config = MlpConfig::new(3, &[5, 7], 2);
+        let net = Mlp::new(&config, &mut rng());
+        assert_eq!(net.layer_count(), 3);
+        assert_eq!(net.param_count(), (3 * 5 + 5) + (5 * 7 + 7) + (7 * 2 + 2));
+        let out = net.forward(&Matrix::zeros(4, 3));
+        assert_eq!(out.shape(), (4, 2));
+    }
+
+    #[test]
+    fn forward_one_matches_batched_forward() {
+        let config = MlpConfig::new(3, &[8], 2);
+        let net = Mlp::new(&config, &mut rng());
+        let x = [0.1, -0.2, 0.3];
+        let single = net.forward_one(&x);
+        let batched = net.forward(&Matrix::row_vector(&x));
+        assert_eq!(single, batched.row(0).to_vec());
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        // y = 2*x0 - x1; an MLP should fit this almost exactly.
+        let config = MlpConfig::new(2, &[16], 1).hidden_activation(Activation::Tanh);
+        let mut trainable = TrainableMlp::new(&config, OptimizerConfig::adam(0.01), Loss::Mse, None, &mut rng());
+        let mut r = rng();
+        use rand::Rng as _;
+        let mut final_loss = f32::MAX;
+        for _ in 0..1500 {
+            let x = Matrix::from_fn(16, 2, |_, _| r.gen_range(-1.0..1.0));
+            let y = Matrix::from_fn(16, 1, |i, _| 2.0 * x.get(i, 0) - x.get(i, 1));
+            final_loss = trainable.step(&x, &y);
+        }
+        assert!(final_loss < 5e-3, "final loss {final_loss}");
+    }
+
+    #[test]
+    fn learns_xor() {
+        // Non-linearly-separable target proves backprop flows through depth.
+        let config = MlpConfig::new(2, &[8, 8], 1).hidden_activation(Activation::Tanh);
+        let mut t = TrainableMlp::new(&config, OptimizerConfig::adam(0.02), Loss::Mse, None, &mut rng());
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut loss = f32::MAX;
+        for _ in 0..2000 {
+            loss = t.step(&x, &y);
+        }
+        assert!(loss < 1e-2, "xor loss {loss}");
+        let pred = t.net.forward(&x);
+        assert!(pred.get(0, 0) < 0.3 && pred.get(1, 0) > 0.7);
+    }
+
+    #[test]
+    fn train_selected_only_moves_chosen_outputs() {
+        let config = MlpConfig::new(2, &[], 3); // single linear layer
+        let mut net = Mlp::new(&config, &mut rng());
+        let mut opt = OptimizerConfig::sgd(0.5).build();
+        let x = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let before = net.forward(&x);
+        // Push output 1 toward a big value; outputs 0 and 2 share input
+        // weights but their columns should not change.
+        let (_, td) = net.train_selected(&x, &[1], &[before.get(0, 1) + 1.0], None, Loss::Mse, &mut opt, None);
+        assert!((td[0] + 1.0).abs() < 1e-5);
+        let after = net.forward(&x);
+        assert!((after.get(0, 0) - before.get(0, 0)).abs() < 1e-6);
+        assert!((after.get(0, 2) - before.get(0, 2)).abs() < 1e-6);
+        assert!(after.get(0, 1) > before.get(0, 1));
+    }
+
+    #[test]
+    fn copy_and_soft_update() {
+        let config = MlpConfig::new(2, &[4], 2);
+        let mut a = Mlp::new(&config, &mut rng());
+        let b = Mlp::new(&config, &mut StdRng::seed_from_u64(999));
+        let x = Matrix::from_rows(&[&[0.5, -0.5]]);
+        a.copy_parameters_from(&b);
+        assert_eq!(a.forward(&x), b.forward(&x));
+        // Soft update from a third net moves outputs strictly between.
+        let c = Mlp::new(&config, &mut StdRng::seed_from_u64(555));
+        let before = a.forward(&x).get(0, 0);
+        a.soft_update_from(&c, 0.5);
+        let after = a.forward(&x).get(0, 0);
+        assert!(after != before);
+    }
+
+    #[test]
+    fn gradient_clip_bounds_update() {
+        let config = MlpConfig::new(1, &[], 1);
+        let mut net = Mlp::new(&config, &mut rng());
+        let mut opt = OptimizerConfig::sgd(1.0).build();
+        let x = Matrix::from_rows(&[&[1000.0]]);
+        let before = net.layers()[0].weights().get(0, 0);
+        // Huge input would explode without clipping.
+        let target = Matrix::from_rows(&[&[0.0]]);
+        net.train_batch(&x, &target, Loss::Mse, &mut opt, Some(0.1));
+        let after = net.layers()[0].weights().get(0, 0);
+        assert!((after - before).abs() <= 0.1 + 1e-4);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_outputs() {
+        let config = MlpConfig::new(3, &[6], 2);
+        let net = Mlp::new(&config, &mut rng());
+        let json = serde_json::to_string(&net).expect("serialize");
+        let restored: Mlp = serde_json::from_str(&json).expect("deserialize");
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3]]);
+        assert_eq!(net.forward(&x), restored.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let net = Mlp::new(&MlpConfig::new(3, &[4], 1), &mut rng());
+        let _ = net.forward(&Matrix::zeros(1, 5));
+    }
+}

@@ -1,0 +1,291 @@
+//! First-order gradient optimizers (SGD+momentum, RMSProp, Adam).
+//!
+//! Optimizers keep per-parameter state keyed by a stable slot index supplied
+//! by the network (two slots per dense layer: weights then bias). This keeps
+//! the optimizer decoupled from network structure while remaining
+//! serialization-friendly.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer configuration (the algorithm and its hyperparameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerConfig {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient in `[0, 1)`; `0.0` is plain SGD.
+        momentum: f32,
+    },
+    /// RMSProp as used by the original DQN paper.
+    RmsProp {
+        /// Learning rate.
+        lr: f32,
+        /// Decay rate of the squared-gradient moving average.
+        rho: f32,
+        /// Numerical-stability constant.
+        eps: f32,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability constant.
+        eps: f32,
+    },
+}
+
+impl OptimizerConfig {
+    /// Adam with standard defaults and the given learning rate.
+    pub fn adam(lr: f32) -> Self {
+        OptimizerConfig::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// RMSProp with DQN-paper defaults and the given learning rate.
+    pub fn rmsprop(lr: f32) -> Self {
+        OptimizerConfig::RmsProp { lr, rho: 0.95, eps: 1e-6 }
+    }
+
+    /// Plain SGD with the given learning rate.
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerConfig::Sgd { lr, momentum: 0.0 }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            OptimizerConfig::Sgd { lr, .. }
+            | OptimizerConfig::RmsProp { lr, .. }
+            | OptimizerConfig::Adam { lr, .. } => lr,
+        }
+    }
+
+    /// Builds the stateful optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive or decay factors are out
+    /// of range.
+    pub fn build(self) -> Optimizer {
+        match self {
+            OptimizerConfig::Sgd { lr, momentum } => {
+                assert!(lr > 0.0, "learning rate must be positive");
+                assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+            }
+            OptimizerConfig::RmsProp { lr, rho, eps } => {
+                assert!(lr > 0.0, "learning rate must be positive");
+                assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+                assert!(eps > 0.0, "eps must be positive");
+            }
+            OptimizerConfig::Adam { lr, beta1, beta2, eps } => {
+                assert!(lr > 0.0, "learning rate must be positive");
+                assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+                assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+                assert!(eps > 0.0, "eps must be positive");
+            }
+        }
+        Optimizer { config: self, slots: Vec::new(), step: 0 }
+    }
+}
+
+/// Stateful optimizer; one instance per trained network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+    slots: Vec<SlotState>,
+    step: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SlotState {
+    /// First moment / momentum buffer.
+    m: Matrix,
+    /// Second moment buffer (unused by SGD).
+    v: Matrix,
+}
+
+impl Optimizer {
+    /// The optimizer's configuration.
+    pub fn config(&self) -> OptimizerConfig {
+        self.config
+    }
+
+    /// Number of update steps applied so far (per [`Optimizer::begin_step`]).
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Marks the start of an update step; call once per batch before
+    /// updating the slots of that batch. Required for Adam bias correction.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Computes and applies the update for parameter `slot` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` and `grad` shapes differ, or if a slot is reused
+    /// with a different shape.
+    pub fn update(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "optimizer update shape mismatch");
+        while self.slots.len() <= slot {
+            self.slots.push(SlotState {
+                m: Matrix::zeros(param.rows(), param.cols()),
+                v: Matrix::zeros(param.rows(), param.cols()),
+            });
+        }
+        let state = &mut self.slots[slot];
+        assert_eq!(state.m.shape(), param.shape(), "optimizer slot {slot} shape changed");
+        match self.config {
+            OptimizerConfig::Sgd { lr, momentum } => {
+                if momentum == 0.0 {
+                    param.add_scaled_assign(grad, -lr);
+                } else {
+                    // m ← momentum*m + grad ; p ← p - lr*m
+                    state.m.scale_assign(momentum);
+                    state.m.add_scaled_assign(grad, 1.0);
+                    param.add_scaled_assign(&state.m, -lr);
+                }
+            }
+            OptimizerConfig::RmsProp { lr, rho, eps } => {
+                let (mp, gp, vp) = (param.as_mut_slice(), grad.as_slice(), state.v.as_mut_slice());
+                for i in 0..mp.len() {
+                    vp[i] = rho * vp[i] + (1.0 - rho) * gp[i] * gp[i];
+                    mp[i] -= lr * gp[i] / (vp[i].sqrt() + eps);
+                }
+            }
+            OptimizerConfig::Adam { lr, beta1, beta2, eps } => {
+                let t = self.step.max(1) as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                let (mp, gp) = (param.as_mut_slice(), grad.as_slice());
+                let (mm, vv) = (state.m.as_mut_slice(), state.v.as_mut_slice());
+                for i in 0..mp.len() {
+                    mm[i] = beta1 * mm[i] + (1.0 - beta1) * gp[i];
+                    vv[i] = beta2 * vv[i] + (1.0 - beta2) * gp[i] * gp[i];
+                    let m_hat = mm[i] / bc1;
+                    let v_hat = vv[i] / bc2;
+                    mp[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+/// Scales a set of gradients in place so their global L2 norm does not
+/// exceed `max_norm`. Returns the pre-clip norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_global_norm(grads: &mut [&mut Matrix], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f32 = grads.iter().map(|g| {
+        let n = g.frobenius_norm();
+        n * n
+    }).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            g.scale_assign(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descend(config: OptimizerConfig, iterations: usize) -> f32 {
+        // Minimize f(x) = x^2 starting from x=5; gradient 2x.
+        let mut opt = config.build();
+        let mut x = Matrix::row_vector(&[5.0]);
+        for _ in 0..iterations {
+            let grad = x.scale(2.0);
+            opt.begin_step();
+            opt.update(0, &mut x, &grad);
+        }
+        x.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = quadratic_descend(OptimizerConfig::sgd(0.1), 100);
+        assert!(x.abs() < 1e-3, "sgd final x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let x = quadratic_descend(OptimizerConfig::Sgd { lr: 0.05, momentum: 0.9 }, 200);
+        assert!(x.abs() < 1e-2, "momentum final x = {x}");
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        let x = quadratic_descend(OptimizerConfig::rmsprop(0.05), 500);
+        assert!(x.abs() < 0.05, "rmsprop final x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = quadratic_descend(OptimizerConfig::adam(0.2), 300);
+        assert!(x.abs() < 1e-2, "adam final x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, Adam's first step is ≈ lr regardless of
+        // gradient scale.
+        let mut opt = OptimizerConfig::adam(0.1).build();
+        let mut x = Matrix::row_vector(&[1.0]);
+        let grad = Matrix::row_vector(&[1234.0]);
+        opt.begin_step();
+        opt.update(0, &mut x, &grad);
+        assert!((x.get(0, 0) - (1.0 - 0.1)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = OptimizerConfig::Sgd { lr: 0.1, momentum: 0.9 }.build();
+        let mut a = Matrix::row_vector(&[1.0]);
+        let mut b = Matrix::row_vector(&[1.0]);
+        let ga = Matrix::row_vector(&[1.0]);
+        let gb = Matrix::row_vector(&[0.0]);
+        opt.begin_step();
+        opt.update(0, &mut a, &ga);
+        opt.update(1, &mut b, &gb);
+        assert!(a.get(0, 0) < 1.0);
+        assert_eq!(b.get(0, 0), 1.0); // zero grad, zero momentum -> unchanged
+    }
+
+    #[test]
+    fn clip_reduces_large_gradients() {
+        let mut g1 = Matrix::row_vector(&[3.0, 0.0]);
+        let mut g2 = Matrix::row_vector(&[0.0, 4.0]);
+        let pre = clip_global_norm(&mut [&mut g1, &mut g2], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = (g1.frobenius_norm().powi(2) + g2.frobenius_norm().powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = Matrix::row_vector(&[0.1, 0.1]);
+        let before = g.clone();
+        clip_global_norm(&mut [&mut g], 10.0);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_rejected() {
+        let _ = OptimizerConfig::sgd(0.0).build();
+    }
+}

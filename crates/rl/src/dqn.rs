@@ -1,0 +1,507 @@
+//! Deep Q-Network agent (Mnih et al. 2015) with the standard extensions:
+//! Double DQN (van Hasselt et al. 2016), Dueling networks (Wang et al. 2016)
+//! and prioritized experience replay (Schaul et al. 2016) — each
+//! independently switchable for the ablation experiments.
+
+use crate::env::{masked_argmax, masked_max};
+use crate::qnet::{QNetwork, QNetworkConfig};
+use crate::replay::{PerConfig, PrioritizedReplay, Replay, SampleBatch, UniformReplay};
+use crate::schedule::EpsilonSchedule;
+use crate::transition::Transition;
+use nn::prelude::*;
+use nn::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Full DQN hyperparameter set.
+///
+/// Defaults reproduce a conservative small-scale DQN suitable for the VNF
+/// placement MDP; every ablation knob is explicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Q-network architecture.
+    pub network: QNetworkConfig,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Optimizer (Adam by default).
+    pub optimizer: OptimizerConfig,
+    /// Loss (Huber by default).
+    pub loss: Loss,
+    /// Global gradient-norm clip; `None` disables clipping.
+    pub max_grad_norm: Option<f32>,
+    /// Replay capacity. A capacity of 1 with `batch_size` 1 effectively
+    /// disables experience replay (online Q-learning) — the ablation case.
+    pub replay_capacity: usize,
+    /// Minibatch size per learn step.
+    pub batch_size: usize,
+    /// Steps observed before learning starts.
+    pub learn_start: usize,
+    /// Learn every `train_every` environment steps.
+    pub train_every: usize,
+    /// Hard target sync period in learn steps; `0` disables the separate
+    /// target network (the ablation case: targets from the online network).
+    pub target_sync_every: u64,
+    /// Optional Polyak averaging coefficient; when set, soft updates every
+    /// learn step replace hard syncs.
+    pub soft_tau: Option<f32>,
+    /// Double-DQN action selection for bootstrapped targets.
+    pub double: bool,
+    /// Prioritized replay configuration; `None` = uniform replay.
+    pub prioritized: Option<PerConfig>,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            network: QNetworkConfig::default(),
+            gamma: 0.99,
+            optimizer: OptimizerConfig::adam(1e-3),
+            loss: Loss::Huber(1.0),
+            max_grad_norm: Some(10.0),
+            replay_capacity: 50_000,
+            batch_size: 32,
+            learn_start: 500,
+            train_every: 1,
+            target_sync_every: 500,
+            soft_tau: None,
+            double: true,
+            prioritized: None,
+            epsilon: EpsilonSchedule::default(),
+        }
+    }
+}
+
+impl DqnConfig {
+    /// Validates hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
+        assert!(self.replay_capacity > 0, "replay capacity must be positive");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.train_every > 0, "train_every must be positive");
+        if let Some(tau) = self.soft_tau {
+            assert!((0.0..=1.0).contains(&tau), "soft_tau must be in [0,1]");
+        }
+        self.epsilon.validate();
+        if let Some(per) = &self.prioritized {
+            per.validate();
+        }
+    }
+}
+
+/// Replay storage, chosen at construction.
+#[derive(Debug, Clone)]
+enum ReplayStore {
+    Uniform(UniformReplay),
+    Prioritized(PrioritizedReplay),
+}
+
+impl ReplayStore {
+    fn push(&mut self, t: Transition) {
+        match self {
+            ReplayStore::Uniform(b) => b.push(t),
+            ReplayStore::Prioritized(b) => b.push(t),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ReplayStore::Uniform(b) => b.len(),
+            ReplayStore::Prioritized(b) => b.len(),
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
+        match self {
+            ReplayStore::Uniform(b) => b.sample(batch, rng),
+            ReplayStore::Prioritized(b) => b.sample(batch, rng),
+        }
+    }
+
+    fn update_priorities(&mut self, indices: &[u64], td: &[f32]) {
+        match self {
+            ReplayStore::Uniform(b) => b.update_priorities(indices, td),
+            ReplayStore::Prioritized(b) => b.update_priorities(indices, td),
+        }
+    }
+}
+
+/// Telemetry from one learn step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnStats {
+    /// Minibatch loss.
+    pub loss: f32,
+    /// Mean |TD error| over the minibatch.
+    pub mean_abs_td: f32,
+    /// Current ε.
+    pub epsilon: f32,
+}
+
+/// A DQN agent over vectorized states and discrete (maskable) actions.
+#[derive(Clone)]
+pub struct DqnAgent {
+    config: DqnConfig,
+    online: QNetwork,
+    target: Option<QNetwork>,
+    optimizer: Optimizer,
+    replay: ReplayStore,
+    /// Environment steps observed (drives ε and learn cadence).
+    env_steps: u64,
+    /// Learn steps performed (drives target syncs).
+    learn_steps: u64,
+}
+
+impl std::fmt::Debug for DqnAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DqnAgent")
+            .field("state_dim", &self.online.state_dim())
+            .field("action_count", &self.online.action_count())
+            .field("env_steps", &self.env_steps)
+            .field("learn_steps", &self.learn_steps)
+            .field("replay_len", &self.replay.len())
+            .finish()
+    }
+}
+
+impl DqnAgent {
+    /// Builds an agent for `state_dim` observations and `action_count`
+    /// discrete actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or dimensions are zero.
+    pub fn new<R: Rng + ?Sized>(config: DqnConfig, state_dim: usize, action_count: usize, rng: &mut R) -> Self {
+        config.validate();
+        let online = QNetwork::new(&config.network, state_dim, action_count, rng);
+        let target = if config.target_sync_every > 0 || config.soft_tau.is_some() {
+            let mut t = QNetwork::new(&config.network, state_dim, action_count, rng);
+            t.copy_parameters_from(&online);
+            Some(t)
+        } else {
+            None
+        };
+        let replay = match &config.prioritized {
+            Some(per) => ReplayStore::Prioritized(PrioritizedReplay::new(config.replay_capacity, *per)),
+            None => ReplayStore::Uniform(UniformReplay::new(config.replay_capacity)),
+        };
+        let optimizer = config.optimizer.build();
+        Self { config, online, target, optimizer, replay, env_steps: 0, learn_steps: 0 }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f32 {
+        self.config.epsilon.value(self.env_steps)
+    }
+
+    /// Environment steps observed so far.
+    pub fn env_steps(&self) -> u64 {
+        self.env_steps
+    }
+
+    /// Learn steps performed so far.
+    pub fn learn_steps(&self) -> u64 {
+        self.learn_steps
+    }
+
+    /// Read-only view of the online Q-network.
+    pub fn online_network(&self) -> &QNetwork {
+        &self.online
+    }
+
+    /// Number of stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// ε-greedy action for `state` under `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked.
+    pub fn act<R: Rng + ?Sized>(&self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
+        let eps = self.epsilon();
+        if rng.gen::<f32>() < eps {
+            let valid: Vec<usize> =
+                mask.iter().enumerate().filter_map(|(i, &ok)| ok.then_some(i)).collect();
+            assert!(!valid.is_empty(), "act called with fully-masked action set");
+            valid[rng.gen_range(0..valid.len())]
+        } else {
+            self.act_greedy(state, mask)
+        }
+    }
+
+    /// Greedy (evaluation) action for `state` under `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked.
+    pub fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
+        let q = self.online.q_values(state);
+        masked_argmax(&q, mask).expect("act_greedy called with fully-masked action set")
+    }
+
+    /// Stores a transition and, if due, performs a learn step.
+    ///
+    /// Returns learn-step telemetry when a gradient update happened.
+    pub fn observe<R: Rng + ?Sized>(&mut self, transition: Transition, rng: &mut R) -> Option<LearnStats> {
+        self.replay.push(transition);
+        self.env_steps += 1;
+        let due = self.env_steps as usize >= self.config.learn_start
+            && self.env_steps % self.config.train_every as u64 == 0
+            && self.replay.len() >= self.config.batch_size;
+        if due {
+            Some(self.learn(rng))
+        } else {
+            None
+        }
+    }
+
+    /// One gradient update from replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds fewer than `batch_size` transitions.
+    pub fn learn<R: Rng + ?Sized>(&mut self, rng: &mut R) -> LearnStats {
+        let batch = self.replay.sample(self.config.batch_size, rng);
+        let n = batch.transitions.len();
+        let state_dim = self.online.state_dim();
+
+        let mut states = Matrix::zeros(n, state_dim);
+        let mut next_states = Matrix::zeros(n, state_dim);
+        for (r, t) in batch.transitions.iter().enumerate() {
+            states.row_mut(r).copy_from_slice(&t.state);
+            next_states.row_mut(r).copy_from_slice(&t.next_state);
+        }
+
+        // Bootstrapped targets.
+        let bootstrap_net = self.target.as_ref().unwrap_or(&self.online);
+        let q_next_target = bootstrap_net.forward(&next_states);
+        let q_next_online = if self.config.double { Some(self.online.forward(&next_states)) } else { None };
+
+        let all_valid = vec![true; self.online.action_count()];
+        let mut actions = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for (r, t) in batch.transitions.iter().enumerate() {
+            actions.push(t.action);
+            let future = if t.done {
+                0.0
+            } else {
+                let mask = t.next_mask().unwrap_or(&all_valid);
+                match &q_next_online {
+                    Some(online_next) => {
+                        // Double DQN: select with online net, evaluate with
+                        // target net.
+                        match masked_argmax(online_next.row(r), mask) {
+                            Some(a_star) => q_next_target.get(r, a_star),
+                            None => 0.0, // terminal-by-masking
+                        }
+                    }
+                    None => masked_max(q_next_target.row(r), mask).unwrap_or(0.0),
+                }
+            };
+            targets.push(t.reward + self.config.gamma * future);
+        }
+
+        let weights = if matches!(self.replay, ReplayStore::Prioritized(_)) {
+            Some(batch.weights.as_slice())
+        } else {
+            None
+        };
+        let (loss, td) = self.online.train_selected(
+            &states,
+            &actions,
+            &targets,
+            weights,
+            self.config.loss,
+            &mut self.optimizer,
+            self.config.max_grad_norm,
+        );
+        self.replay.update_priorities(&batch.indices, &td);
+        self.learn_steps += 1;
+
+        // Target maintenance.
+        if let Some(target) = &mut self.target {
+            if let Some(tau) = self.config.soft_tau {
+                target.soft_update_from(&self.online, tau);
+            } else if self.config.target_sync_every > 0
+                && self.learn_steps % self.config.target_sync_every == 0
+            {
+                target.copy_parameters_from(&self.online);
+            }
+        }
+
+        let mean_abs_td = td.iter().map(|e| e.abs()).sum::<f32>() / n as f32;
+        LearnStats { loss, mean_abs_td, epsilon: self.epsilon() }
+    }
+
+    /// Forces a hard target sync (used by tests).
+    pub fn sync_target(&mut self) {
+        if let Some(t) = &mut self.target {
+            t.copy_parameters_from(&self.online);
+        }
+    }
+
+    /// Q-values for a state (diagnostics).
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        self.online.q_values(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_config() -> DqnConfig {
+        DqnConfig {
+            network: QNetworkConfig::Standard { hidden: vec![16] },
+            replay_capacity: 100,
+            batch_size: 8,
+            learn_start: 8,
+            target_sync_every: 10,
+            epsilon: EpsilonSchedule::Constant(0.1),
+            ..DqnConfig::default()
+        }
+    }
+
+    fn push_n(agent: &mut DqnAgent, n: usize, rng: &mut StdRng) {
+        for i in 0..n {
+            let s = vec![(i % 3) as f32, 1.0];
+            let t = Transition::new(s.clone(), i % 2, 0.5, s, i % 7 == 0);
+            agent.observe(t, rng);
+        }
+    }
+
+    #[test]
+    fn act_respects_mask_greedy_and_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = DqnConfig { epsilon: EpsilonSchedule::Constant(1.0), ..tiny_config() };
+        let agent = DqnAgent::new(config, 2, 4, &mut rng);
+        let mask = [false, true, false, false];
+        for _ in 0..50 {
+            assert_eq!(agent.act(&[0.0, 0.0], &mask, &mut rng), 1);
+        }
+        assert_eq!(agent.act_greedy(&[0.0, 0.0], &mask), 1);
+    }
+
+    #[test]
+    fn learn_starts_only_after_learn_start() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
+        let s = vec![0.0, 0.0];
+        for i in 0..7 {
+            let stats = agent.observe(Transition::new(s.clone(), 0, 0.0, s.clone(), false), &mut rng);
+            assert!(stats.is_none(), "learned too early at step {i}");
+        }
+        let stats = agent.observe(Transition::new(s.clone(), 0, 0.0, s, false), &mut rng);
+        assert!(stats.is_some());
+    }
+
+    #[test]
+    fn learning_reduces_td_on_constant_reward() {
+        // Single state, single action, reward 1, episodic: Q should approach
+        // 1.0 (done=true ⇒ no bootstrap).
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = DqnConfig {
+            network: QNetworkConfig::Standard { hidden: vec![8] },
+            replay_capacity: 64,
+            batch_size: 8,
+            learn_start: 8,
+            optimizer: OptimizerConfig::adam(5e-3),
+            epsilon: EpsilonSchedule::Constant(0.0),
+            ..DqnConfig::default()
+        };
+        let mut agent = DqnAgent::new(config, 1, 1, &mut rng);
+        for _ in 0..300 {
+            agent.observe(Transition::new(vec![1.0], 0, 1.0, vec![1.0], true), &mut rng);
+        }
+        let q = agent.q_values(&[1.0])[0];
+        assert!((q - 1.0).abs() < 0.1, "Q = {q}, expected ≈ 1.0");
+    }
+
+    #[test]
+    fn double_and_single_targets_both_learn() {
+        for double in [false, true] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let config = DqnConfig { double, ..tiny_config() };
+            let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
+            push_n(&mut agent, 100, &mut rng);
+            assert!(agent.learn_steps() > 0);
+            assert!(!agent.online_network().has_non_finite_params());
+        }
+    }
+
+    #[test]
+    fn no_target_network_mode_works() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = DqnConfig { target_sync_every: 0, soft_tau: None, ..tiny_config() };
+        let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
+        push_n(&mut agent, 60, &mut rng);
+        assert!(agent.learn_steps() > 0);
+    }
+
+    #[test]
+    fn soft_target_mode_works() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = DqnConfig { soft_tau: Some(0.05), ..tiny_config() };
+        let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
+        push_n(&mut agent, 60, &mut rng);
+        assert!(agent.learn_steps() > 0);
+    }
+
+    #[test]
+    fn prioritized_mode_learns_and_updates_priorities() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = DqnConfig { prioritized: Some(PerConfig::default()), ..tiny_config() };
+        let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
+        push_n(&mut agent, 100, &mut rng);
+        assert!(agent.learn_steps() > 0);
+    }
+
+    #[test]
+    fn masked_next_state_excluded_from_bootstrap() {
+        // Next state has only action 1 valid; with a target net initialized
+        // equal to online, the bootstrap must use Q(s', 1), not max over all.
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = DqnConfig {
+            network: QNetworkConfig::Standard { hidden: vec![] },
+            replay_capacity: 4,
+            batch_size: 1,
+            learn_start: 1,
+            train_every: 1,
+            epsilon: EpsilonSchedule::Constant(0.0),
+            optimizer: OptimizerConfig::sgd(1e-9), // negligible updates
+            double: false,
+            ..DqnConfig::default()
+        };
+        let mut agent = DqnAgent::new(config, 1, 2, &mut rng);
+        let t = Transition::with_mask(vec![1.0], 0, 0.0, vec![1.0], false, vec![false, true]);
+        let stats = agent.observe(t, &mut rng).expect("learned");
+        // TD target = γ * Q(s',1). With lr≈0 the TD error equals
+        // Q(s,0) - γ Q(s',1) exactly; just assert it is finite and the agent
+        // didn't pick the masked max (which would differ when Q(s',0) is the
+        // global max). Compute both to verify.
+        let q = agent.q_values(&[1.0]);
+        let expected_td = q[0] - agent.config().gamma * q[1];
+        assert!((stats.mean_abs_td - expected_td.abs()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-masked")]
+    fn fully_masked_act_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
+        let _ = agent.act_greedy(&[0.0, 0.0], &[false, false]);
+    }
+}

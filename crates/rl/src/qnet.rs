@@ -1,0 +1,362 @@
+//! Q-value networks: standard MLP head and the dueling decomposition.
+
+use nn::prelude::*;
+use nn::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture of a Q-network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QNetworkConfig {
+    /// Plain MLP: `state -> hidden -> Q(s, ·)`.
+    Standard {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+    },
+    /// Dueling (Wang et al. 2016): shared trunk, then separate value and
+    /// advantage heads combined as `Q = V + A - mean(A)`.
+    Dueling {
+        /// Shared trunk widths.
+        trunk: Vec<usize>,
+        /// Width of each head's hidden layer (one layer per head).
+        head: usize,
+    },
+}
+
+impl Default for QNetworkConfig {
+    fn default() -> Self {
+        QNetworkConfig::Standard { hidden: vec![64, 64] }
+    }
+}
+
+/// A trainable state-action value function `Q(s, ·)` over discrete actions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum QNetwork {
+    /// Plain MLP variant.
+    Standard(Mlp),
+    /// Dueling variant with shared trunk and two heads.
+    Dueling {
+        /// Shared representation trunk.
+        trunk: Mlp,
+        /// State-value head (`1` output).
+        value: Mlp,
+        /// Advantage head (`action_count` outputs).
+        advantage: Mlp,
+    },
+}
+
+impl QNetwork {
+    /// Builds a Q-network for `state_dim` inputs and `action_count` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or a dueling trunk is empty.
+    pub fn new<R: Rng + ?Sized>(
+        config: &QNetworkConfig,
+        state_dim: usize,
+        action_count: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(state_dim > 0 && action_count > 0, "network dimensions must be positive");
+        match config {
+            QNetworkConfig::Standard { hidden } => {
+                QNetwork::Standard(Mlp::new(&MlpConfig::new(state_dim, hidden, action_count), rng))
+            }
+            QNetworkConfig::Dueling { trunk, head } => {
+                assert!(!trunk.is_empty(), "dueling trunk must have at least one layer");
+                assert!(*head > 0, "dueling head width must be positive");
+                let trunk_out = *trunk.last().expect("non-empty trunk");
+                // Trunk ends with an activated hidden layer; heads are small
+                // MLPs on top of it.
+                let trunk_cfg = MlpConfig::new(state_dim, &trunk[..trunk.len() - 1], trunk_out)
+                    .output_activation(Activation::Relu);
+                let value_cfg = MlpConfig::new(trunk_out, &[*head], 1);
+                let adv_cfg = MlpConfig::new(trunk_out, &[*head], action_count);
+                QNetwork::Dueling {
+                    trunk: Mlp::new(&trunk_cfg, rng),
+                    value: Mlp::new(&value_cfg, rng),
+                    advantage: Mlp::new(&adv_cfg, rng),
+                }
+            }
+        }
+    }
+
+    /// Number of actions (output width).
+    pub fn action_count(&self) -> usize {
+        match self {
+            QNetwork::Standard(net) => net.output_dim(),
+            QNetwork::Dueling { advantage, .. } => advantage.output_dim(),
+        }
+    }
+
+    /// State input dimension.
+    pub fn state_dim(&self) -> usize {
+        match self {
+            QNetwork::Standard(net) => net.input_dim(),
+            QNetwork::Dueling { trunk, .. } => trunk.input_dim(),
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            QNetwork::Standard(net) => net.param_count(),
+            QNetwork::Dueling { trunk, value, advantage } => {
+                trunk.param_count() + value.param_count() + advantage.param_count()
+            }
+        }
+    }
+
+    /// Inference: batched Q-values (`batch x action_count`).
+    pub fn forward(&self, states: &Matrix) -> Matrix {
+        match self {
+            QNetwork::Standard(net) => net.forward(states),
+            QNetwork::Dueling { trunk, value, advantage } => {
+                let t = trunk.forward(states);
+                let v = value.forward(&t);
+                let a = advantage.forward(&t);
+                combine_dueling(&v, &a)
+            }
+        }
+    }
+
+    /// Inference on a single state.
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        self.forward(&Matrix::row_vector(state)).row(0).to_vec()
+    }
+
+    /// Training step regressing `Q(s, selected)` toward `targets`.
+    ///
+    /// Returns `(loss, td_errors)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_selected(
+        &mut self,
+        states: &Matrix,
+        selected: &[usize],
+        targets: &[f32],
+        weights: Option<&[f32]>,
+        loss: Loss,
+        optimizer: &mut Optimizer,
+        max_grad_norm: Option<f32>,
+    ) -> (f32, Vec<f32>) {
+        match self {
+            QNetwork::Standard(net) => {
+                net.train_selected(states, selected, targets, weights, loss, optimizer, max_grad_norm)
+            }
+            QNetwork::Dueling { trunk, value, advantage } => {
+                // Forward with caches.
+                let t = trunk.forward_train(states);
+                let v = value.forward_train(&t);
+                let a = advantage.forward_train(&t);
+                let q = combine_dueling(&v, &a);
+
+                let td: Vec<f32> = selected
+                    .iter()
+                    .zip(targets.iter())
+                    .enumerate()
+                    .map(|(r, (&c, &tgt))| q.get(r, c) - tgt)
+                    .collect();
+                let (l, grad_q) = loss.evaluate_selected(&q, selected, targets, weights);
+
+                // Q_{r,c} = V_r + A_{r,c} - mean_k A_{r,k}
+                // dL/dV_r = Σ_c dL/dQ_{r,c}
+                // dL/dA_{r,c} = dL/dQ_{r,c} - (1/K) Σ_k dL/dQ_{r,k}
+                let k = grad_q.cols() as f32;
+                let mut grad_v = Matrix::zeros(grad_q.rows(), 1);
+                let mut grad_a = grad_q.clone();
+                for r in 0..grad_q.rows() {
+                    let row_sum: f32 = grad_q.row(r).iter().sum();
+                    grad_v.set(r, 0, row_sum);
+                    for c in 0..grad_q.cols() {
+                        grad_a.set(r, c, grad_q.get(r, c) - row_sum / k);
+                    }
+                }
+                let g_t_from_v = value.backward(&grad_v);
+                let g_t_from_a = advantage.backward(&grad_a);
+                let grad_t = g_t_from_v.add(&g_t_from_a);
+                trunk.backward(&grad_t);
+
+                // Apply all three sub-networks under one optimizer using
+                // disjoint slot ranges (layer indices offset per subnet).
+                optimizer.begin_step();
+                apply_subnet(trunk, optimizer, 0, max_grad_norm);
+                apply_subnet(value, optimizer, 100, max_grad_norm);
+                apply_subnet(advantage, optimizer, 200, max_grad_norm);
+                (l, td)
+            }
+        }
+    }
+
+    /// Hard parameter copy (target-network sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if architectures differ.
+    pub fn copy_parameters_from(&mut self, other: &QNetwork) {
+        match (self, other) {
+            (QNetwork::Standard(a), QNetwork::Standard(b)) => a.copy_parameters_from(b),
+            (
+                QNetwork::Dueling { trunk: t1, value: v1, advantage: a1 },
+                QNetwork::Dueling { trunk: t2, value: v2, advantage: a2 },
+            ) => {
+                t1.copy_parameters_from(t2);
+                v1.copy_parameters_from(v2);
+                a1.copy_parameters_from(a2);
+            }
+            _ => panic!("cannot copy parameters between different Q-network variants"),
+        }
+    }
+
+    /// Polyak soft update toward `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if architectures differ.
+    pub fn soft_update_from(&mut self, other: &QNetwork, tau: f32) {
+        match (self, other) {
+            (QNetwork::Standard(a), QNetwork::Standard(b)) => a.soft_update_from(b, tau),
+            (
+                QNetwork::Dueling { trunk: t1, value: v1, advantage: a1 },
+                QNetwork::Dueling { trunk: t2, value: v2, advantage: a2 },
+            ) => {
+                t1.soft_update_from(t2, tau);
+                v1.soft_update_from(v2, tau);
+                a1.soft_update_from(a2, tau);
+            }
+            _ => panic!("cannot soft-update between different Q-network variants"),
+        }
+    }
+
+    /// `true` if any parameter is NaN/inf.
+    pub fn has_non_finite_params(&self) -> bool {
+        match self {
+            QNetwork::Standard(net) => net.has_non_finite_params(),
+            QNetwork::Dueling { trunk, value, advantage } => {
+                trunk.has_non_finite_params()
+                    || value.has_non_finite_params()
+                    || advantage.has_non_finite_params()
+            }
+        }
+    }
+}
+
+/// `Q = V + A - mean(A)` with mean subtracted per row (identifiability).
+fn combine_dueling(v: &Matrix, a: &Matrix) -> Matrix {
+    assert_eq!(v.rows(), a.rows(), "dueling heads batch mismatch");
+    assert_eq!(v.cols(), 1, "value head must have one output");
+    let k = a.cols() as f32;
+    Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+        let mean: f32 = a.row(r).iter().sum::<f32>() / k;
+        v.get(r, 0) + a.get(r, c) - mean
+    })
+}
+
+fn apply_subnet(net: &mut Mlp, optimizer: &mut Optimizer, slot_base: usize, max_grad_norm: Option<f32>) {
+    // Mirror Mlp::apply_gradients but with an externally begun step and a
+    // slot offset so the three sub-networks don't collide.
+    let mut grads = net.drain_gradients();
+    if let Some(limit) = max_grad_norm {
+        let mut refs: Vec<&mut Matrix> = Vec::with_capacity(grads.len() * 2);
+        for (gw, gb) in grads.iter_mut() {
+            refs.push(gw);
+            refs.push(gb);
+        }
+        nn::optimizer::clip_global_norm(&mut refs, limit);
+    }
+    net.apply_external_gradients(&grads, optimizer, slot_base);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn standard_shapes() {
+        let net = QNetwork::new(&QNetworkConfig::Standard { hidden: vec![8] }, 4, 3, &mut rng());
+        assert_eq!(net.state_dim(), 4);
+        assert_eq!(net.action_count(), 3);
+        assert_eq!(net.q_values(&[0.0; 4]).len(), 3);
+    }
+
+    #[test]
+    fn dueling_shapes() {
+        let net = QNetwork::new(&QNetworkConfig::Dueling { trunk: vec![16, 8], head: 8 }, 5, 4, &mut rng());
+        assert_eq!(net.state_dim(), 5);
+        assert_eq!(net.action_count(), 4);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn dueling_combine_is_mean_centered() {
+        let v = Matrix::from_rows(&[&[2.0]]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let q = combine_dueling(&v, &a);
+        // mean(A) = 2 → Q = 2 + [-1, 0, 1]
+        assert_eq!(q, Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        // Mean of Q equals V.
+        assert!((q.row(0).iter().sum::<f32>() / 3.0 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standard_training_reduces_td_error() {
+        let mut net = QNetwork::new(&QNetworkConfig::Standard { hidden: vec![16] }, 3, 2, &mut rng());
+        let mut opt = OptimizerConfig::adam(0.01).build();
+        let states = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let selected = [0usize, 1usize];
+        let targets = [1.0f32, -1.0f32];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..200 {
+            let (l, _) = net.train_selected(&states, &selected, &targets, None, Loss::Mse, &mut opt, None);
+            if i == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        assert!(last < first * 0.05, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn dueling_training_reduces_td_error() {
+        let mut net =
+            QNetwork::new(&QNetworkConfig::Dueling { trunk: vec![16], head: 8 }, 3, 2, &mut rng());
+        let mut opt = OptimizerConfig::adam(0.01).build();
+        let states = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let selected = [0usize, 1usize];
+        let targets = [1.0f32, -1.0f32];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..300 {
+            let (l, _) = net.train_selected(&states, &selected, &targets, None, Loss::Mse, &mut opt, None);
+            if i == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        assert!(last < first * 0.1, "dueling loss {first} -> {last}");
+    }
+
+    #[test]
+    fn copy_parameters_aligns_outputs() {
+        let config = QNetworkConfig::Dueling { trunk: vec![8], head: 4 };
+        let a = QNetwork::new(&config, 3, 2, &mut rng());
+        let mut b = QNetwork::new(&config, 3, 2, &mut StdRng::seed_from_u64(1));
+        b.copy_parameters_from(&a);
+        let s = [0.3, -0.2, 0.9];
+        assert_eq!(a.q_values(&s), b.q_values(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "different Q-network variants")]
+    fn copy_between_variants_panics() {
+        let a = QNetwork::new(&QNetworkConfig::Standard { hidden: vec![4] }, 2, 2, &mut rng());
+        let mut b = QNetwork::new(&QNetworkConfig::Dueling { trunk: vec![4], head: 2 }, 2, 2, &mut rng());
+        b.copy_parameters_from(&a);
+    }
+}

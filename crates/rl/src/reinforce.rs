@@ -1,0 +1,380 @@
+//! REINFORCE (Monte-Carlo policy gradient, Williams 1992) with a
+//! moving-average baseline and masked softmax policies.
+//!
+//! The extension manager: where DQN learns action values, REINFORCE learns
+//! the placement distribution directly. Included for the algorithm
+//! comparison experiment and as the natural "future work" extension of a
+//! DQN-based paper.
+
+use crate::env::masked_argmax;
+use nn::prelude::*;
+use nn::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Large negative logit standing in for −∞ on masked actions.
+const MASKED_LOGIT: f32 = -1e9;
+
+/// REINFORCE hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReinforceConfig {
+    /// Hidden layer widths of the policy network.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ for within-episode returns.
+    pub gamma: f32,
+    /// Optimizer.
+    pub optimizer: OptimizerConfig,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: Option<f32>,
+    /// Exponential-moving-average coefficient of the return baseline in
+    /// `[0, 1)`; `0` disables the baseline.
+    pub baseline_ema: f32,
+    /// Entropy-bonus coefficient: keeps the softmax from collapsing onto a
+    /// single action before the return signal is informative. `0` disables.
+    pub entropy_coef: f32,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128, 128],
+            gamma: 0.95,
+            optimizer: OptimizerConfig::adam(3e-4),
+            max_grad_norm: Some(10.0),
+            baseline_ema: 0.99,
+            entropy_coef: 0.01,
+        }
+    }
+}
+
+impl ReinforceConfig {
+    /// Validates hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
+        assert!((0.0..1.0).contains(&self.baseline_ema), "baseline_ema must be in [0,1)");
+        assert!(self.entropy_coef >= 0.0, "entropy_coef must be non-negative");
+    }
+}
+
+/// One step of the in-flight episode.
+#[derive(Debug, Clone)]
+struct EpisodeStep {
+    state: Vec<f32>,
+    mask: Vec<bool>,
+    action: usize,
+    reward: f32,
+}
+
+/// A REINFORCE agent over vectorized states and masked discrete actions.
+#[derive(Clone)]
+pub struct ReinforceAgent {
+    config: ReinforceConfig,
+    net: Mlp,
+    optimizer: Optimizer,
+    episode: Vec<EpisodeStep>,
+    /// EMA of episode returns (the variance-reduction baseline).
+    baseline: f32,
+    baseline_initialized: bool,
+    episodes_trained: u64,
+}
+
+impl std::fmt::Debug for ReinforceAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReinforceAgent")
+            .field("state_dim", &self.net.input_dim())
+            .field("action_count", &self.net.output_dim())
+            .field("episodes_trained", &self.episodes_trained)
+            .finish()
+    }
+}
+
+impl ReinforceAgent {
+    /// Builds an agent for `state_dim` observations and `action_count`
+    /// actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid config or zero dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        config: ReinforceConfig,
+        state_dim: usize,
+        action_count: usize,
+        rng: &mut R,
+    ) -> Self {
+        config.validate();
+        let net_config = MlpConfig::new(state_dim, &config.hidden, action_count);
+        let net = Mlp::new(&net_config, rng);
+        let optimizer = config.optimizer.build();
+        Self {
+            config,
+            net,
+            optimizer,
+            episode: Vec::new(),
+            baseline: 0.0,
+            baseline_initialized: false,
+            episodes_trained: 0,
+        }
+    }
+
+    /// Episodes completed with a gradient update.
+    pub fn episodes_trained(&self) -> u64 {
+        self.episodes_trained
+    }
+
+    /// Masked action probabilities for a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked or lengths mismatch.
+    pub fn action_probabilities(&self, state: &[f32], mask: &[bool]) -> Vec<f32> {
+        let logits = self.net.forward_one(state);
+        masked_softmax(&logits, mask)
+    }
+
+    /// Samples an action from the current policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked.
+    pub fn act<R: Rng + ?Sized>(&self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
+        let probs = self.action_probabilities(state, mask);
+        let mut u: f32 = rng.gen();
+        for (i, &p) in probs.iter().enumerate() {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        // Numerical fallback: the most probable valid action.
+        masked_argmax(&probs, mask).expect("act called with fully-masked action set")
+    }
+
+    /// The policy mode (most probable action) for evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked.
+    pub fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
+        let probs = self.action_probabilities(state, mask);
+        masked_argmax(&probs, mask).expect("act_greedy called with fully-masked action set")
+    }
+
+    /// Records one step of the in-flight episode.
+    pub fn record_step(&mut self, state: Vec<f32>, mask: Vec<bool>, action: usize, reward: f32) {
+        self.episode.push(EpisodeStep { state, mask, action, reward });
+    }
+
+    /// Ends the episode: computes discounted returns, subtracts the
+    /// baseline, and applies one policy-gradient update. Returns the
+    /// undiscounted episode return, or `None` for an empty episode.
+    pub fn end_episode(&mut self) -> Option<f32> {
+        if self.episode.is_empty() {
+            return None;
+        }
+        let steps = std::mem::take(&mut self.episode);
+        let n = steps.len();
+
+        // Discounted return-to-go per step.
+        let mut returns = vec![0.0f32; n];
+        let mut acc = 0.0f32;
+        for i in (0..n).rev() {
+            acc = steps[i].reward + self.config.gamma * acc;
+            returns[i] = acc;
+        }
+        let episode_return: f32 = steps.iter().map(|s| s.reward).sum();
+
+        // Baseline update (EMA of the episode's mean return-to-go).
+        let mean_return = returns.iter().sum::<f32>() / n as f32;
+        if self.baseline_initialized {
+            let ema = self.config.baseline_ema;
+            self.baseline = ema * self.baseline + (1.0 - ema) * mean_return;
+        } else if self.config.baseline_ema > 0.0 {
+            self.baseline = mean_return;
+            self.baseline_initialized = true;
+        }
+
+        // Batched forward over the episode, manual ∇ log π gradient:
+        // dL/dlogits_i = A · (π_i − 1{i = a}) / n for the chosen action a.
+        let state_dim = self.net.input_dim();
+        let mut states = Matrix::zeros(n, state_dim);
+        for (r, s) in steps.iter().enumerate() {
+            states.row_mut(r).copy_from_slice(&s.state);
+        }
+        let logits = self.net.forward_train(&states);
+        let mut grad = Matrix::zeros(n, logits.cols());
+        for (r, step) in steps.iter().enumerate() {
+            let advantage = returns[r] - if self.baseline_initialized { self.baseline } else { 0.0 };
+            let probs = masked_softmax(logits.row(r), &step.mask);
+            // Entropy of the masked policy at this state (for the bonus).
+            let entropy: f32 = probs
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| -p * p.ln())
+                .sum();
+            for c in 0..logits.cols() {
+                let indicator = if c == step.action { 1.0 } else { 0.0 };
+                // Policy-gradient term plus entropy-bonus term
+                // (dH/dlogit_c = p_c·(−ln p_c − H); we *ascend* entropy).
+                let pg = advantage * (probs[c] - indicator);
+                let ent = if probs[c] > 0.0 {
+                    -self.config.entropy_coef * probs[c] * (-probs[c].ln() - entropy)
+                } else {
+                    0.0
+                };
+                grad.set(r, c, (pg + ent) / n as f32);
+            }
+        }
+        self.net.backward(&grad);
+        self.net.apply_gradients(&mut self.optimizer, self.config.max_grad_norm);
+        self.episodes_trained += 1;
+        Some(episode_return)
+    }
+
+    /// Discards the in-flight episode without learning (evaluation mode).
+    pub fn abandon_episode(&mut self) {
+        self.episode.clear();
+    }
+}
+
+/// Softmax over `logits` with masked entries forced to probability zero.
+///
+/// # Panics
+///
+/// Panics if lengths differ or every action is masked.
+pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
+    assert_eq!(logits.len(), mask.len(), "logits/mask length mismatch");
+    assert!(mask.iter().any(|&m| m), "masked_softmax with fully-masked action set");
+    let masked: Vec<f32> = logits
+        .iter()
+        .zip(mask.iter())
+        .map(|(&l, &ok)| if ok { l } else { MASKED_LOGIT })
+        .collect();
+    let max = masked.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = masked.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Environment;
+    use crate::toy::{BanditEnv, ChainEnv};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masked_softmax_zeroes_invalid() {
+        let p = masked_softmax(&[1.0, 2.0, 3.0], &[true, false, true]);
+        assert!(p[1] < 1e-6);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[0]);
+    }
+
+    #[test]
+    fn masked_softmax_uniform_for_equal_logits() {
+        let p = masked_softmax(&[0.5, 0.5], &[true, true]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-masked")]
+    fn fully_masked_softmax_panics() {
+        let _ = masked_softmax(&[1.0], &[false]);
+    }
+
+    fn run_episodes(
+        agent: &mut ReinforceAgent,
+        env: &mut impl Environment,
+        episodes: usize,
+        rng: &mut StdRng,
+    ) {
+        let cap = env.max_episode_steps().unwrap_or(100);
+        for _ in 0..episodes {
+            let mut state = env.reset(rng);
+            for _ in 0..cap {
+                let mask = env.action_mask();
+                let action = agent.act(&state, &mask, rng);
+                let outcome = env.step(action, rng);
+                agent.record_step(state, mask, action, outcome.reward);
+                state = outcome.next_state;
+                if outcome.done {
+                    break;
+                }
+            }
+            agent.end_episode();
+        }
+    }
+
+    fn greedy_return(agent: &ReinforceAgent, env: &mut impl Environment, episodes: usize, rng: &mut StdRng) -> f32 {
+        let cap = env.max_episode_steps().unwrap_or(100);
+        let mut total = 0.0;
+        for _ in 0..episodes {
+            let mut state = env.reset(rng);
+            for _ in 0..cap {
+                let action = agent.act_greedy(&state, &env.action_mask());
+                let outcome = env.step(action, rng);
+                total += outcome.reward;
+                state = outcome.next_state;
+                if outcome.done {
+                    break;
+                }
+            }
+        }
+        total / episodes as f32
+    }
+
+    #[test]
+    fn solves_contextual_bandit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut env = BanditEnv::new(3, 3);
+        let config = ReinforceConfig { hidden: vec![32], optimizer: OptimizerConfig::adam(5e-3), ..Default::default() };
+        let mut agent = ReinforceAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
+        run_episodes(&mut agent, &mut env, 1_500, &mut rng);
+        let mean = greedy_return(&agent, &mut env, 200, &mut rng);
+        assert!(mean > 0.95, "bandit mean reward {mean}");
+    }
+
+    #[test]
+    fn solves_chain() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut env = ChainEnv::new(5, 0.01);
+        let config = ReinforceConfig { hidden: vec![32], optimizer: OptimizerConfig::adam(5e-3), ..Default::default() };
+        let mut agent = ReinforceAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
+        run_episodes(&mut agent, &mut env, 600, &mut rng);
+        let mean = greedy_return(&agent, &mut env, 20, &mut rng);
+        // Optimal: 4 steps right → 1 − 0.04 = 0.96.
+        assert!(mean > 0.85, "chain mean return {mean}");
+    }
+
+    #[test]
+    fn empty_episode_is_noop() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut agent = ReinforceAgent::new(ReinforceConfig::default(), 2, 2, &mut rng);
+        assert_eq!(agent.end_episode(), None);
+        assert_eq!(agent.episodes_trained(), 0);
+    }
+
+    #[test]
+    fn act_respects_mask() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent = ReinforceAgent::new(ReinforceConfig::default(), 2, 3, &mut rng);
+        for _ in 0..50 {
+            let a = agent.act(&[0.1, 0.2], &[false, true, false], &mut rng);
+            assert_eq!(a, 1);
+        }
+    }
+
+    #[test]
+    fn abandon_discards_without_training() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut agent = ReinforceAgent::new(ReinforceConfig::default(), 2, 2, &mut rng);
+        agent.record_step(vec![0.0, 0.0], vec![true, true], 0, 1.0);
+        agent.abandon_episode();
+        assert_eq!(agent.end_episode(), None);
+    }
+}

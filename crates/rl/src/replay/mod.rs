@@ -1,0 +1,60 @@
+//! Experience replay buffers.
+//!
+//! Two variants, matching the DQN lineage:
+//!
+//! * [`UniformReplay`] — the original DQN ring buffer with uniform sampling.
+//! * [`PrioritizedReplay`] — proportional prioritized experience replay
+//!   (Schaul et al. 2016) backed by a [`sumtree::SumTree`], with
+//!   importance-sampling weight correction.
+
+pub mod prioritized;
+pub mod sumtree;
+pub mod uniform;
+
+pub use prioritized::{PerConfig, PrioritizedReplay};
+pub use uniform::UniformReplay;
+
+use crate::transition::Transition;
+use rand::Rng;
+
+/// Common interface over replay buffers for code that is generic in the
+/// replay strategy (the DQN agent).
+pub trait Replay {
+    /// Inserts a transition, evicting the oldest when full.
+    fn push(&mut self, transition: Transition);
+
+    /// Number of stored transitions.
+    fn len(&self) -> usize;
+
+    /// Whether the buffer is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum capacity.
+    fn capacity(&self) -> usize;
+
+    /// Samples `batch` transitions. Returns indices (buffer-internal ids),
+    /// cloned transitions, and importance-sampling weights (all `1.0` for
+    /// uniform replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or `batch == 0`.
+    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch;
+
+    /// Reports new TD-error magnitudes for previously sampled indices
+    /// (no-op for uniform replay).
+    fn update_priorities(&mut self, indices: &[u64], td_errors: &[f32]);
+}
+
+/// A sampled minibatch.
+#[derive(Debug, Clone)]
+pub struct SampleBatch {
+    /// Buffer-internal identifiers for priority updates.
+    pub indices: Vec<u64>,
+    /// The sampled transitions (cloned out of the buffer).
+    pub transitions: Vec<Transition>,
+    /// Importance-sampling weights, normalized to max 1.
+    pub weights: Vec<f32>,
+}

@@ -1,0 +1,208 @@
+//! Binary sum-tree for O(log n) proportional sampling.
+//!
+//! Leaves hold priorities; internal nodes hold subtree sums. Sampling draws
+//! `u ∈ [0, total)` and walks down, giving each leaf probability
+//! `p_i / Σp`.
+
+/// A fixed-capacity sum-tree over `f32` priorities.
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    /// Complete binary tree in array form; `nodes[0]` is the root.
+    nodes: Vec<f64>,
+    /// Number of leaves (= capacity, rounded up to a power of two).
+    leaves: usize,
+    capacity: usize,
+}
+
+impl SumTree {
+    /// Creates a tree with `capacity` leaf slots, all priority `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sum-tree capacity must be positive");
+        let leaves = capacity.next_power_of_two();
+        Self { nodes: vec![0.0; 2 * leaves], leaves, capacity }
+    }
+
+    /// Number of leaf slots usable by callers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sum of all priorities.
+    pub fn total(&self) -> f64 {
+        self.nodes[1]
+    }
+
+    /// Priority at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn get(&self, index: usize) -> f32 {
+        assert!(index < self.capacity, "sum-tree index {index} out of range");
+        self.nodes[self.leaves + index] as f32
+    }
+
+    /// Sets the priority at `index`, updating ancestor sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` or `priority` is negative/non-finite.
+    pub fn set(&mut self, index: usize, priority: f32) {
+        assert!(index < self.capacity, "sum-tree index {index} out of range");
+        assert!(priority.is_finite() && priority >= 0.0, "priority must be finite and non-negative, got {priority}");
+        let mut node = self.leaves + index;
+        let delta = priority as f64 - self.nodes[node];
+        while node >= 1 {
+            self.nodes[node] += delta;
+            node /= 2;
+        }
+    }
+
+    /// Finds the leaf index such that the prefix sum of priorities first
+    /// exceeds `value`, i.e. proportional sampling for `value ∈ [0, total)`.
+    ///
+    /// Values outside the range are clamped to the last non-empty leaf side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is entirely zero (nothing to sample).
+    pub fn find_prefix(&self, value: f64) -> usize {
+        assert!(self.total() > 0.0, "cannot sample from an all-zero sum-tree");
+        let mut v = value.clamp(0.0, self.total() - f64::EPSILON);
+        let mut node = 1usize;
+        while node < self.leaves {
+            let left = 2 * node;
+            if v < self.nodes[left] {
+                node = left;
+            } else {
+                v -= self.nodes[left];
+                node = left + 1;
+            }
+        }
+        (node - self.leaves).min(self.capacity - 1)
+    }
+
+    /// Maximum leaf priority (0 for an empty tree).
+    pub fn max_priority(&self) -> f32 {
+        let mut max = 0.0f64;
+        for i in 0..self.capacity {
+            max = max.max(self.nodes[self.leaves + i]);
+        }
+        max as f32
+    }
+
+    /// Minimum non-zero leaf priority, or `None` if all zero.
+    pub fn min_nonzero_priority(&self) -> Option<f32> {
+        let mut min: Option<f64> = None;
+        for i in 0..self.capacity {
+            let p = self.nodes[self.leaves + i];
+            if p > 0.0 {
+                min = Some(match min {
+                    Some(m) => m.min(p),
+                    None => p,
+                });
+            }
+        }
+        min.map(|m| m as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_tracks_sets() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        assert!((t.total() - 6.0).abs() < 1e-9);
+        t.set(1, 0.5); // overwrite
+        assert!((t.total() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn find_prefix_walks_proportionally() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        t.set(3, 4.0);
+        // Prefix boundaries: [0,1) -> 0, [1,3) -> 1, [3,6) -> 2, [6,10) -> 3.
+        assert_eq!(t.find_prefix(0.5), 0);
+        assert_eq!(t.find_prefix(1.0), 1);
+        assert_eq!(t.find_prefix(2.99), 1);
+        assert_eq!(t.find_prefix(3.0), 2);
+        assert_eq!(t.find_prefix(9.99), 3);
+    }
+
+    #[test]
+    fn find_prefix_clamps_out_of_range() {
+        let mut t = SumTree::new(2);
+        t.set(0, 1.0);
+        // Only leaf 0 carries mass; both extremes must land on it.
+        assert_eq!(t.find_prefix(-5.0), 0);
+        assert_eq!(t.find_prefix(100.0), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity() {
+        let mut t = SumTree::new(5);
+        for i in 0..5 {
+            t.set(i, 1.0);
+        }
+        assert!((t.total() - 5.0).abs() < 1e-9);
+        assert_eq!(t.find_prefix(4.5), 4);
+    }
+
+    #[test]
+    fn max_and_min_priorities() {
+        let mut t = SumTree::new(4);
+        assert_eq!(t.max_priority(), 0.0);
+        assert_eq!(t.min_nonzero_priority(), None);
+        t.set(1, 5.0);
+        t.set(2, 0.25);
+        assert_eq!(t.max_priority(), 5.0);
+        assert_eq!(t.min_nonzero_priority(), Some(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn sampling_zero_tree_panics() {
+        let t = SumTree::new(2);
+        let _ = t.find_prefix(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_priority_panics() {
+        let mut t = SumTree::new(2);
+        t.set(0, -1.0);
+    }
+
+    #[test]
+    fn sampling_distribution_is_roughly_proportional() {
+        let mut t = SumTree::new(3);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 7.0);
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            let v = rng.gen_range(0.0..t.total());
+            counts[t.find_prefix(v)] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freq[0] - 0.1).abs() < 0.02, "freq {freq:?}");
+        assert!((freq[1] - 0.2).abs() < 0.02, "freq {freq:?}");
+        assert!((freq[2] - 0.7).abs() < 0.02, "freq {freq:?}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Uniform-sampling ring-buffer replay (the classic DQN buffer).
+
+use super::{Replay, SampleBatch};
+use crate::transition::Transition;
+use rand::Rng;
+
+/// Fixed-capacity ring buffer with uniform random sampling.
+///
+/// # Examples
+///
+/// ```
+/// use rl::replay::{Replay, UniformReplay};
+/// use rl::transition::Transition;
+/// use rand::SeedableRng;
+///
+/// let mut buf = UniformReplay::new(2);
+/// for i in 0..3 {
+///     buf.push(Transition::new(vec![i as f32], 0, 0.0, vec![0.0], false));
+/// }
+/// assert_eq!(buf.len(), 2); // oldest evicted
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let batch = buf.sample(2, &mut rng);
+/// assert_eq!(batch.transitions.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformReplay {
+    storage: Vec<Transition>,
+    capacity: usize,
+    /// Next write position.
+    head: usize,
+    /// Total number of pushes ever (for diagnostics).
+    pushed: u64,
+}
+
+impl UniformReplay {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { storage: Vec::with_capacity(capacity.min(1 << 20)), capacity, head: 0, pushed: 0 }
+    }
+
+    /// Total number of transitions ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Immutable access to a stored transition by ring index.
+    pub fn get(&self, index: usize) -> Option<&Transition> {
+        self.storage.get(index)
+    }
+}
+
+impl Replay for UniformReplay {
+    fn push(&mut self, transition: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(transition);
+        } else {
+            self.storage[self.head] = transition;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.pushed += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(!self.storage.is_empty(), "cannot sample from an empty replay buffer");
+        let mut indices = Vec::with_capacity(batch);
+        let mut transitions = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let i = rng.gen_range(0..self.storage.len());
+            indices.push(i as u64);
+            transitions.push(self.storage[i].clone());
+        }
+        SampleBatch { indices, transitions, weights: vec![1.0; batch] }
+    }
+
+    fn update_priorities(&mut self, _indices: &[u64], _td_errors: &[f32]) {
+        // Uniform replay has no priorities.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(v: f32) -> Transition {
+        Transition::new(vec![v], 0, v, vec![v], false)
+    }
+
+    #[test]
+    fn fills_up_to_capacity() {
+        let mut buf = UniformReplay::new(3);
+        assert!(buf.is_empty());
+        for i in 0..3 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), 3);
+    }
+
+    #[test]
+    fn evicts_oldest_first() {
+        let mut buf = UniformReplay::new(2);
+        buf.push(t(0.0));
+        buf.push(t(1.0));
+        buf.push(t(2.0)); // evicts 0.0
+        let stored: Vec<f32> = (0..2).map(|i| buf.get(i).unwrap().reward).collect();
+        assert!(stored.contains(&1.0));
+        assert!(stored.contains(&2.0));
+        assert!(!stored.contains(&0.0));
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut buf = UniformReplay::new(5);
+        for i in 0..100 {
+            buf.push(t(i as f32));
+            assert!(buf.len() <= 5);
+        }
+        assert_eq!(buf.total_pushed(), 100);
+    }
+
+    #[test]
+    fn sample_returns_unit_weights() {
+        let mut buf = UniformReplay::new(4);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = buf.sample(8, &mut rng);
+        assert_eq!(batch.transitions.len(), 8);
+        assert!(batch.weights.iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn sample_covers_buffer_eventually() {
+        let mut buf = UniformReplay::new(4);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..50 {
+            for tr in buf.sample(4, &mut rng).transitions {
+                seen[tr.reward as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay")]
+    fn sampling_empty_panics() {
+        let mut buf = UniformReplay::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = buf.sample(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = UniformReplay::new(0);
+    }
+}

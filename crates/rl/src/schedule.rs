@@ -1,0 +1,141 @@
+//! Exploration-rate (ε) schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A schedule mapping a global step counter to an exploration rate ε.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EpsilonSchedule {
+    /// Constant ε.
+    Constant(f32),
+    /// Linear decay from `start` to `end` over `steps` steps, then `end`.
+    Linear {
+        /// Initial ε at step 0.
+        start: f32,
+        /// Final ε after `steps`.
+        end: f32,
+        /// Number of steps to decay over.
+        steps: u64,
+    },
+    /// Exponential decay: `end + (start - end) * exp(-step / tau)`.
+    Exponential {
+        /// Initial ε at step 0.
+        start: f32,
+        /// Asymptotic ε.
+        end: f32,
+        /// Decay time constant in steps.
+        tau: f64,
+    },
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        // The workhorse DQN schedule: explore fully at first, settle at 5%.
+        EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 50_000 }
+    }
+}
+
+impl EpsilonSchedule {
+    /// ε at the given global step.
+    pub fn value(&self, step: u64) -> f32 {
+        match *self {
+            EpsilonSchedule::Constant(e) => e,
+            EpsilonSchedule::Linear { start, end, steps } => {
+                if steps == 0 || step >= steps {
+                    end
+                } else {
+                    let frac = step as f32 / steps as f32;
+                    start + (end - start) * frac
+                }
+            }
+            EpsilonSchedule::Exponential { start, end, tau } => {
+                let decayed = (start - end) as f64 * (-(step as f64) / tau.max(1e-9)).exp();
+                end + decayed as f32
+            }
+        }
+    }
+
+    /// Validates that all produced values are probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint lies outside `[0, 1]`.
+    pub fn validate(&self) {
+        let check = |v: f32, name: &str| {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        };
+        match *self {
+            EpsilonSchedule::Constant(e) => check(e, "epsilon"),
+            EpsilonSchedule::Linear { start, end, .. } => {
+                check(start, "start");
+                check(end, "end");
+            }
+            EpsilonSchedule::Exponential { start, end, tau } => {
+                check(start, "start");
+                check(end, "end");
+                assert!(tau > 0.0, "tau must be positive");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = EpsilonSchedule::Constant(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = EpsilonSchedule::Linear { start: 1.0, end: 0.0, steps: 100 };
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.value(100), 0.0);
+        assert_eq!(s.value(10_000), 0.0);
+    }
+
+    #[test]
+    fn linear_zero_steps_is_end() {
+        let s = EpsilonSchedule::Linear { start: 1.0, end: 0.1, steps: 0 };
+        assert_eq!(s.value(0), 0.1);
+    }
+
+    #[test]
+    fn exponential_decays_monotonically_to_end() {
+        let s = EpsilonSchedule::Exponential { start: 1.0, end: 0.1, tau: 100.0 };
+        let mut prev = s.value(0);
+        assert!((prev - 1.0).abs() < 1e-6);
+        for step in (10..2000).step_by(10) {
+            let v = s.value(step);
+            assert!(v <= prev + 1e-6, "not monotone at {step}");
+            prev = v;
+        }
+        assert!((s.value(1_000_000) - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let schedules = [
+            EpsilonSchedule::Constant(0.5),
+            EpsilonSchedule::Linear { start: 0.9, end: 0.02, steps: 1000 },
+            EpsilonSchedule::Exponential { start: 1.0, end: 0.01, tau: 333.0 },
+        ];
+        for s in schedules {
+            s.validate();
+            for step in [0u64, 1, 10, 100, 1000, 100_000] {
+                let v = s.value(step);
+                assert!((0.0..=1.0).contains(&v), "{s:?} produced {v} at {step}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_constant_rejected() {
+        EpsilonSchedule::Constant(1.5).validate();
+    }
+}

@@ -1,0 +1,94 @@
+//! Queueing-theoretic processing-delay model.
+//!
+//! Each VNF instance is modelled as an M/M/1 queue: requests arrive at rate
+//! λ (sum over flows assigned to the instance) and are served at rate μ
+//! (the VNF type's service rate). The mean sojourn time is `1 / (μ − λ)`
+//! for λ < μ and unbounded otherwise.
+
+/// Mean M/M/1 sojourn time in milliseconds for service rate `mu_rps` and
+/// arrival rate `lambda_rps` (both in requests/second).
+///
+/// Returns `f64::INFINITY` when `lambda >= mu` (overloaded queue).
+///
+/// # Panics
+///
+/// Panics if `mu_rps <= 0` or `lambda_rps < 0`.
+pub fn mm1_sojourn_ms(mu_rps: f64, lambda_rps: f64) -> f64 {
+    assert!(mu_rps > 0.0, "service rate must be positive, got {mu_rps}");
+    assert!(lambda_rps >= 0.0, "arrival rate must be non-negative, got {lambda_rps}");
+    if lambda_rps >= mu_rps {
+        f64::INFINITY
+    } else {
+        1000.0 / (mu_rps - lambda_rps)
+    }
+}
+
+/// Queue utilization ρ = λ/μ, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `mu_rps <= 0` or `lambda_rps < 0`.
+pub fn mm1_utilization(mu_rps: f64, lambda_rps: f64) -> f64 {
+    assert!(mu_rps > 0.0, "service rate must be positive");
+    assert!(lambda_rps >= 0.0, "arrival rate must be non-negative");
+    (lambda_rps / mu_rps).min(1.0)
+}
+
+/// `true` if adding `extra_lambda_rps` keeps the queue stable below the
+/// given maximum utilization (e.g. `0.95` leaves headroom against bursts).
+///
+/// # Panics
+///
+/// Panics if rates are invalid or `max_utilization ∉ (0, 1]`.
+pub fn admits_load(mu_rps: f64, current_lambda_rps: f64, extra_lambda_rps: f64, max_utilization: f64) -> bool {
+    assert!(mu_rps > 0.0, "service rate must be positive");
+    assert!(current_lambda_rps >= 0.0 && extra_lambda_rps >= 0.0, "rates must be non-negative");
+    assert!(max_utilization > 0.0 && max_utilization <= 1.0, "max utilization must be in (0,1]");
+    current_lambda_rps + extra_lambda_rps <= mu_rps * max_utilization
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_sojourn_is_service_time() {
+        // μ = 100/s → mean service time 10 ms.
+        assert!((mm1_sojourn_ms(100.0, 0.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sojourn_grows_with_load() {
+        let low = mm1_sojourn_ms(100.0, 10.0);
+        let mid = mm1_sojourn_ms(100.0, 50.0);
+        let high = mm1_sojourn_ms(100.0, 90.0);
+        assert!(low < mid && mid < high);
+        // At 90% load: 1000/(100-90) = 100 ms.
+        assert!((high - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_is_infinite() {
+        assert!(mm1_sojourn_ms(100.0, 100.0).is_infinite());
+        assert!(mm1_sojourn_ms(100.0, 150.0).is_infinite());
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        assert!((mm1_utilization(100.0, 50.0) - 0.5).abs() < 1e-9);
+        assert_eq!(mm1_utilization(100.0, 500.0), 1.0);
+    }
+
+    #[test]
+    fn admits_load_respects_headroom() {
+        assert!(admits_load(100.0, 50.0, 40.0, 0.95)); // 90 <= 95
+        assert!(!admits_load(100.0, 50.0, 50.0, 0.95)); // 100 > 95
+        assert!(admits_load(100.0, 0.0, 95.0, 0.95)); // boundary inclusive
+    }
+
+    #[test]
+    #[should_panic(expected = "service rate must be positive")]
+    fn zero_mu_panics() {
+        let _ = mm1_sojourn_ms(0.0, 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Live VNF instances and the pool tracking them.
+
+use crate::vnf::{VnfCatalog, VnfTypeId};
+use edgenet::node::{NodeId, Resources};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a live VNF instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// A running VNF instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Unique id.
+    pub id: InstanceId,
+    /// The VNF type this instance runs.
+    pub vnf_type: VnfTypeId,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Aggregate arrival rate currently assigned (M/M/1 λ), in rps.
+    pub lambda_rps: f64,
+    /// Number of flows currently routed through this instance.
+    pub flows: u32,
+    /// Slot at which the instance was created.
+    pub created_slot: u64,
+}
+
+/// Errors from instance-pool operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstanceError {
+    /// Unknown instance id.
+    Unknown(InstanceId),
+    /// Attempted to retire an instance that still serves flows.
+    Busy(InstanceId),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::Unknown(id) => write!(f, "unknown instance {id}"),
+            InstanceError::Busy(id) => write!(f, "instance {id} still serves flows"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// The pool of all live instances in a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstancePool {
+    instances: BTreeMap<u64, Instance>,
+    next_id: u64,
+}
+
+impl InstancePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a new instance of `vnf_type` at `node`; returns its id.
+    pub fn spawn(&mut self, vnf_type: VnfTypeId, node: NodeId, slot: u64) -> InstanceId {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        self.instances.insert(
+            id.0,
+            Instance { id, vnf_type, node, lambda_rps: 0.0, flows: 0, created_slot: slot },
+        );
+        id
+    }
+
+    /// Removes an idle instance.
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::Busy`] if it still serves flows,
+    /// [`InstanceError::Unknown`] if the id does not exist.
+    pub fn retire(&mut self, id: InstanceId) -> Result<Instance, InstanceError> {
+        match self.instances.get(&id.0) {
+            None => Err(InstanceError::Unknown(id)),
+            Some(inst) if inst.flows > 0 => Err(InstanceError::Busy(id)),
+            Some(_) => Ok(self.instances.remove(&id.0).expect("checked present")),
+        }
+    }
+
+    /// Instance by id.
+    pub fn get(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id.0)
+    }
+
+    /// Adds one flow with `lambda_rps` to the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::Unknown`] if the id does not exist.
+    pub fn add_flow(&mut self, id: InstanceId, lambda_rps: f64) -> Result<(), InstanceError> {
+        let inst = self.instances.get_mut(&id.0).ok_or(InstanceError::Unknown(id))?;
+        inst.lambda_rps += lambda_rps;
+        inst.flows += 1;
+        Ok(())
+    }
+
+    /// Removes one flow with `lambda_rps` from the instance; saturates at
+    /// zero against float drift.
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::Unknown`] if the id does not exist.
+    pub fn remove_flow(&mut self, id: InstanceId, lambda_rps: f64) -> Result<(), InstanceError> {
+        let inst = self.instances.get_mut(&id.0).ok_or(InstanceError::Unknown(id))?;
+        inst.lambda_rps = (inst.lambda_rps - lambda_rps).max(0.0);
+        inst.flows = inst.flows.saturating_sub(1);
+        Ok(())
+    }
+
+    /// All instances, ordered by id.
+    pub fn iter(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when no instances are live.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Instances of `vnf_type` hosted at `node`.
+    pub fn instances_of(&self, vnf_type: VnfTypeId, node: NodeId) -> Vec<&Instance> {
+        self.instances
+            .values()
+            .filter(|i| i.vnf_type == vnf_type && i.node == node)
+            .collect()
+    }
+
+    /// Count of instances per node for `vnf_type`, over `node_count` nodes.
+    pub fn count_per_node(&self, vnf_type: VnfTypeId, node_count: usize) -> Vec<usize> {
+        let mut counts = vec![0; node_count];
+        for inst in self.instances.values() {
+            if inst.vnf_type == vnf_type && inst.node.0 < node_count {
+                counts[inst.node.0] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Idle instances (zero flows), optionally older than `min_age_slots`.
+    pub fn idle_instances(&self, current_slot: u64, min_age_slots: u64) -> Vec<InstanceId> {
+        self.instances
+            .values()
+            .filter(|i| i.flows == 0 && current_slot.saturating_sub(i.created_slot) >= min_age_slots)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Total resources consumed at `node` according to `catalog`.
+    pub fn used_at(&self, node: NodeId, catalog: &VnfCatalog) -> Resources {
+        self.instances
+            .values()
+            .filter(|i| i.node == node)
+            .fold(Resources::zero(), |acc, i| acc.plus(&catalog.get(i.vnf_type).demand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_unique_ids() {
+        let mut pool = InstancePool::new();
+        let a = pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        let b = pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn flow_accounting() {
+        let mut pool = InstancePool::new();
+        let id = pool.spawn(VnfTypeId(1), NodeId(2), 5);
+        pool.add_flow(id, 10.0).unwrap();
+        pool.add_flow(id, 5.0).unwrap();
+        let inst = pool.get(id).unwrap();
+        assert_eq!(inst.flows, 2);
+        assert!((inst.lambda_rps - 15.0).abs() < 1e-9);
+        pool.remove_flow(id, 10.0).unwrap();
+        let inst = pool.get(id).unwrap();
+        assert_eq!(inst.flows, 1);
+        assert!((inst.lambda_rps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retire_rejects_busy() {
+        let mut pool = InstancePool::new();
+        let id = pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        pool.add_flow(id, 1.0).unwrap();
+        assert_eq!(pool.retire(id), Err(InstanceError::Busy(id)));
+        pool.remove_flow(id, 1.0).unwrap();
+        assert!(pool.retire(id).is_ok());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let mut pool = InstancePool::new();
+        assert_eq!(pool.add_flow(InstanceId(9), 1.0), Err(InstanceError::Unknown(InstanceId(9))));
+        assert_eq!(pool.retire(InstanceId(9)), Err(InstanceError::Unknown(InstanceId(9))));
+    }
+
+    #[test]
+    fn counting_and_filtering() {
+        let mut pool = InstancePool::new();
+        pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        pool.spawn(VnfTypeId(0), NodeId(1), 0);
+        pool.spawn(VnfTypeId(1), NodeId(1), 0);
+        assert_eq!(pool.count_per_node(VnfTypeId(0), 3), vec![1, 1, 0]);
+        assert_eq!(pool.instances_of(VnfTypeId(1), NodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn idle_instances_respect_age() {
+        let mut pool = InstancePool::new();
+        let old = pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        let fresh = pool.spawn(VnfTypeId(0), NodeId(0), 9);
+        let busy = pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        pool.add_flow(busy, 1.0).unwrap();
+        let idle = pool.idle_instances(10, 5);
+        assert!(idle.contains(&old));
+        assert!(!idle.contains(&fresh));
+        assert!(!idle.contains(&busy));
+    }
+
+    #[test]
+    fn used_at_sums_demands() {
+        let catalog = VnfCatalog::standard();
+        let mut pool = InstancePool::new();
+        pool.spawn(VnfTypeId(0), NodeId(0), 0); // nat: 1 cpu
+        pool.spawn(VnfTypeId(1), NodeId(0), 0); // firewall: 2 cpu
+        pool.spawn(VnfTypeId(1), NodeId(1), 0);
+        let used = pool.used_at(NodeId(0), &catalog);
+        assert!((used.cpu - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the SFC layer: instance-pool accounting and
+//! latency-evaluation invariants.
+
+use edgenet::prelude::*;
+use proptest::prelude::*;
+use sfc::prelude::*;
+
+fn catalogs() -> (VnfCatalog, ChainCatalog) {
+    let vnfs = VnfCatalog::standard();
+    let chains = ChainCatalog::standard(&vnfs);
+    (vnfs, chains)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pool_flow_accounting_never_goes_negative(
+        ops in proptest::collection::vec((0usize..3, 0.0f64..50.0, proptest::bool::ANY), 1..60)
+    ) {
+        let (_vnfs, _) = catalogs();
+        let mut pool = InstancePool::new();
+        let ids: Vec<InstanceId> =
+            (0..3).map(|i| pool.spawn(VnfTypeId(i % 2), NodeId(i), 0)).collect();
+        for (which, lambda, add) in ops {
+            let id = ids[which];
+            if add {
+                pool.add_flow(id, lambda).unwrap();
+            } else {
+                pool.remove_flow(id, lambda).unwrap();
+            }
+            let inst = pool.get(id).unwrap();
+            prop_assert!(inst.lambda_rps >= 0.0, "lambda went negative");
+        }
+    }
+
+    #[test]
+    fn add_then_remove_restores_lambda(
+        lambdas in proptest::collection::vec(0.1f64..30.0, 1..20)
+    ) {
+        let mut pool = InstancePool::new();
+        let id = pool.spawn(VnfTypeId(0), NodeId(0), 0);
+        for &l in &lambdas {
+            pool.add_flow(id, l).unwrap();
+        }
+        for &l in lambdas.iter().rev() {
+            pool.remove_flow(id, l).unwrap();
+        }
+        let inst = pool.get(id).unwrap();
+        prop_assert!(inst.lambda_rps.abs() < 1e-6);
+        prop_assert_eq!(inst.flows, 0);
+    }
+
+    #[test]
+    fn mm1_sojourn_monotone_in_lambda(mu in 10.0f64..1000.0, split in 0.01f64..0.98) {
+        let lambda_lo = mu * split * 0.5;
+        let lambda_hi = mu * split;
+        prop_assert!(mm1_sojourn_ms(mu, lambda_lo) <= mm1_sojourn_ms(mu, lambda_hi));
+    }
+
+    #[test]
+    fn chain_latency_decomposition_sums(
+        node_picks in proptest::collection::vec(0usize..4, 2..3),
+        source in 0usize..4,
+    ) {
+        // VoIP chain (2 VNFs) placed arbitrarily: breakdown must sum to total
+        // and grow when any component grows.
+        let (vnfs, chains) = catalogs();
+        let topo = TopologyBuilder::default().metro(4);
+        let routes = RoutingTable::build(&topo);
+        let chain = chains.get(ChainId(1)).clone();
+        let mut pool = InstancePool::new();
+        let instances: Vec<InstanceId> = chain
+            .vnfs
+            .iter()
+            .zip(node_picks.iter())
+            .map(|(&v, &n)| pool.spawn(v, NodeId(n), 0))
+            .collect();
+        let assignment = ChainAssignment { request: RequestId(0), instances };
+        let breakdown =
+            assignment_latency(&assignment, &chain, NodeId(source), &pool, &vnfs, &routes).unwrap();
+        let total = breakdown.total_ms();
+        prop_assert!(
+            (total - (breakdown.network_ms + breakdown.processing_ms + breakdown.queueing_ms)).abs()
+                < 1e-9
+        );
+        prop_assert!(breakdown.network_ms >= 0.0);
+        prop_assert!(breakdown.queueing_ms > 0.0, "idle queues still serve");
+    }
+
+    #[test]
+    fn colocated_placement_never_slower_than_detour(
+        source in 0usize..4,
+        detour in 0usize..4,
+    ) {
+        // Placing both VNFs at the source is never worse on *network*
+        // latency than bouncing through a detour node.
+        let (vnfs, chains) = catalogs();
+        let topo = TopologyBuilder::default().metro(4);
+        let routes = RoutingTable::build(&topo);
+        let chain = chains.get(ChainId(1)).clone();
+        let src = NodeId(source);
+
+        let colocated = hypothetical_latency_ms(
+            &chain, src, &[src, src], &[0.0, 0.0], &vnfs, &routes,
+        );
+        let detoured = hypothetical_latency_ms(
+            &chain, src, &[NodeId(detour), src], &[0.0, 0.0], &vnfs, &routes,
+        );
+        prop_assert!(colocated <= detoured + 1e-9);
+    }
+
+    #[test]
+    fn used_at_matches_manual_sum(picks in proptest::collection::vec((0usize..8, 0usize..3), 0..15)) {
+        let (vnfs, _) = catalogs();
+        let mut pool = InstancePool::new();
+        for &(vnf, node) in &picks {
+            pool.spawn(VnfTypeId(vnf), NodeId(node), 0);
+        }
+        for node in 0..3 {
+            let used = pool.used_at(NodeId(node), &vnfs);
+            let manual_cpu: f64 = picks
+                .iter()
+                .filter(|&&(_, n)| n == node)
+                .map(|&(v, _)| vnfs.get(VnfTypeId(v)).demand.cpu)
+                .sum();
+            prop_assert!((used.cpu - manual_cpu).abs() < 1e-9);
+        }
+    }
+}

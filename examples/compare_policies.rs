@@ -1,0 +1,29 @@
+//! Policy shoot-out: every baseline head-to-head on one shared workload
+//! trace at a chosen load level.
+//!
+//! ```sh
+//! cargo run --release --example compare_policies            # λ = 6
+//! RATE=10 cargo run --release --example compare_policies    # overload
+//! ```
+
+use mano::prelude::*;
+
+fn main() {
+    let rate: f64 = std::env::var("RATE").ok().and_then(|v| v.parse().ok()).unwrap_or(6.0);
+    let mut scenario = Scenario::default_metro().with_arrival_rate(rate);
+    scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+    scenario.horizon_slots = 240;
+
+    println!("arrival rate: {rate} requests/slot over 8 metro sites + cloud\n");
+    let reward = RewardConfig::default();
+    let mut policies = standard_baselines();
+    let mut results = compare_policies(&scenario, reward, &mut policies, 2718);
+    results.sort_by(|a, b| {
+        a.summary
+            .combined_objective(1.0, 1.0)
+            .partial_cmp(&b.summary.combined_objective(1.0, 1.0))
+            .unwrap()
+    });
+    println!("{}", markdown_comparison(&results));
+    println!("(sorted by combined objective; train a DRL manager with the quickstart example)");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build a geo-distributed edge topology, train a small DRL
+//! VNF manager, and compare it against two heuristics — in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mano::prelude::*;
+
+fn main() {
+    // 1. Describe the world: 4 metro edge sites + a remote cloud,
+    //    Poisson arrivals over the 4 standard service chains.
+    let mut scenario = Scenario::default_metro().with_arrival_rate(4.0);
+    scenario.topology = TopologySpec::Metro { sites: 4 };
+    scenario.horizon_slots = 120; // 10 simulated minutes at 5 s/slot
+
+    // 2. Train the DRL manager for a couple of passes over the horizon.
+    let reward = RewardConfig::default();
+    let drl_config = DrlManagerConfig::default();
+    println!("training DRL manager…");
+    let mut trained = train_drl(&scenario, reward, drl_config, 3);
+    println!(
+        "  {} placement episodes, {} gradient steps",
+        trained.episode_returns.len(),
+        trained.policy.agent().learn_steps()
+    );
+    let smoothed = moving_average(&trained.episode_returns, 100);
+    println!(
+        "  smoothed episode return: {:.3} -> {:.3}",
+        smoothed.first().copied().unwrap_or(0.0),
+        smoothed.last().copied().unwrap_or(0.0)
+    );
+
+    // 3. Evaluate everyone on the same unseen workload trace.
+    let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 900)];
+    let mut first_fit = FirstFitPolicy;
+    results.push(evaluate_policy(&scenario, reward, &mut first_fit, 900));
+    let mut greedy = GreedyLatencyPolicy;
+    results.push(evaluate_policy(&scenario, reward, &mut greedy, 900));
+
+    println!("\n{}", markdown_comparison(&results));
+    println!("full experiment suite: see crates/bench and EXPERIMENTS.md");
+}

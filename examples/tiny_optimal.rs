@@ -1,0 +1,43 @@
+//! Optimality microscope: on a tiny instance (3 sites + cloud, short
+//! chains) compare heuristics against the exhaustive lookahead comparator
+//! and print the per-policy gap.
+//!
+//! ```sh
+//! cargo run --release --example tiny_optimal
+//! ```
+
+use mano::prelude::*;
+
+fn main() {
+    let mut scenario = Scenario::default_metro().with_arrival_rate(2.5);
+    scenario.topology = TopologySpec::Metro { sites: 3 };
+    scenario.horizon_slots = 120;
+    // Short chains only so the exhaustive enumeration stays tiny
+    // (4 nodes ^ 3 VNFs = 64 sequences at most).
+    scenario.workload.chain_mix = vec![1.0, 1.0, 0.0, 0.0];
+
+    let reward = RewardConfig::default();
+    let probe = Simulation::new(&scenario, reward);
+    let mut exhaustive = ExhaustivePolicy::new(
+        probe.topology.clone(),
+        probe.routes.clone(),
+        probe.vnfs.clone(),
+        scenario.prices,
+        scenario.workload.mean_duration_slots * scenario.slot_seconds,
+    );
+    drop(probe);
+
+    let mut results = vec![evaluate_policy(&scenario, reward, &mut exhaustive, 64)];
+    for mut p in standard_baselines() {
+        results.push(evaluate_policy(&scenario, reward, p.as_mut(), 64));
+    }
+
+    let reference = results[0].summary.combined_objective(1.0, 1.0);
+    println!("{}", markdown_comparison(&results));
+    println!("| policy | combined objective | gap vs exhaustive |");
+    println!("|---|---|---|");
+    for r in &results {
+        let obj = r.summary.combined_objective(1.0, 1.0);
+        println!("| {} | {:.2} | {:+.1}% |", r.policy, obj, 100.0 * (obj - reference) / reference);
+    }
+}

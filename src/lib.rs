@@ -1,0 +1,43 @@
+//! # drl-vnf-edge — Deep-RL based VNF management in geo-distributed edge computing
+//!
+//! Umbrella crate: re-exports the full stack so downstream users depend on
+//! one crate. See the README for the architecture overview and DESIGN.md
+//! for the paper-reproduction inventory.
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | orchestrator | [`mano`] | MDP formulation, simulation engine, DRL manager, baselines |
+//! | learning | [`rl`] | DQN family, replay buffers, schedules, toy validation envs |
+//! | function approximation | [`nn`] | MLP + backprop, optimizers, gradient checking |
+//! | infrastructure | [`edgenet`] | geo topologies, routing, capacity, energy/price models |
+//! | services | [`sfc`] | VNF catalog, chains, instances, M/M/1 delay model |
+//! | traffic | [`workload`] | arrival processes, load patterns, trace synthesis |
+//!
+//! # Examples
+//!
+//! ```
+//! use drl_vnf_edge::prelude::*;
+//!
+//! let scenario = Scenario::small_test();
+//! let mut policy = FirstFitPolicy;
+//! let result = evaluate_policy(&scenario, RewardConfig::default(), &mut policy, 0);
+//! assert!(result.summary.total_arrivals > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use edgenet;
+pub use mano;
+pub use nn;
+pub use rl;
+pub use sfc;
+pub use workload;
+
+/// One prelude over the whole stack.
+pub mod prelude {
+    pub use edgenet::prelude::*;
+    pub use mano::prelude::*;
+    pub use sfc::prelude::*;
+    pub use workload::prelude::*;
+}
