@@ -23,16 +23,26 @@ fn bench_forward(c: &mut Criterion) {
 fn bench_train_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let config = MlpConfig::new(64, &[128, 128], 10);
-    let mut model = TrainableMlp::new(&config, OptimizerConfig::adam(1e-3), Loss::Huber(1.0), Some(10.0), &mut rng);
+    let mut model = TrainableMlp::new(
+        &config,
+        OptimizerConfig::adam(1e-3),
+        Loss::Huber(1.0),
+        Some(10.0),
+        &mut rng,
+    );
     let x = Matrix::from_fn(32, 64, |r, c| ((r * 7 + c) % 19) as f32 / 19.0);
     let y = Matrix::from_fn(32, 10, |r, c| ((r + c) % 5) as f32 / 5.0);
-    c.bench_function("mlp_train_batch32", |b| b.iter(|| black_box(model.step(&x, &y))));
+    c.bench_function("mlp_train_batch32", |b| {
+        b.iter(|| black_box(model.step(&x, &y)))
+    });
 }
 
 fn bench_matmul(c: &mut Criterion) {
     let a = Matrix::from_fn(128, 128, |r, c| ((r * c) % 23) as f32 / 23.0);
     let bm = Matrix::from_fn(128, 128, |r, c| ((r + c) % 29) as f32 / 29.0);
-    c.bench_function("matmul_128x128", |b| b.iter(|| black_box(a.matmul(black_box(&bm)))));
+    c.bench_function("matmul_128x128", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&bm))))
+    });
 }
 
 criterion_group!(benches, bench_forward, bench_train_step, bench_matmul);

@@ -7,7 +7,13 @@ use rand::SeedableRng;
 use rl::prelude::*;
 
 fn filled_transition(i: usize) -> Transition {
-    Transition::new(vec![(i % 7) as f32; 29], i % 4, 0.5, vec![(i % 5) as f32; 29], i % 9 == 0)
+    Transition::new(
+        vec![(i % 7) as f32; 29],
+        i % 4,
+        0.5,
+        vec![(i % 5) as f32; 29],
+        i.is_multiple_of(9),
+    )
 }
 
 fn bench_replay(c: &mut Criterion) {
@@ -29,7 +35,9 @@ fn bench_replay(c: &mut Criterion) {
 fn bench_dqn_learn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let config = DqnConfig {
-        network: QNetworkConfig::Standard { hidden: vec![128, 128] },
+        network: QNetworkConfig::Standard {
+            hidden: vec![128, 128],
+        },
         replay_capacity: 10_000,
         batch_size: 32,
         learn_start: 64,
@@ -39,7 +47,9 @@ fn bench_dqn_learn(c: &mut Criterion) {
     for i in 0..1_000 {
         agent.observe(filled_transition(i), &mut rng);
     }
-    c.bench_function("dqn_learn_step_batch32", |b| b.iter(|| black_box(agent.learn(&mut rng))));
+    c.bench_function("dqn_learn_step_batch32", |b| {
+        b.iter(|| black_box(agent.learn(&mut rng)))
+    });
     let state = vec![0.3f32; 29];
     let mask = vec![true; 10];
     c.bench_function("dqn_act_greedy", |b| {

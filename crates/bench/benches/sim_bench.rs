@@ -61,5 +61,10 @@ fn bench_place_request(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_slot_throughput, bench_decision_context, bench_place_request);
+criterion_group!(
+    benches,
+    bench_slot_throughput,
+    bench_decision_context,
+    bench_place_request
+);
 criterion_main!(benches);

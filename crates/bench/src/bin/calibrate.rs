@@ -17,7 +17,10 @@ fn main() {
     }
     let reward = RewardConfig::default();
 
-    let passes: usize = std::env::var("PASSES").ok().and_then(|v| v.parse().ok()).unwrap_or_else(default_passes);
+    let passes: usize = std::env::var("PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_passes);
     eprintln!("[calibrate] training DRL ({passes} passes)…");
     let start = std::time::Instant::now();
     let mut trained = train_drl(&scenario, reward, drl_default(), passes);
@@ -33,7 +36,12 @@ fn main() {
     }
 
     let mut results = Vec::new();
-    results.push(evaluate_policy(&scenario, reward, &mut trained.policy, 1000));
+    results.push(evaluate_policy(
+        &scenario,
+        reward,
+        &mut trained.policy,
+        1000,
+    ));
     for mut p in comparison_baselines() {
         results.push(evaluate_policy(&scenario, reward, p.as_mut(), 1000));
     }

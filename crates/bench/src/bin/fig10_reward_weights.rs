@@ -10,10 +10,17 @@ use mano::prelude::*;
 
 fn main() {
     let scenario = bench_scenario(8.0);
-    let weights = [(4.0f32, 0.25f32), (2.0, 0.5), (1.0, 1.0), (0.5, 2.0), (0.25, 4.0)];
-    let mut lines =
-        vec!["alpha,beta,mean_latency_ms,mean_slot_cost_usd,acceptance_ratio,sla_violation_ratio"
-            .to_string()];
+    let weights = [
+        (4.0f32, 0.25f32),
+        (2.0, 0.5),
+        (1.0, 1.0),
+        (0.5, 2.0),
+        (0.25, 4.0),
+    ];
+    let mut lines = vec![
+        "alpha,beta,mean_latency_ms,mean_slot_cost_usd,acceptance_ratio,sla_violation_ratio"
+            .to_string(),
+    ];
     for (alpha, beta) in weights {
         eprintln!("[fig10] training with α={alpha}, β={beta}…");
         let reward = RewardConfig {

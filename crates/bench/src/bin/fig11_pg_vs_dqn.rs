@@ -17,11 +17,15 @@ fn main() {
     eprintln!("[fig11] training DQN manager…");
     let trained_dqn = train_drl(&scenario, reward, drl_default(), passes);
     eprintln!("[fig11] training REINFORCE manager…");
-    let (mut pg_policy, pg_returns, _) = train_pg(&scenario, reward, PgManagerConfig::default(), passes);
+    let (mut pg_policy, pg_returns, _) =
+        train_pg(&scenario, reward, PgManagerConfig::default(), passes);
 
     // Convergence curves.
     let mut lines = vec!["algorithm,episode,smoothed_return".to_string()];
-    for (label, returns) in [("dqn", &trained_dqn.episode_returns), ("reinforce", &pg_returns)] {
+    for (label, returns) in [
+        ("dqn", &trained_dqn.episode_returns),
+        ("reinforce", &pg_returns),
+    ] {
         let smoothed = moving_average(returns, 200);
         for (i, &s) in smoothed.iter().enumerate() {
             if i % 10 == 0 {

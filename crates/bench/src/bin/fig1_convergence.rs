@@ -17,7 +17,12 @@ fn main() {
         eprintln!("[fig1] training {label}…");
         let trained = train_drl(&scenario, reward, config, default_passes());
         let smoothed = moving_average(&trained.episode_returns, 200);
-        for (i, (&r, &s)) in trained.episode_returns.iter().zip(smoothed.iter()).enumerate() {
+        for (i, (&r, &s)) in trained
+            .episode_returns
+            .iter()
+            .zip(smoothed.iter())
+            .enumerate()
+        {
             // Thin the curve: every 10th episode keeps files plottable.
             if i % 10 == 0 {
                 lines.push(format!("{label},{i},{r:.4},{s:.4}"));

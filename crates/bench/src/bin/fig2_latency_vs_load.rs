@@ -17,6 +17,9 @@ fn main() {
                 best = (&r.policy, r.summary.mean_admission_latency_ms);
             }
         }
-        eprintln!("[fig2] λ={rate:>4.1}: best latency {} ({:.2} ms)", best.0, best.1);
+        eprintln!(
+            "[fig2] λ={rate:>4.1}: best latency {} ({:.2} ms)",
+            best.0, best.1
+        );
     }
 }

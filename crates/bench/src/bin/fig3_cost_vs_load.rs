@@ -17,6 +17,9 @@ fn main() {
                 best = (&r.policy, r.summary.mean_slot_cost_usd);
             }
         }
-        eprintln!("[fig3] λ={rate:>4.1}: best cost {} (${:.4}/slot)", best.0, best.1);
+        eprintln!(
+            "[fig3] λ={rate:>4.1}: best cost {} (${:.4}/slot)",
+            best.0, best.1
+        );
     }
 }

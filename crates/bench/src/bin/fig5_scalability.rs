@@ -5,13 +5,15 @@
 //! scan); DRL decision time grows with the network's input width but stays
 //! in the tens of microseconds; solution quality is stable across N.
 
-use bench::{
-    comparison_baselines, default_passes, drl_default, emit_csv, fast_mode, scaled,
-};
+use bench::{comparison_baselines, default_passes, drl_default, emit_csv, fast_mode, scaled};
 use mano::prelude::*;
 
 fn main() {
-    let sizes: Vec<usize> = if fast_mode() { vec![4, 8] } else { vec![4, 8, 12, 16] };
+    let sizes: Vec<usize> = if fast_mode() {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 12, 16]
+    };
     let reward = RewardConfig::default();
     let mut lines = vec![format!("{},n_sites", summary_csv_header())];
 
@@ -29,7 +31,10 @@ fn main() {
             results.push(evaluate_policy(&scenario, reward, p.as_mut(), 555));
         }
         for r in &results {
-            lines.push(format!("{},{n}", summary_csv_row(&r.policy, n as f64, &r.summary)));
+            lines.push(format!(
+                "{},{n}",
+                summary_csv_row(&r.policy, n as f64, &r.summary)
+            ));
             eprintln!(
                 "[fig5]   {:>16}: {:>6.2} ms, ${:.4}/slot, {:.1} µs/decision",
                 r.policy,

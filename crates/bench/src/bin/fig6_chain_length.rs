@@ -14,7 +14,14 @@ use sfc::chain::{ChainCatalog, ChainId, ChainSpec};
 use sfc::vnf::VnfCatalog;
 
 fn synthetic_chains(vnfs: &VnfCatalog, max_len: usize) -> ChainCatalog {
-    let order = ["nat", "firewall", "load-balancer", "proxy", "encryption-gw", "wan-optimizer"];
+    let order = [
+        "nat",
+        "firewall",
+        "load-balancer",
+        "proxy",
+        "encryption-gw",
+        "wan-optimizer",
+    ];
     let chains: Vec<ChainSpec> = (1..=max_len)
         .map(|len| {
             let seq = order[..len]
@@ -60,15 +67,32 @@ fn main() {
         eprintln!("[fig6] evaluating length {len}…");
         // Workload concentrated on the single length under test.
         let mut s = scenario.clone();
-        s.workload.chain_mix = (0..max_len).map(|i| if i + 1 == len { 1.0 } else { 0.0 }).collect();
+        s.workload.chain_mix = (0..max_len)
+            .map(|i| if i + 1 == len { 1.0 } else { 0.0 })
+            .collect();
         let mut results = vec![evaluate_policy_with_catalogs(
-            &s, reward, &mut trained.policy, 333, &vnfs, &chains,
+            &s,
+            reward,
+            &mut trained.policy,
+            333,
+            &vnfs,
+            &chains,
         )];
         for mut p in comparison_baselines() {
-            results.push(evaluate_policy_with_catalogs(&s, reward, p.as_mut(), 333, &vnfs, &chains));
+            results.push(evaluate_policy_with_catalogs(
+                &s,
+                reward,
+                p.as_mut(),
+                333,
+                &vnfs,
+                &chains,
+            ));
         }
         for r in &results {
-            lines.push(format!("{},{len}", summary_csv_row(&r.policy, len as f64, &r.summary)));
+            lines.push(format!(
+                "{},{len}",
+                summary_csv_row(&r.policy, len as f64, &r.summary)
+            ));
         }
     }
     emit_csv("fig6_chain_length.csv", &lines);

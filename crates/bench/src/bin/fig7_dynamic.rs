@@ -55,7 +55,13 @@ fn main() {
     for (tag, scenario) in [("diurnal", dynamic_scenario()), ("flash", flash_scenario())] {
         eprintln!("[fig7] training DRL on {tag} workload…");
         let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
-        run_and_collect(&trained.policy.name(), &scenario, &mut trained.policy, &mut lines, tag);
+        run_and_collect(
+            &trained.policy.name(),
+            &scenario,
+            &mut trained.policy,
+            &mut lines,
+            tag,
+        );
         let mut wg = WeightedGreedyPolicy::default();
         run_and_collect("weighted-greedy", &scenario, &mut wg, &mut lines, tag);
         let mut ff = FirstFitPolicy;

@@ -14,7 +14,10 @@ use rl::replay::PerConfig;
 fn ablations() -> Vec<DrlManagerConfig> {
     let base = dqn_config();
     vec![
-        DrlManagerConfig { dqn: base.clone(), label: "full".into() },
+        DrlManagerConfig {
+            dqn: base.clone(),
+            label: "full".into(),
+        },
         DrlManagerConfig {
             dqn: DqnConfig {
                 replay_capacity: 1,
@@ -25,22 +28,35 @@ fn ablations() -> Vec<DrlManagerConfig> {
             label: "no-replay".into(),
         },
         DrlManagerConfig {
-            dqn: DqnConfig { target_sync_every: 0, soft_tau: None, ..base.clone() },
+            dqn: DqnConfig {
+                target_sync_every: 0,
+                soft_tau: None,
+                ..base.clone()
+            },
             label: "no-target-net".into(),
         },
         DrlManagerConfig {
-            dqn: DqnConfig { double: false, ..base.clone() },
+            dqn: DqnConfig {
+                double: false,
+                ..base.clone()
+            },
             label: "no-double".into(),
         },
         DrlManagerConfig {
             dqn: DqnConfig {
-                network: QNetworkConfig::Dueling { trunk: vec![128], head: 64 },
+                network: QNetworkConfig::Dueling {
+                    trunk: vec![128],
+                    head: 64,
+                },
                 ..base.clone()
             },
             label: "dueling".into(),
         },
         DrlManagerConfig {
-            dqn: DqnConfig { prioritized: Some(PerConfig::default()), ..base },
+            dqn: DqnConfig {
+                prioritized: Some(PerConfig::default()),
+                ..base
+            },
             label: "prioritized".into(),
         },
     ]
@@ -66,7 +82,12 @@ fn main() {
         let tail = &smoothed[smoothed.len().saturating_sub(200)..];
         let final_return = tail.iter().sum::<f32>() / tail.len().max(1) as f32;
         final_returns.push((label.clone(), final_return));
-        results.push(evaluate_policy(&scenario, reward, &mut trained.policy, 4242));
+        results.push(evaluate_policy(
+            &scenario,
+            reward,
+            &mut trained.policy,
+            4242,
+        ));
     }
 
     emit_csv("fig9_ablation_curves.csv", &curve_lines);

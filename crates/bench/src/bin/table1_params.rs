@@ -11,15 +11,21 @@ fn main() {
 
     let mut md = String::from("# Table 1 — Simulation parameters\n\n");
     md.push_str("| parameter | value |\n|---|---|\n");
-    md.push_str(&format!("| edge sites | {} (metro preset, full mesh) |\n", scenario.topology.site_count()));
+    md.push_str(&format!(
+        "| edge sites | {} (metro preset, full mesh) |\n",
+        scenario.topology.site_count()
+    ));
     md.push_str("| cloud | 1 remote site, +20 ms access latency |\n");
     md.push_str(&format!(
         "| edge capacity | {:.0} vCPU / {:.0} GB per site |\n",
         scenario.topology_builder.edge_capacity.cpu, scenario.topology_builder.edge_capacity.mem
     ));
-    md.push_str(&format!("| slot duration | {} s |\n", scenario.slot_seconds));
+    md.push_str(&format!(
+        "| slot duration | {} s |\n",
+        scenario.slot_seconds
+    ));
     md.push_str(&format!("| horizon | {} slots |\n", scenario.horizon_slots));
-    md.push_str(&format!("| arrival process | Poisson, λ swept 1–12 req/slot |\n"));
+    md.push_str("| arrival process | Poisson, λ swept 1–12 req/slot |\n");
     md.push_str(&format!(
         "| flow duration | geometric, mean {} slots |\n",
         scenario.workload.mean_duration_slots
@@ -28,7 +34,10 @@ fn main() {
         "| max instance utilization (admission headroom) | {} |\n",
         scenario.max_instance_utilization
     ));
-    md.push_str(&format!("| idle-instance retirement | {} slots |\n", scenario.idle_retire_slots));
+    md.push_str(&format!(
+        "| idle-instance retirement | {} slots |\n",
+        scenario.idle_retire_slots
+    ));
     md.push_str(&format!(
         "| deployment cost | ${} per instance |\n",
         scenario.prices.deployment_cost

@@ -10,7 +10,12 @@ fn main() {
     eprintln!("[table3] training DRL…");
     let mut trained = train_drl(&scenario, reward, drl_default(), default_passes());
 
-    let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 12345)];
+    let mut results = vec![evaluate_policy(
+        &scenario,
+        reward,
+        &mut trained.policy,
+        12345,
+    )];
     for mut p in standard_baselines() {
         results.push(evaluate_policy(&scenario, reward, p.as_mut(), 12345));
     }
@@ -27,7 +32,11 @@ fn main() {
     md.push_str(&markdown_comparison(&results));
     md.push_str("\n| policy | combined objective |\n|---|---|\n");
     for r in &results {
-        md.push_str(&format!("| {} | {:.2} |\n", r.policy, r.summary.combined_objective(1.0, 1.0)));
+        md.push_str(&format!(
+            "| {} | {:.2} |\n",
+            r.policy,
+            r.summary.combined_objective(1.0, 1.0)
+        ));
     }
     emit_markdown("table3_summary.md", &md);
 }

@@ -45,7 +45,9 @@ pub fn scaled(full: usize, fast: usize) -> usize {
 /// The evaluation's reference DQN configuration (Table 2).
 pub fn dqn_config() -> DqnConfig {
     DqnConfig {
-        network: QNetworkConfig::Standard { hidden: vec![128, 128] },
+        network: QNetworkConfig::Standard {
+            hidden: vec![128, 128],
+        },
         gamma: 0.95,
         optimizer: nn::prelude::OptimizerConfig::adam(5e-4),
         loss: nn::prelude::Loss::Huber(1.0),
@@ -58,7 +60,11 @@ pub fn dqn_config() -> DqnConfig {
         soft_tau: None,
         double: true,
         prioritized: None,
-        epsilon: EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 20_000 },
+        epsilon: EpsilonSchedule::Linear {
+            start: 1.0,
+            end: 0.05,
+            steps: 20_000,
+        },
     }
 }
 
@@ -67,19 +73,31 @@ pub fn drl_variants() -> Vec<DrlManagerConfig> {
     let base = dqn_config();
     vec![
         DrlManagerConfig {
-            dqn: DqnConfig { double: false, ..base.clone() },
+            dqn: DqnConfig {
+                double: false,
+                ..base.clone()
+            },
             label: "dqn".into(),
         },
-        DrlManagerConfig { dqn: base.clone(), label: "double-dqn".into() },
+        DrlManagerConfig {
+            dqn: base.clone(),
+            label: "double-dqn".into(),
+        },
         DrlManagerConfig {
             dqn: DqnConfig {
-                network: QNetworkConfig::Dueling { trunk: vec![128], head: 64 },
+                network: QNetworkConfig::Dueling {
+                    trunk: vec![128],
+                    head: 64,
+                },
                 ..base.clone()
             },
             label: "dueling-dqn".into(),
         },
         DrlManagerConfig {
-            dqn: DqnConfig { prioritized: Some(PerConfig::default()), ..base },
+            dqn: DqnConfig {
+                prioritized: Some(PerConfig::default()),
+                ..base
+            },
             label: "per-dqn".into(),
         },
     ]
@@ -87,7 +105,10 @@ pub fn drl_variants() -> Vec<DrlManagerConfig> {
 
 /// The headline DRL manager (Double DQN, uniform replay).
 pub fn drl_default() -> DrlManagerConfig {
-    DrlManagerConfig { dqn: dqn_config(), label: "drl".into() }
+    DrlManagerConfig {
+        dqn: dqn_config(),
+        label: "drl".into(),
+    }
 }
 
 /// Training passes used by the headline experiments.
@@ -113,7 +134,11 @@ pub fn emit_markdown(name: &str, content: &str) {
 /// Panics if the file cannot be written.
 pub fn emit_csv(name: &str, lines: &[String]) {
     write_lines(out_path(name), lines).expect("write results file");
-    eprintln!("[bench] wrote {} ({} rows)", out_path(name).display(), lines.len().saturating_sub(1));
+    eprintln!(
+        "[bench] wrote {} ({} rows)",
+        out_path(name).display(),
+        lines.len().saturating_sub(1)
+    );
 }
 
 /// The evaluation scenario: 8 metro sites + cloud with moderately scarce
@@ -128,7 +153,12 @@ pub fn bench_scenario(rate: f64) -> Scenario {
 
 /// Trains the headline DRL manager for `scenario`.
 pub fn train_headline(scenario: &Scenario) -> TrainedDrl {
-    train_drl(scenario, RewardConfig::default(), drl_default(), default_passes())
+    train_drl(
+        scenario,
+        RewardConfig::default(),
+        drl_default(),
+        default_passes(),
+    )
 }
 
 /// Runs the λ sweep shared by figures 2–4: the DRL manager is trained once

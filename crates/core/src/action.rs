@@ -59,7 +59,11 @@ impl ActionSpace {
     ///
     /// Panics if `index >= len()`.
     pub fn decode(&self, index: usize) -> PlacementAction {
-        assert!(index < self.len(), "action index {index} out of range (len {})", self.len());
+        assert!(
+            index < self.len(),
+            "action index {index} out of range (len {})",
+            self.len()
+        );
         if index == self.node_count {
             PlacementAction::Reject
         } else {

@@ -97,7 +97,11 @@ impl PlacementPolicy for GreedyLatencyPolicy {
 
     fn decide(&mut self, ctx: &DecisionContext, _rng: &mut StdRng) -> PlacementAction {
         ctx.feasible_candidates()
-            .min_by(|a, b| a.marginal_latency_ms.partial_cmp(&b.marginal_latency_ms).unwrap())
+            .min_by(|a, b| {
+                a.marginal_latency_ms
+                    .partial_cmp(&b.marginal_latency_ms)
+                    .unwrap()
+            })
             .map_or(PlacementAction::Reject, |c| PlacementAction::Place(c.node))
     }
 }
@@ -114,7 +118,11 @@ impl PlacementPolicy for GreedyCostPolicy {
 
     fn decide(&mut self, ctx: &DecisionContext, _rng: &mut StdRng) -> PlacementAction {
         ctx.feasible_candidates()
-            .min_by(|a, b| a.marginal_cost_usd.partial_cmp(&b.marginal_cost_usd).unwrap())
+            .min_by(|a, b| {
+                a.marginal_cost_usd
+                    .partial_cmp(&b.marginal_cost_usd)
+                    .unwrap()
+            })
             .map_or(PlacementAction::Reject, |c| PlacementAction::Place(c.node))
     }
 }
@@ -152,7 +160,12 @@ pub struct WeightedGreedyPolicy {
 
 impl Default for WeightedGreedyPolicy {
     fn default() -> Self {
-        Self { alpha: 1.0, beta: 1.0, latency_scale_ms: 50.0, cost_scale_usd: 0.05 }
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+            latency_scale_ms: 50.0,
+            cost_scale_usd: 0.05,
+        }
     }
 }
 
@@ -235,19 +248,30 @@ impl ExhaustivePolicy {
         for (offset, &node) in sequence.iter().enumerate() {
             let position = ctx.position + offset;
             let vnf = self.vnfs.get(ctx.chain.vnfs[position]);
-            let hop = if at == node { 0.0 } else { self.routes.latency_ms(at, node) };
+            let hop = if at == node {
+                0.0
+            } else {
+                self.routes.latency_ms(at, node)
+            };
             if !hop.is_finite() {
                 return f64::INFINITY;
             }
-            latency += hop + vnf.base_processing_ms
+            latency += hop
+                + vnf.base_processing_ms
                 + mm1_sojourn_ms(vnf.service_rate_rps, ctx.chain.arrival_rate_rps);
             let node_ref = self.topology.node(node);
             cost += self.prices.deployment_cost
-                + self.prices.compute_cost_usd(node_ref, vnf.demand.cpu, self.mean_duration_s)
+                + self
+                    .prices
+                    .compute_cost_usd(node_ref, vnf.demand.cpu, self.mean_duration_s)
                 + self.prices.traffic_cost_usd(
                     self.topology.node(at),
                     node_ref,
-                    if at == node { 0.0 } else { ctx.chain.traffic_gb },
+                    if at == node {
+                        0.0
+                    } else {
+                        ctx.chain.traffic_gb
+                    },
                 );
             at = node;
         }
@@ -283,11 +307,13 @@ impl PlacementPolicy for ExhaustivePolicy {
                 continue;
             }
             let score = self.sequence_score(ctx, &sequence);
-            if score.is_finite() && best.map_or(true, |(b, _)| score < b) {
+            if score.is_finite() && best.is_none_or(|(b, _)| score < b) {
                 best = Some((score, sequence[0]));
             }
         }
-        best.map_or(PlacementAction::Reject, |(_, node)| PlacementAction::Place(node))
+        best.map_or(PlacementAction::Reject, |(_, node)| {
+            PlacementAction::Place(node)
+        })
     }
 }
 
@@ -330,7 +356,14 @@ mod tests {
         }
     }
 
-    fn candidate(i: usize, feasible: bool, lat: f64, cost: f64, util: f64, cloud: bool) -> CandidateInfo {
+    fn candidate(
+        i: usize,
+        feasible: bool,
+        lat: f64,
+        cost: f64,
+        util: f64,
+        cloud: bool,
+    ) -> CandidateInfo {
         CandidateInfo {
             node: NodeId(i),
             feasible,
@@ -350,7 +383,10 @@ mod tests {
             candidate(2, true, 1.0, 0.1, 0.1, false),
         ]);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(FirstFitPolicy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(1)));
+        assert_eq!(
+            FirstFitPolicy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(1))
+        );
     }
 
     #[test]
@@ -361,8 +397,14 @@ mod tests {
             candidate(2, true, 1.0, 0.1, 0.5, false),
         ]);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(BestFitPolicy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(1)));
-        assert_eq!(WorstFitPolicy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(0)));
+        assert_eq!(
+            BestFitPolicy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(1))
+        );
+        assert_eq!(
+            WorstFitPolicy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(0))
+        );
     }
 
     #[test]
@@ -372,8 +414,14 @@ mod tests {
             candidate(1, true, 50.0, 0.01, 0.1, false),
         ]);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(GreedyLatencyPolicy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(0)));
-        assert_eq!(GreedyCostPolicy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(1)));
+        assert_eq!(
+            GreedyLatencyPolicy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(0))
+        );
+        assert_eq!(
+            GreedyCostPolicy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(1))
+        );
     }
 
     #[test]
@@ -384,8 +432,14 @@ mod tests {
             candidate(1, true, 40.0, 0.05, 0.0, true),
         ]);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(CloudOnlyPolicy.decide(&no_cloud, &mut rng), PlacementAction::Reject);
-        assert_eq!(CloudOnlyPolicy.decide(&with_cloud, &mut rng), PlacementAction::Place(NodeId(1)));
+        assert_eq!(
+            CloudOnlyPolicy.decide(&no_cloud, &mut rng),
+            PlacementAction::Reject
+        );
+        assert_eq!(
+            CloudOnlyPolicy.decide(&with_cloud, &mut rng),
+            PlacementAction::Place(NodeId(1))
+        );
     }
 
     #[test]
@@ -393,7 +447,12 @@ mod tests {
         let ctx = ctx_with(vec![candidate(0, false, 1.0, 0.1, 0.1, false)]);
         let mut rng = StdRng::seed_from_u64(0);
         for mut p in standard_baselines() {
-            assert_eq!(p.decide(&ctx, &mut rng), PlacementAction::Reject, "{}", p.name());
+            assert_eq!(
+                p.decide(&ctx, &mut rng),
+                PlacementAction::Reject,
+                "{}",
+                p.name()
+            );
         }
     }
 
@@ -406,21 +465,38 @@ mod tests {
         ]);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..20 {
-            assert_eq!(RandomPolicy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(1)));
+            assert_eq!(
+                RandomPolicy.decide(&ctx, &mut rng),
+                PlacementAction::Place(NodeId(1))
+            );
         }
     }
 
     #[test]
     fn weighted_greedy_interpolates() {
         let ctx = ctx_with(vec![
-            candidate(0, true, 5.0, 0.50, 0.1, false),  // fast, expensive
+            candidate(0, true, 5.0, 0.50, 0.1, false), // fast, expensive
             candidate(1, true, 100.0, 0.001, 0.1, false), // slow, cheap
         ]);
         let mut rng = StdRng::seed_from_u64(0);
-        let mut lat_heavy = WeightedGreedyPolicy { alpha: 10.0, beta: 0.01, ..Default::default() };
-        let mut cost_heavy = WeightedGreedyPolicy { alpha: 0.01, beta: 10.0, ..Default::default() };
-        assert_eq!(lat_heavy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(0)));
-        assert_eq!(cost_heavy.decide(&ctx, &mut rng), PlacementAction::Place(NodeId(1)));
+        let mut lat_heavy = WeightedGreedyPolicy {
+            alpha: 10.0,
+            beta: 0.01,
+            ..Default::default()
+        };
+        let mut cost_heavy = WeightedGreedyPolicy {
+            alpha: 0.01,
+            beta: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            lat_heavy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(0))
+        );
+        assert_eq!(
+            cost_heavy.decide(&ctx, &mut rng),
+            PlacementAction::Place(NodeId(1))
+        );
     }
 
     #[test]

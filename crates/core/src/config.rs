@@ -42,9 +42,12 @@ impl TopologySpec {
         match *self {
             TopologySpec::Metro { sites } => builder.metro(sites),
             TopologySpec::Ring { sites } => builder.ring(sites),
-            TopologySpec::Waxman { sites, side_km, alpha, beta } => {
-                builder.waxman(sites, side_km, alpha, beta, rng)
-            }
+            TopologySpec::Waxman {
+                sites,
+                side_km,
+                alpha,
+                beta,
+            } => builder.waxman(sites, side_km, alpha, beta, rng),
         }
     }
 
@@ -127,7 +130,10 @@ impl Scenario {
             self.max_instance_utilization > 0.0 && self.max_instance_utilization <= 1.0,
             "max instance utilization must be in (0,1]"
         );
-        assert!(self.topology.site_count() >= 1, "need at least one edge site");
+        assert!(
+            self.topology.site_count() >= 1,
+            "need at least one edge site"
+        );
     }
 
     /// Returns a copy with a different arrival-rate constant (for λ sweeps).
@@ -173,8 +179,13 @@ mod tests {
         assert_eq!(metro.edge_nodes().len(), 5);
         let ring = TopologySpec::Ring { sites: 6 }.build(&builder, &mut rng);
         assert_eq!(ring.edge_nodes().len(), 6);
-        let wax = TopologySpec::Waxman { sites: 7, side_km: 300.0, alpha: 0.8, beta: 0.4 }
-            .build(&builder, &mut rng);
+        let wax = TopologySpec::Waxman {
+            sites: 7,
+            side_km: 300.0,
+            alpha: 0.8,
+            beta: 0.4,
+        }
+        .build(&builder, &mut rng);
         assert_eq!(wax.edge_nodes().len(), 7);
     }
 

@@ -24,7 +24,10 @@ pub struct DrlManagerConfig {
 
 impl Default for DrlManagerConfig {
     fn default() -> Self {
-        Self { dqn: DqnConfig::default(), label: "drl-dqn".into() }
+        Self {
+            dqn: DqnConfig::default(),
+            label: "drl-dqn".into(),
+        }
     }
 }
 
@@ -54,7 +57,12 @@ impl std::fmt::Debug for DrlPolicy {
 impl DrlPolicy {
     /// Builds the policy for a `state_dim`-dimensional observation and
     /// `action_count` actions (nodes + reject).
-    pub fn new(config: DrlManagerConfig, state_dim: usize, action_count: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        config: DrlManagerConfig,
+        state_dim: usize,
+        action_count: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let agent = DqnAgent::new(config.dqn, state_dim, action_count, rng);
         Self {
             agent,
@@ -185,7 +193,11 @@ mod tests {
         for _ in 0..20 {
             p.observe(feedback(0.0, true, 3), &mut rng);
         }
-        assert_eq!(p.agent().replay_len(), 0, "eval feedback must not enter replay");
+        assert_eq!(
+            p.agent().replay_len(),
+            0,
+            "eval feedback must not enter replay"
+        );
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod prelude {
     };
     pub use crate::config::{Scenario, TopologySpec};
     pub use crate::drl::{DrlManagerConfig, DrlPolicy};
-    pub use crate::pg::{train_pg, PgManagerConfig, PgPolicy};
     pub use crate::metrics::{MetricsCollector, RunSummary, SlotRecord};
+    pub use crate::pg::{train_pg, PgManagerConfig, PgPolicy};
     pub use crate::policy::{CandidateInfo, DecisionContext, DecisionFeedback, PlacementPolicy};
     pub use crate::report::{
         convergence_csv, markdown_comparison, slot_csv_header, slot_csv_row, summary_csv_header,

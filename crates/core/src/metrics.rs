@@ -126,19 +126,31 @@ impl MetricsCollector {
             p50_admission_latency_ms: percentile(0.50),
             p95_admission_latency_ms: percentile(0.95),
             total_cost_usd: total_cost,
-            mean_slot_cost_usd: if slot_count > 0.0 { total_cost / slot_count } else { 0.0 },
+            mean_slot_cost_usd: if slot_count > 0.0 {
+                total_cost / slot_count
+            } else {
+                0.0
+            },
             mean_utilization: if slot_count > 0.0 {
                 self.slots.iter().map(|s| s.mean_utilization).sum::<f64>() / slot_count
             } else {
                 0.0
             },
             mean_active_flows: if slot_count > 0.0 {
-                self.slots.iter().map(|s| s.active_flows as f64).sum::<f64>() / slot_count
+                self.slots
+                    .iter()
+                    .map(|s| s.active_flows as f64)
+                    .sum::<f64>()
+                    / slot_count
             } else {
                 0.0
             },
             mean_live_instances: if slot_count > 0.0 {
-                self.slots.iter().map(|s| s.live_instances as f64).sum::<f64>() / slot_count
+                self.slots
+                    .iter()
+                    .map(|s| s.live_instances as f64)
+                    .sum::<f64>()
+                    / slot_count
             } else {
                 0.0
             },
@@ -187,7 +199,8 @@ impl RunSummary {
     /// The combined objective the paper optimizes: mean per-slot cost plus
     /// latency, each in its natural unit; used for rankings, not plots.
     pub fn combined_objective(&self, alpha: f64, beta: f64) -> f64 {
-        alpha * self.mean_admission_latency_ms + beta * self.mean_slot_cost_usd * 1000.0
+        alpha * self.mean_admission_latency_ms
+            + beta * self.mean_slot_cost_usd * 1000.0
             + 100.0 * (1.0 - self.acceptance_ratio)
     }
 }

@@ -24,7 +24,10 @@ pub struct PgManagerConfig {
 
 impl Default for PgManagerConfig {
     fn default() -> Self {
-        Self { reinforce: ReinforceConfig::default(), label: "drl-pg".into() }
+        Self {
+            reinforce: ReinforceConfig::default(),
+            label: "drl-pg".into(),
+        }
     }
 }
 
@@ -50,9 +53,19 @@ impl std::fmt::Debug for PgPolicy {
 
 impl PgPolicy {
     /// Builds the policy for the given observation/action sizes.
-    pub fn new(config: PgManagerConfig, state_dim: usize, action_count: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        config: PgManagerConfig,
+        state_dim: usize,
+        action_count: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let agent = ReinforceAgent::new(config.reinforce, state_dim, action_count, rng);
-        Self { agent, label: config.label, training: true, episode_returns: Vec::new() }
+        Self {
+            agent,
+            label: config.label,
+            training: true,
+            episode_returns: Vec::new(),
+        }
     }
 
     /// Read access to the wrapped agent.
@@ -145,8 +158,9 @@ pub fn train_pg(
         let mut val_sim = Simulation::new(scenario, reward);
         let val = val_sim.run(&mut policy, 0xA11CE);
         policy.set_training(true);
-        let objective = val.combined_objective(reward.alpha_latency as f64, reward.beta_cost as f64);
-        if best.as_ref().map_or(true, |(b, _)| objective < *b) {
+        let objective =
+            val.combined_objective(reward.alpha_latency as f64, reward.beta_cost as f64);
+        if best.as_ref().is_none_or(|(b, _)| objective < *b) {
             best = Some((objective, policy.clone()));
         }
     }

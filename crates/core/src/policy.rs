@@ -146,7 +146,14 @@ mod tests {
             encoded_state: vec![0.0; 4],
             mask,
             request: Request::new(RequestId(0), ChainId(0), NodeId(0), 0, 1),
-            chain: ChainSpec::new(ChainId(0), "c", vec![sfc::vnf::VnfTypeId(0)], 10.0, 0.1, 1.0),
+            chain: ChainSpec::new(
+                ChainId(0),
+                "c",
+                vec![sfc::vnf::VnfTypeId(0)],
+                10.0,
+                0.1,
+                1.0,
+            ),
             position: 0,
             at_node: NodeId(0),
             consumed_latency_ms: 0.0,

@@ -135,8 +135,14 @@ mod tests {
     #[test]
     fn markdown_table_contains_policy_rows() {
         let results = vec![
-            PolicyResult { policy: "drl".into(), summary: summary() },
-            PolicyResult { policy: "first-fit".into(), summary: summary() },
+            PolicyResult {
+                policy: "drl".into(),
+                summary: summary(),
+            },
+            PolicyResult {
+                policy: "first-fit".into(),
+                summary: summary(),
+            },
         ];
         let md = markdown_comparison(&results);
         assert!(md.contains("| drl |"));

@@ -47,9 +47,15 @@ impl RewardConfig {
     ///
     /// Panics on non-positive scales or negative penalties.
     pub fn validate(&self) {
-        assert!(self.latency_scale_ms > 0.0, "latency scale must be positive");
+        assert!(
+            self.latency_scale_ms > 0.0,
+            "latency scale must be positive"
+        );
         assert!(self.cost_scale_usd > 0.0, "cost scale must be positive");
-        assert!(self.reject_penalty >= 0.0, "reject penalty must be non-negative");
+        assert!(
+            self.reject_penalty >= 0.0,
+            "reject penalty must be non-negative"
+        );
         assert!(self.sla_penalty >= 0.0, "sla penalty must be non-negative");
     }
 
@@ -120,17 +126,33 @@ mod tests {
 
     #[test]
     fn weights_scale_components() {
-        let lat_only = RewardConfig { beta_cost: 0.0, ..RewardConfig::default() };
-        let cost_only = RewardConfig { alpha_latency: 0.0, ..RewardConfig::default() };
+        let lat_only = RewardConfig {
+            beta_cost: 0.0,
+            ..RewardConfig::default()
+        };
+        let cost_only = RewardConfig {
+            alpha_latency: 0.0,
+            ..RewardConfig::default()
+        };
         // Latency-only ignores cost.
-        assert_eq!(lat_only.step_reward(10.0, 0.0), lat_only.step_reward(10.0, 100.0));
+        assert_eq!(
+            lat_only.step_reward(10.0, 0.0),
+            lat_only.step_reward(10.0, 100.0)
+        );
         // Cost-only ignores latency.
-        assert_eq!(cost_only.step_reward(0.0, 0.01), cost_only.step_reward(500.0, 0.01));
+        assert_eq!(
+            cost_only.step_reward(0.0, 0.01),
+            cost_only.step_reward(500.0, 0.01)
+        );
     }
 
     #[test]
     #[should_panic(expected = "latency scale must be positive")]
     fn invalid_scale_rejected() {
-        RewardConfig { latency_scale_ms: 0.0, ..RewardConfig::default() }.validate();
+        RewardConfig {
+            latency_scale_ms: 0.0,
+            ..RewardConfig::default()
+        }
+        .validate();
     }
 }

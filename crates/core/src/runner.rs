@@ -33,7 +33,10 @@ pub fn evaluate_policy(
     policy.set_training(false);
     let mut sim = Simulation::new(scenario, reward);
     let summary = sim.run(policy, seed_offset);
-    PolicyResult { policy: policy.name(), summary }
+    PolicyResult {
+        policy: policy.name(),
+        summary,
+    }
 }
 
 /// Evaluates every policy in `policies` on the *same* workload trace.
@@ -131,13 +134,17 @@ pub fn train_drl_with_catalogs(
         policy.set_training(true);
         let objective =
             val.combined_objective(reward.alpha_latency as f64, reward.beta_cost as f64);
-        if best.as_ref().map_or(true, |(b, _)| objective < *b) {
+        if best.as_ref().is_none_or(|(b, _)| objective < *b) {
             best = Some((objective, policy.clone()));
         }
     }
     let mut policy = best.map(|(_, p)| p).unwrap_or(policy);
     policy.set_training(false);
-    TrainedDrl { policy, episode_returns, pass_summaries }
+    TrainedDrl {
+        policy,
+        episode_returns,
+        pass_summaries,
+    }
 }
 
 /// Evaluates `policy` on a simulation built with custom catalogs.
@@ -152,7 +159,10 @@ pub fn evaluate_policy_with_catalogs(
     policy.set_training(false);
     let mut sim = Simulation::with_catalogs(scenario, reward, vnfs.clone(), chains.clone());
     let summary = sim.run(policy, seed_offset);
-    PolicyResult { policy: policy.name(), summary }
+    PolicyResult {
+        policy: policy.name(),
+        summary,
+    }
 }
 
 /// Smoothes a curve with a trailing moving average of width `window`
@@ -189,7 +199,11 @@ mod tests {
                 learn_start: 32,
                 train_every: 2,
                 target_sync_every: 100,
-                epsilon: EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 1_500 },
+                epsilon: EpsilonSchedule::Linear {
+                    start: 1.0,
+                    end: 0.05,
+                    steps: 1_500,
+                },
                 ..DqnConfig::default()
             },
             label: "drl-test".into(),
@@ -213,7 +227,10 @@ mod tests {
         let results = compare_policies(&scenario, RewardConfig::default(), &mut policies, 3);
         assert_eq!(results.len(), 2);
         // Identical traces → identical arrival counts.
-        assert_eq!(results[0].summary.total_arrivals, results[1].summary.total_arrivals);
+        assert_eq!(
+            results[0].summary.total_arrivals,
+            results[1].summary.total_arrivals
+        );
     }
 
     #[test]
@@ -223,7 +240,10 @@ mod tests {
         let trained = train_drl(&scenario, RewardConfig::default(), fast_drl_config(), 2);
         assert_eq!(trained.pass_summaries.len(), 2);
         assert!(!trained.episode_returns.is_empty());
-        assert!(trained.policy.agent().learn_steps() > 0, "agent actually trained");
+        assert!(
+            trained.policy.agent().learn_steps() > 0,
+            "agent actually trained"
+        );
     }
 
     #[test]

@@ -125,7 +125,9 @@ impl Simulation {
             chains.chain_count()
         );
         let mut topo_rng = StdRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9));
-        let topology = scenario.topology.build(&scenario.topology_builder, &mut topo_rng);
+        let topology = scenario
+            .topology
+            .build(&scenario.topology_builder, &mut topo_rng);
         let routes = RoutingTable::build(&topology);
         let ledger = CapacityLedger::for_topology(&topology);
         let action_space = ActionSpace::new(topology.node_count());
@@ -174,7 +176,12 @@ impl Simulation {
 
     /// Candidate details for placing `chain[position]` when the traffic is
     /// currently at `at_node`.
-    pub fn candidates(&self, chain: &ChainSpec, position: usize, at_node: NodeId) -> Vec<CandidateInfo> {
+    pub fn candidates(
+        &self,
+        chain: &ChainSpec,
+        position: usize,
+        at_node: NodeId,
+    ) -> Vec<CandidateInfo> {
         let vnf = self.vnfs.get(chain.vnfs[position]);
         let slot_s = self.scenario.slot_seconds;
         (0..self.topology.node_count())
@@ -201,7 +208,11 @@ impl Simulation {
 
                 // Marginal latency: hop + fixed processing + queueing at the
                 // post-admission arrival rate.
-                let hop = if at_node == node_id { 0.0 } else { self.routes.latency_ms(at_node, node_id) };
+                let hop = if at_node == node_id {
+                    0.0
+                } else {
+                    self.routes.latency_ms(at_node, node_id)
+                };
                 let lambda_after = reusable
                     .map(|inst| inst.lambda_rps + chain.arrival_rate_rps)
                     .unwrap_or(chain.arrival_rate_rps);
@@ -216,7 +227,11 @@ impl Simulation {
                 let mut cost = 0.0;
                 if reusable.is_none() {
                     cost += self.scenario.prices.deployment_cost;
-                    cost += self.scenario.prices.compute_cost_usd(node, vnf.demand.cpu, mean_duration_s);
+                    cost += self.scenario.prices.compute_cost_usd(
+                        node,
+                        vnf.demand.cpu,
+                        mean_duration_s,
+                    );
                 }
                 let gb_lifetime = chain.traffic_gb * self.scenario.workload.mean_duration_slots;
                 cost += self.scenario.prices.traffic_cost_usd(
@@ -279,7 +294,12 @@ impl Simulation {
     /// Commits one VNF placement at `node`: reuses an instance with
     /// headroom or spawns a new one. Returns
     /// `(instance, newly_spawned, deployment_cost_incurred)`.
-    fn commit_step(&mut self, chain: &ChainSpec, position: usize, node: NodeId) -> (InstanceId, bool, f64) {
+    fn commit_step(
+        &mut self,
+        chain: &ChainSpec,
+        position: usize,
+        node: NodeId,
+    ) -> (InstanceId, bool, f64) {
         let vnf = self.vnfs.get(chain.vnfs[position]).clone();
         let reusable = self
             .pool
@@ -297,7 +317,9 @@ impl Simulation {
             .map(|inst| inst.id);
         match reusable {
             Some(id) => {
-                self.pool.add_flow(id, chain.arrival_rate_rps).expect("instance exists");
+                self.pool
+                    .add_flow(id, chain.arrival_rate_rps)
+                    .expect("instance exists");
                 (id, false, 0.0)
             }
             None => {
@@ -305,7 +327,9 @@ impl Simulation {
                     .allocate(node, &vnf.demand)
                     .expect("engine only commits feasible placements");
                 let id = self.pool.spawn(vnf.id, node, self.slot);
-                self.pool.add_flow(id, chain.arrival_rate_rps).expect("just spawned");
+                self.pool
+                    .add_flow(id, chain.arrival_rate_rps)
+                    .expect("just spawned");
                 (id, true, self.scenario.prices.deployment_cost)
             }
         }
@@ -318,7 +342,9 @@ impl Simulation {
                 let inst = self.pool.get(id).expect("placed instance exists");
                 (inst.node, inst.vnf_type)
             };
-            self.pool.remove_flow(id, chain.arrival_rate_rps).expect("flow was added");
+            self.pool
+                .remove_flow(id, chain.arrival_rate_rps)
+                .expect("flow was added");
             if spawned {
                 self.pool.retire(id).expect("spawned instance is now idle");
                 let demand = self.vnfs.get(vnf_type).demand;
@@ -360,7 +386,8 @@ impl Simulation {
             }
             let started = Instant::now();
             let action = policy.decide(&ctx, rng);
-            self.metrics.push_decision_time(started.elapsed().as_nanos() as u64);
+            self.metrics
+                .push_decision_time(started.elapsed().as_nanos() as u64);
             let action_index = self.action_space.encode(action);
             assert!(
                 ctx.mask[action_index],
@@ -441,7 +468,10 @@ impl Simulation {
                             .or_default()
                             .push(request.id);
                         self.metrics.push_admission_latency(latency_ms);
-                        return PlacementOutcome::Accepted { latency_ms, sla_violated };
+                        return PlacementOutcome::Accepted {
+                            latency_ms,
+                            sla_violated,
+                        };
                     }
                     pending = Some((ctx.encoded_state, ctx.mask, action_index, reward));
                 }
@@ -469,7 +499,10 @@ impl Simulation {
 
     /// Retires instances idle longer than the scenario grace period.
     fn retire_idle_instances(&mut self) {
-        for id in self.pool.idle_instances(self.slot, self.scenario.idle_retire_slots) {
+        for id in self
+            .pool
+            .idle_instances(self.slot, self.scenario.idle_retire_slots)
+        {
             let (node, vnf_type) = {
                 let inst = self.pool.get(id).expect("listed instance exists");
                 (inst.node, inst.vnf_type)
@@ -538,18 +571,27 @@ impl Simulation {
             .values()
             .map(|flow| {
                 let chain = self.chains.get(flow.request.chain);
-                let assignment =
-                    ChainAssignment { request: flow.request.id, instances: flow.instances.clone() };
-                assignment_latency(&assignment, chain, flow.request.source, &self.pool, &self.vnfs, &self.routes)
-                    .map(|b| {
-                        let t = b.total_ms();
-                        if t.is_finite() {
-                            t
-                        } else {
-                            10_000.0
-                        }
-                    })
-                    .unwrap_or(10_000.0)
+                let assignment = ChainAssignment {
+                    request: flow.request.id,
+                    instances: flow.instances.clone(),
+                };
+                assignment_latency(
+                    &assignment,
+                    chain,
+                    flow.request.source,
+                    &self.pool,
+                    &self.vnfs,
+                    &self.routes,
+                )
+                .map(|b| {
+                    let t = b.total_ms();
+                    if t.is_finite() {
+                        t
+                    } else {
+                        10_000.0
+                    }
+                })
+                .unwrap_or(10_000.0)
             })
             .sum();
         total / self.active.len() as f64
@@ -609,10 +651,19 @@ impl Simulation {
     /// same scenario.
     pub fn run(&mut self, policy: &mut dyn PlacementPolicy, seed_offset: u64) -> RunSummary {
         let scenario = self.scenario.clone();
-        let mut trace_rng =
-            StdRng::seed_from_u64(scenario.seed.wrapping_add(seed_offset).wrapping_mul(0x2545_F491));
+        let mut trace_rng = StdRng::seed_from_u64(
+            scenario
+                .seed
+                .wrapping_add(seed_offset)
+                .wrapping_mul(0x2545_F491),
+        );
         let sites = self.topology.edge_nodes();
-        let trace = generate_trace(&scenario.workload, &sites, scenario.horizon_slots, &mut trace_rng);
+        let trace = generate_trace(
+            &scenario.workload,
+            &sites,
+            scenario.horizon_slots,
+            &mut trace_rng,
+        );
         self.run_trace(&trace, policy, seed_offset)
     }
 
@@ -624,14 +675,21 @@ impl Simulation {
         seed_offset: u64,
     ) -> RunSummary {
         let mut rng = StdRng::seed_from_u64(
-            self.scenario.seed.wrapping_add(seed_offset).wrapping_mul(0x9E37_79B9) ^ 0xDEAD_BEEF,
+            self.scenario
+                .seed
+                .wrapping_add(seed_offset)
+                .wrapping_mul(0x9E37_79B9)
+                ^ 0xDEAD_BEEF,
         );
         let start = self.slot;
         let mut arrivals_by_slot: BTreeMap<u64, Vec<Request>> = BTreeMap::new();
         for r in &trace.requests {
             let mut shifted = r.clone();
             shifted.arrival_slot += start;
-            arrivals_by_slot.entry(shifted.arrival_slot).or_default().push(shifted);
+            arrivals_by_slot
+                .entry(shifted.arrival_slot)
+                .or_default()
+                .push(shifted);
         }
         for s in start..start + trace.horizon_slots {
             let arrivals = arrivals_by_slot.remove(&s).unwrap_or_default();
@@ -657,13 +715,19 @@ mod tests {
     }
 
     fn request(id: u64, chain: usize, source: usize, slot: u64, duration: u32) -> Request {
-        Request::new(RequestId(id), ChainId(chain), NodeId(source), slot, duration)
+        Request::new(
+            RequestId(id),
+            ChainId(chain),
+            NodeId(source),
+            slot,
+            duration,
+        )
     }
 
     #[test]
     fn first_fit_places_simple_request() {
         let mut s = sim();
-        let mut policy = FirstFitPolicy::default();
+        let mut policy = FirstFitPolicy;
         let mut rng = StdRng::seed_from_u64(0);
         let req = request(0, 1, 0, 0, 5); // voip: 2 VNFs
         let outcome = s.place_request(&req, &mut policy, &mut rng);
@@ -680,7 +744,7 @@ mod tests {
     #[test]
     fn departure_releases_flows_and_idle_retirement_frees_capacity() {
         let mut s = sim();
-        let mut policy = FirstFitPolicy::default();
+        let mut policy = FirstFitPolicy;
         let mut rng = StdRng::seed_from_u64(1);
         let req = request(0, 1, 0, 0, 2);
         s.advance_slot(std::slice::from_ref(&req), &mut policy, &mut rng);
@@ -730,7 +794,7 @@ mod tests {
     #[test]
     fn instances_are_reused_under_load() {
         let mut s = sim();
-        let mut policy = FirstFitPolicy::default();
+        let mut policy = FirstFitPolicy;
         let mut rng = StdRng::seed_from_u64(3);
         // Two identical requests from the same source: the second should
         // reuse both instances (ample headroom).
@@ -739,7 +803,11 @@ mod tests {
         s.place_request(&r1, &mut policy, &mut rng);
         let instances_after_first = s.pool.len();
         s.place_request(&r2, &mut policy, &mut rng);
-        assert_eq!(s.pool.len(), instances_after_first, "no new instances needed");
+        assert_eq!(
+            s.pool.len(),
+            instances_after_first,
+            "no new instances needed"
+        );
         // Both flows share instances.
         let max_flows = s.pool.iter().map(|i| i.flows).max().unwrap();
         assert_eq!(max_flows, 2);
@@ -748,10 +816,13 @@ mod tests {
     #[test]
     fn full_run_produces_consistent_summary() {
         let mut s = sim();
-        let mut policy = RandomPolicy::default();
+        let mut policy = RandomPolicy;
         let summary = s.run(&mut policy, 0);
         assert_eq!(summary.slots, s.scenario().horizon_slots);
-        assert_eq!(summary.total_arrivals, summary.total_accepted + summary.total_rejected);
+        assert_eq!(
+            summary.total_arrivals,
+            summary.total_accepted + summary.total_rejected
+        );
         assert!(summary.acceptance_ratio >= 0.0 && summary.acceptance_ratio <= 1.0);
         assert!(summary.total_cost_usd >= 0.0);
     }
@@ -761,7 +832,7 @@ mod tests {
         let scenario = Scenario::small_test();
         let run = |seed_offset: u64| {
             let mut s = Simulation::new(&scenario, RewardConfig::default());
-            let mut policy = RandomPolicy::default();
+            let mut policy = RandomPolicy;
             let mut summary = s.run(&mut policy, seed_offset);
             // Wall-clock decision timing is legitimately non-deterministic.
             summary.mean_decision_time_us = 0.0;

@@ -61,16 +61,15 @@ impl StateEncoder {
     pub fn new(config: StateEncoderConfig) -> Self {
         assert!(config.node_count > 0, "node count must be positive");
         assert!(config.chain_count > 0, "chain count must be positive");
-        assert!(config.max_chain_len > 0, "max chain length must be positive");
+        assert!(
+            config.max_chain_len > 0,
+            "max chain length must be positive"
+        );
         Self { config }
     }
 
     /// Builds the encoder for a concrete catalog pair.
-    pub fn for_catalogs(
-        node_count: usize,
-        chains: &ChainCatalog,
-        phase_period_slots: u64,
-    ) -> Self {
+    pub fn for_catalogs(node_count: usize, chains: &ChainCatalog, phase_period_slots: u64) -> Self {
         Self::new(StateEncoderConfig {
             node_count,
             chain_count: chains.chain_count(),
@@ -119,18 +118,38 @@ impl StateEncoder {
         candidates: &[CandidateInfo],
     ) -> Vec<f32> {
         let n = self.config.node_count;
-        assert!(source.0 < n && at_node.0 < n, "node out of range for encoder");
-        assert!(chain.id.0 < self.config.chain_count, "chain out of range for encoder");
-        assert!(position < chain.len(), "position {position} out of range for chain of {}", chain.len());
+        assert!(
+            source.0 < n && at_node.0 < n,
+            "node out of range for encoder"
+        );
+        assert!(
+            chain.id.0 < self.config.chain_count,
+            "chain out of range for encoder"
+        );
+        assert!(
+            position < chain.len(),
+            "position {position} out of range for chain of {}",
+            chain.len()
+        );
         assert_eq!(candidates.len(), n, "candidate list must cover every node");
 
         let mut v = vec![0.0f32; self.dim()];
         // Per-node utilizations.
         for i in 0..n {
-            let cap = ledger.capacity_of(NodeId(i)).expect("ledger covers topology");
+            let cap = ledger
+                .capacity_of(NodeId(i))
+                .expect("ledger covers topology");
             let used = ledger.used_of(NodeId(i)).expect("ledger covers topology");
-            let cpu_u = if cap.cpu > 0.0 { (used.cpu / cap.cpu).min(1.0) } else { 0.0 };
-            let mem_u = if cap.mem > 0.0 { (used.mem / cap.mem).min(1.0) } else { 0.0 };
+            let cpu_u = if cap.cpu > 0.0 {
+                (used.cpu / cap.cpu).min(1.0)
+            } else {
+                0.0
+            };
+            let mem_u = if cap.mem > 0.0 {
+                (used.mem / cap.mem).min(1.0)
+            } else {
+                0.0
+            };
             v[i] = cpu_u as f32;
             v[n + i] = mem_u as f32;
         }
@@ -143,7 +162,12 @@ impl StateEncoder {
                 continue;
             }
             let has_headroom = insts.iter().any(|inst| {
-                sfc::delay::admits_load(mu, inst.lambda_rps, chain.arrival_rate_rps, max_instance_utilization)
+                sfc::delay::admits_load(
+                    mu,
+                    inst.lambda_rps,
+                    chain.arrival_rate_rps,
+                    max_instance_utilization,
+                )
             });
             v[2 * n + i] = if has_headroom { 1.0 } else { 0.5 };
         }
@@ -173,8 +197,7 @@ impl StateEncoder {
             .clamp(-1.0, 1.0);
         v[base + 2] = remaining_budget as f32;
         if self.config.phase_period_slots > 0 {
-            let angle = 2.0 * std::f64::consts::PI
-                * (slot % self.config.phase_period_slots) as f64
+            let angle = 2.0 * std::f64::consts::PI * (slot % self.config.phase_period_slots) as f64
                 / self.config.phase_period_slots as f64;
             v[base + 3] = angle.sin() as f32;
             v[base + 4] = angle.cos() as f32;
@@ -207,7 +230,13 @@ mod tests {
         let chains = ChainCatalog::standard(&vnfs);
         let encoder = StateEncoder::for_catalogs(4, &chains, 100);
         let ledger = CapacityLedger::from_capacities(vec![Resources::new(16.0, 32.0); 4]);
-        Fixture { encoder, ledger, pool: InstancePool::new(), vnfs, chains }
+        Fixture {
+            encoder,
+            ledger,
+            pool: InstancePool::new(),
+            vnfs,
+            chains,
+        }
     }
 
     fn candidates(n: usize) -> Vec<CandidateInfo> {
@@ -235,10 +264,21 @@ mod tests {
     #[test]
     fn encodes_utilization_and_one_hots() {
         let mut f = fixture();
-        f.ledger.allocate(NodeId(1), &Resources::new(8.0, 0.0)).unwrap();
+        f.ledger
+            .allocate(NodeId(1), &Resources::new(8.0, 0.0))
+            .unwrap();
         let chain = f.chains.get(ChainId(0)).clone();
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(2), NodeId(2), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(2),
+            NodeId(2),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
         assert!((v[1] - 0.5).abs() < 1e-6, "cpu util of node 1");
@@ -254,13 +294,25 @@ mod tests {
         let f = fixture();
         let chain = f.chains.get(ChainId(0)).clone();
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
         // Latencies 20/40/60/80 ms over a 200 ms scale.
         for i in 0..4 {
             let expected = 20.0 * (i + 1) as f32 / 200.0;
-            assert!((v[5 * 4 + i] - expected).abs() < 1e-6, "latency feature {i}");
+            assert!(
+                (v[5 * 4 + i] - expected).abs() < 1e-6,
+                "latency feature {i}"
+            );
         }
         // Costs 0.02·(i+1) over a 0.2 scale.
         assert!((v[6 * 4] - 0.1).abs() < 1e-6);
@@ -273,7 +325,17 @@ mod tests {
         let mut cands = candidates(4);
         cands[2].feasible = false;
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0, &cands,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
+            &cands,
         );
         assert_eq!(v[5 * 4 + 2], 1.0);
         assert_eq!(v[6 * 4 + 2], 1.0);
@@ -286,7 +348,16 @@ mod tests {
         let nat = chain.vnfs[0];
         let id = f.pool.spawn(nat, NodeId(0), 0);
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
         assert_eq!(v[2 * 4], 1.0, "fresh instance has headroom");
@@ -294,10 +365,23 @@ mod tests {
         let mu = f.vnfs.get(nat).service_rate_rps;
         f.pool.add_flow(id, mu).unwrap();
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
-        assert_eq!(v[2 * 4], 0.5, "saturated instance exists but lacks headroom");
+        assert_eq!(
+            v[2 * 4],
+            0.5,
+            "saturated instance exists but lacks headroom"
+        );
         // Other nodes have none.
         assert_eq!(v[2 * 4 + 1], 0.0);
     }
@@ -308,12 +392,30 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone();
         let base = 7 * 4 + 4;
         let fresh = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
         let spent = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 1, NodeId(0), NodeId(0),
-            chain.latency_budget_ms * 0.5, 0.9, 0, &candidates(4),
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            1,
+            NodeId(0),
+            NodeId(0),
+            chain.latency_budget_ms * 0.5,
+            0.9,
+            0,
+            &candidates(4),
         );
         assert!((fresh[base + 2] - 1.0).abs() < 1e-6);
         assert!((spent[base + 2] - 0.5).abs() < 1e-6);
@@ -325,8 +427,17 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone();
         let base = 7 * 4 + 4;
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 1, NodeId(0), NodeId(0),
-            chain.latency_budget_ms * 99.0, 0.9, 0, &candidates(4),
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            1,
+            NodeId(0),
+            NodeId(0),
+            chain.latency_budget_ms * 99.0,
+            0.9,
+            0,
+            &candidates(4),
         );
         assert_eq!(v[base + 2], -1.0);
     }
@@ -337,11 +448,29 @@ mod tests {
         let chain = f.chains.get(ChainId(0)).clone();
         let base = 7 * 4 + 4;
         let at0 = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
         let at25 = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 25,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            25,
             &candidates(4),
         );
         assert!((at0[base + 3] - 0.0).abs() < 1e-6);
@@ -352,10 +481,21 @@ mod tests {
     #[test]
     fn all_features_bounded() {
         let mut f = fixture();
-        f.ledger.allocate(NodeId(0), &Resources::new(16.0, 32.0)).unwrap();
+        f.ledger
+            .allocate(NodeId(0), &Resources::new(16.0, 32.0))
+            .unwrap();
         let chain = f.chains.get(ChainId(3)).clone();
         let v = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 4, NodeId(3), NodeId(1), 10.0, 0.9, 77,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            4,
+            NodeId(3),
+            NodeId(1),
+            10.0,
+            0.9,
+            77,
             &candidates(4),
         );
         for (i, &x) in v.iter().enumerate() {
@@ -369,7 +509,16 @@ mod tests {
         let f = fixture();
         let chain = f.chains.get(ChainId(1)).clone(); // length 2
         let _ = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 2, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            2,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(4),
         );
     }
@@ -380,7 +529,16 @@ mod tests {
         let f = fixture();
         let chain = f.chains.get(ChainId(0)).clone();
         let _ = f.encoder.encode(
-            &f.ledger, &f.pool, &f.vnfs, &chain, 0, NodeId(0), NodeId(0), 0.0, 0.9, 0,
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
             &candidates(2),
         );
     }

@@ -57,7 +57,10 @@ impl CapacityLedger {
     /// Builds a ledger from explicit capacities (tests and tools).
     pub fn from_capacities(capacities: Vec<Resources>) -> Self {
         let used = vec![Resources::zero(); capacities.len()];
-        Self { capacity: capacities, used }
+        Self {
+            capacity: capacities,
+            used,
+        }
     }
 
     /// Number of tracked nodes.
@@ -71,7 +74,10 @@ impl CapacityLedger {
     ///
     /// Returns [`CapacityError::UnknownNode`] for out-of-range ids.
     pub fn capacity_of(&self, node: NodeId) -> Result<Resources, CapacityError> {
-        self.capacity.get(node.0).copied().ok_or(CapacityError::UnknownNode(node))
+        self.capacity
+            .get(node.0)
+            .copied()
+            .ok_or(CapacityError::UnknownNode(node))
     }
 
     /// Currently used resources at `node`.
@@ -80,7 +86,10 @@ impl CapacityLedger {
     ///
     /// Returns [`CapacityError::UnknownNode`] for out-of-range ids.
     pub fn used_of(&self, node: NodeId) -> Result<Resources, CapacityError> {
-        self.used.get(node.0).copied().ok_or(CapacityError::UnknownNode(node))
+        self.used
+            .get(node.0)
+            .copied()
+            .ok_or(CapacityError::UnknownNode(node))
     }
 
     /// Remaining free resources at `node`.
@@ -89,7 +98,9 @@ impl CapacityLedger {
     ///
     /// Returns [`CapacityError::UnknownNode`] for out-of-range ids.
     pub fn available_of(&self, node: NodeId) -> Result<Resources, CapacityError> {
-        Ok(self.capacity_of(node)?.minus_saturating(&self.used_of(node)?))
+        Ok(self
+            .capacity_of(node)?
+            .minus_saturating(&self.used_of(node)?))
     }
 
     /// Dominant utilization fraction at `node` (max over CPU/mem), in `[0,1]`.
@@ -98,7 +109,10 @@ impl CapacityLedger {
     ///
     /// Returns [`CapacityError::UnknownNode`] for out-of-range ids.
     pub fn utilization_of(&self, node: NodeId) -> Result<f64, CapacityError> {
-        Ok(self.capacity_of(node)?.dominant_utilization(&self.used_of(node)?).min(1.0))
+        Ok(self
+            .capacity_of(node)?
+            .dominant_utilization(&self.used_of(node)?)
+            .min(1.0))
     }
 
     /// `true` if `demand` currently fits at `node`.
@@ -119,7 +133,11 @@ impl CapacityLedger {
     pub fn allocate(&mut self, node: NodeId, demand: &Resources) -> Result<(), CapacityError> {
         let available = self.available_of(node)?;
         if !available.fits(demand) {
-            return Err(CapacityError::Insufficient { node, requested: *demand, available });
+            return Err(CapacityError::Insufficient {
+                node,
+                requested: *demand,
+                available,
+            });
         }
         self.used[node.0] = self.used[node.0].plus(demand);
         Ok(())
@@ -152,7 +170,11 @@ impl CapacityLedger {
             return 0.0;
         }
         let sum: f64 = (0..self.capacity.len())
-            .map(|i| self.capacity[i].dominant_utilization(&self.used[i]).min(1.0))
+            .map(|i| {
+                self.capacity[i]
+                    .dominant_utilization(&self.used[i])
+                    .min(1.0)
+            })
             .sum();
         sum / self.capacity.len() as f64
     }
@@ -187,7 +209,9 @@ mod tests {
         let mut l = ledger();
         l.allocate(NodeId(1), &Resources::new(3.0, 1.0)).unwrap();
         let before = l.clone();
-        let err = l.allocate(NodeId(1), &Resources::new(2.0, 1.0)).unwrap_err();
+        let err = l
+            .allocate(NodeId(1), &Resources::new(2.0, 1.0))
+            .unwrap_err();
         match err {
             CapacityError::Insufficient { node, .. } => assert_eq!(node, NodeId(1)),
             other => panic!("unexpected error {other:?}"),
@@ -214,9 +238,18 @@ mod tests {
     #[test]
     fn unknown_node_errors() {
         let mut l = ledger();
-        assert!(matches!(l.allocate(NodeId(9), &Resources::zero()), Err(CapacityError::UnknownNode(_))));
-        assert!(matches!(l.utilization_of(NodeId(9)), Err(CapacityError::UnknownNode(_))));
-        assert!(matches!(l.release(NodeId(9), &Resources::zero()), Err(CapacityError::UnknownNode(_))));
+        assert!(matches!(
+            l.allocate(NodeId(9), &Resources::zero()),
+            Err(CapacityError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            l.utilization_of(NodeId(9)),
+            Err(CapacityError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            l.release(NodeId(9), &Resources::zero()),
+            Err(CapacityError::UnknownNode(_))
+        ));
     }
 
     #[test]

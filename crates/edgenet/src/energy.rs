@@ -17,7 +17,10 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        Self { price_per_kwh: 0.12, pue: 1.5 }
+        Self {
+            price_per_kwh: 0.12,
+            pue: 1.5,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ impl EnergyModel {
     ///
     /// Panics if the price is negative or `pue < 1`.
     pub fn validate(&self) {
-        assert!(self.price_per_kwh >= 0.0, "energy price must be non-negative");
+        assert!(
+            self.price_per_kwh >= 0.0,
+            "energy price must be non-negative"
+        );
         assert!(self.pue >= 1.0, "PUE must be at least 1");
     }
 
@@ -39,7 +45,10 @@ impl EnergyModel {
     ///
     /// Panics if `utilization` is outside `[0, 1]`.
     pub fn power_w(&self, node: &Node, utilization: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0,1], got {utilization}");
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0,1], got {utilization}"
+        );
         node.idle_power_w + (node.peak_power_w - node.idle_power_w) * utilization
     }
 
@@ -88,7 +97,10 @@ mod tests {
 
     #[test]
     fn cost_scales_with_duration_and_pue() {
-        let m = EnergyModel { price_per_kwh: 0.10, pue: 2.0 };
+        let m = EnergyModel {
+            price_per_kwh: 0.10,
+            pue: 2.0,
+        };
         // 1000 W * 2.0 PUE for 1 hour = 2 kWh -> $0.20.
         let cost = m.cost_usd(&node(), 1.0, 3600.0);
         assert!((cost - 0.20).abs() < 1e-9);
@@ -106,6 +118,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "PUE must be at least 1")]
     fn invalid_pue_panics() {
-        EnergyModel { price_per_kwh: 0.1, pue: 0.5 }.validate();
+        EnergyModel {
+            price_per_kwh: 0.1,
+            pue: 0.5,
+        }
+        .validate();
     }
 }

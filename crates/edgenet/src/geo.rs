@@ -27,8 +27,14 @@ impl GeoPoint {
     ///
     /// Panics if latitude or longitude are out of range or non-finite.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
-        assert!(lon.is_finite() && (-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        assert!(
+            lat.is_finite() && (-90.0..=90.0).contains(&lat),
+            "latitude {lat} out of range"
+        );
+        assert!(
+            lon.is_finite() && (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
         Self { lat, lon }
     }
 

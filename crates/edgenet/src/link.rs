@@ -25,12 +25,20 @@ impl Link {
     /// positive finite numbers.
     pub fn new(a: NodeId, b: NodeId, latency_ms: f64, bandwidth_mbps: f64) -> Self {
         assert_ne!(a, b, "self-loop link on {a}");
-        assert!(latency_ms.is_finite() && latency_ms > 0.0, "latency must be positive, got {latency_ms}");
+        assert!(
+            latency_ms.is_finite() && latency_ms > 0.0,
+            "latency must be positive, got {latency_ms}"
+        );
         assert!(
             bandwidth_mbps.is_finite() && bandwidth_mbps > 0.0,
             "bandwidth must be positive, got {bandwidth_mbps}"
         );
-        Self { a, b, latency_ms, bandwidth_mbps }
+        Self {
+            a,
+            b,
+            latency_ms,
+            bandwidth_mbps,
+        }
     }
 
     /// The endpoint opposite to `from`, or `None` if `from` is not an

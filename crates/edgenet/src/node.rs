@@ -33,8 +33,14 @@ impl Resources {
     ///
     /// Panics if any component is negative or non-finite.
     pub fn new(cpu: f64, mem: f64) -> Self {
-        assert!(cpu.is_finite() && cpu >= 0.0, "cpu must be non-negative, got {cpu}");
-        assert!(mem.is_finite() && mem >= 0.0, "mem must be non-negative, got {mem}");
+        assert!(
+            cpu.is_finite() && cpu >= 0.0,
+            "cpu must be non-negative, got {cpu}"
+        );
+        assert!(
+            mem.is_finite() && mem >= 0.0,
+            "mem must be non-negative, got {mem}"
+        );
         Self { cpu, mem }
     }
 
@@ -45,7 +51,10 @@ impl Resources {
 
     /// Component-wise sum.
     pub fn plus(&self, other: &Resources) -> Resources {
-        Resources { cpu: self.cpu + other.cpu, mem: self.mem + other.mem }
+        Resources {
+            cpu: self.cpu + other.cpu,
+            mem: self.mem + other.mem,
+        }
     }
 
     /// Component-wise difference; clamps at zero to guard rounding noise.
@@ -58,7 +67,10 @@ impl Resources {
 
     /// Scales both components.
     pub fn scaled(&self, factor: f64) -> Resources {
-        Resources { cpu: self.cpu * factor, mem: self.mem * factor }
+        Resources {
+            cpu: self.cpu * factor,
+            mem: self.mem * factor,
+        }
     }
 
     /// `true` if `demand` fits inside `self` (component-wise ≤, with a tiny

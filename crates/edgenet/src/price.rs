@@ -18,7 +18,11 @@ pub struct PriceModel {
 
 impl Default for PriceModel {
     fn default() -> Self {
-        Self { deployment_cost: 0.02, wan_traffic_per_gb: 0.01, cloud_traffic_per_gb: 0.05 }
+        Self {
+            deployment_cost: 0.02,
+            wan_traffic_per_gb: 0.01,
+            cloud_traffic_per_gb: 0.05,
+        }
     }
 }
 
@@ -29,9 +33,18 @@ impl PriceModel {
     ///
     /// Panics on negative prices.
     pub fn validate(&self) {
-        assert!(self.deployment_cost >= 0.0, "deployment cost must be non-negative");
-        assert!(self.wan_traffic_per_gb >= 0.0, "wan traffic price must be non-negative");
-        assert!(self.cloud_traffic_per_gb >= 0.0, "cloud traffic price must be non-negative");
+        assert!(
+            self.deployment_cost >= 0.0,
+            "deployment cost must be non-negative"
+        );
+        assert!(
+            self.wan_traffic_per_gb >= 0.0,
+            "wan traffic price must be non-negative"
+        );
+        assert!(
+            self.cloud_traffic_per_gb >= 0.0,
+            "cloud traffic price must be non-negative"
+        );
     }
 
     /// Running cost in USD for `vcpus` virtual CPUs on `node` for
@@ -41,7 +54,10 @@ impl PriceModel {
     ///
     /// Panics if inputs are negative.
     pub fn compute_cost_usd(&self, node: &Node, vcpus: f64, duration_s: f64) -> f64 {
-        assert!(vcpus >= 0.0 && duration_s >= 0.0, "inputs must be non-negative");
+        assert!(
+            vcpus >= 0.0 && duration_s >= 0.0,
+            "inputs must be non-negative"
+        );
         node.cpu_price_per_hour * vcpus * duration_s / 3600.0
     }
 

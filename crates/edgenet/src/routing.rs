@@ -55,7 +55,10 @@ pub fn dijkstra(topology: &Topology, source: NodeId) -> Vec<(f64, Option<NodeId>
     let mut dist: Vec<(f64, Option<NodeId>)> = vec![(f64::INFINITY, None); n];
     dist[source.0] = (0.0, None);
     let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { cost: 0.0, node: source });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if cost > dist[node.0].0 {
             continue; // stale entry
@@ -65,7 +68,10 @@ pub fn dijkstra(topology: &Topology, source: NodeId) -> Vec<(f64, Option<NodeId>
             let candidate = cost + w;
             if candidate < dist[next.0].0 {
                 dist[next.0] = (candidate, Some(node));
-                heap.push(HeapEntry { cost: candidate, node: next });
+                heap.push(HeapEntry {
+                    cost: candidate,
+                    node: next,
+                });
             }
         }
     }
@@ -95,7 +101,11 @@ impl RoutingTable {
                 predecessor.push(pred);
             }
         }
-        Self { n, latency, predecessor }
+        Self {
+            n,
+            latency,
+            predecessor,
+        }
     }
 
     /// Number of nodes covered.
@@ -138,7 +148,10 @@ impl RoutingTable {
             current = pred;
         }
         nodes.reverse();
-        Some(Path { nodes, latency_ms: total })
+        Some(Path {
+            nodes,
+            latency_ms: total,
+        })
     }
 }
 
@@ -148,7 +161,11 @@ mod tests {
     use crate::topology::TopologyBuilder;
 
     fn ring(n: usize) -> Topology {
-        TopologyBuilder { with_cloud: false, ..Default::default() }.ring(n)
+        TopologyBuilder {
+            with_cloud: false,
+            ..Default::default()
+        }
+        .ring(n)
     }
 
     #[test]
@@ -210,7 +227,8 @@ mod tests {
             for b in 0..n {
                 for c in 0..n {
                     let direct = table.latency_ms(NodeId(a), NodeId(c));
-                    let via = table.latency_ms(NodeId(a), NodeId(b)) + table.latency_ms(NodeId(b), NodeId(c));
+                    let via = table.latency_ms(NodeId(a), NodeId(b))
+                        + table.latency_ms(NodeId(b), NodeId(c));
                     assert!(direct <= via + 1e-9, "triangle violated {a}->{b}->{c}");
                 }
             }
@@ -222,8 +240,8 @@ mod tests {
         let topo = ring(7);
         let table = RoutingTable::build(&topo);
         let from_zero = dijkstra(&topo, NodeId(0));
-        for d in 0..7 {
-            assert!((from_zero[d].0 - table.latency_ms(NodeId(0), NodeId(d))).abs() < 1e-12);
+        for (d, entry) in from_zero.iter().enumerate() {
+            assert!((entry.0 - table.latency_ms(NodeId(0), NodeId(d))).abs() < 1e-12);
         }
     }
 

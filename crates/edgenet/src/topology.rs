@@ -50,7 +50,11 @@ impl Topology {
             adjacency[link.a.0].push((link.b, li));
             adjacency[link.b.0].push((link.a, li));
         }
-        Self { nodes, links, adjacency }
+        Self {
+            nodes,
+            links,
+            adjacency,
+        }
     }
 
     /// All nodes, ordered by id.
@@ -94,12 +98,19 @@ impl Topology {
 
     /// Ids of all edge (non-cloud) nodes.
     pub fn edge_nodes(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Edge).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Edge)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Id of the first cloud node, if any.
     pub fn cloud_node(&self) -> Option<NodeId> {
-        self.nodes.iter().find(|n| n.kind == NodeKind::Cloud).map(|n| n.id)
+        self.nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::Cloud)
+            .map(|n| n.id)
     }
 
     /// `true` if every node can reach every other node.
@@ -125,7 +136,11 @@ impl Topology {
 
     /// Total CPU capacity across edge nodes.
     pub fn total_edge_cpu(&self) -> f64 {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Edge).map(|n| n.capacity.cpu).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Edge)
+            .map(|n| n.capacity.cpu)
+            .sum()
     }
 }
 
@@ -168,12 +183,18 @@ impl TopologyBuilder {
     pub fn metro(&self, n: usize) -> Topology {
         let catalog = metro_catalog();
         assert!(n >= 1, "need at least one metro site");
-        assert!(n <= catalog.len(), "metro preset supports up to {} sites", catalog.len());
+        assert!(
+            n <= catalog.len(),
+            "metro preset supports up to {} sites",
+            catalog.len()
+        );
         let mut nodes: Vec<Node> = catalog[..n]
             .iter()
             .enumerate()
             .map(|(i, (name, point))| {
-                NodeBuilder::edge(*name, *point).capacity(self.edge_capacity).build(NodeId(i))
+                NodeBuilder::edge(*name, *point)
+                    .capacity(self.edge_capacity)
+                    .build(NodeId(i))
             })
             .collect();
         let mut links = Vec::new();
@@ -181,18 +202,28 @@ impl TopologyBuilder {
             for j in i + 1..n {
                 let lat = nodes[i].location.propagation_delay_ms(&nodes[j].location)
                     + self.forwarding_latency_ms;
-                links.push(Link::new(NodeId(i), NodeId(j), lat, self.link_bandwidth_mbps));
+                links.push(Link::new(
+                    NodeId(i),
+                    NodeId(j),
+                    lat,
+                    self.link_bandwidth_mbps,
+                ));
             }
         }
         if self.with_cloud {
             let cloud_id = NodeId(n);
             let cloud_loc = GeoPoint::new(39.0, -98.0); // central US
             nodes.push(NodeBuilder::cloud("cloud", cloud_loc).build(cloud_id));
-            for i in 0..n {
-                let lat = nodes[i].location.propagation_delay_ms(&cloud_loc)
+            for (i, node) in nodes.iter().take(n).enumerate() {
+                let lat = node.location.propagation_delay_ms(&cloud_loc)
                     + self.forwarding_latency_ms
                     + self.cloud_extra_latency_ms;
-                links.push(Link::new(NodeId(i), cloud_id, lat, self.link_bandwidth_mbps));
+                links.push(Link::new(
+                    NodeId(i),
+                    cloud_id,
+                    lat,
+                    self.link_bandwidth_mbps,
+                ));
             }
         }
         Topology::new(nodes, links)
@@ -223,17 +254,27 @@ impl TopologyBuilder {
             let j = (i + 1) % n;
             let lat = nodes[i].location.propagation_delay_ms(&nodes[j].location)
                 + self.forwarding_latency_ms;
-            links.push(Link::new(NodeId(i), NodeId(j), lat, self.link_bandwidth_mbps));
+            links.push(Link::new(
+                NodeId(i),
+                NodeId(j),
+                lat,
+                self.link_bandwidth_mbps,
+            ));
         }
         if self.with_cloud {
             let cloud_id = NodeId(n);
             let cloud_loc = GeoPoint::new(39.0, -98.0);
             nodes.push(NodeBuilder::cloud("cloud", cloud_loc).build(cloud_id));
-            for i in 0..n {
-                let lat = nodes[i].location.propagation_delay_ms(&cloud_loc)
+            for (i, node) in nodes.iter().take(n).enumerate() {
+                let lat = node.location.propagation_delay_ms(&cloud_loc)
                     + self.forwarding_latency_ms
                     + self.cloud_extra_latency_ms;
-                links.push(Link::new(NodeId(i), cloud_id, lat, self.link_bandwidth_mbps));
+                links.push(Link::new(
+                    NodeId(i),
+                    cloud_id,
+                    lat,
+                    self.link_bandwidth_mbps,
+                ));
             }
         }
         Topology::new(nodes, links)
@@ -247,7 +288,14 @@ impl TopologyBuilder {
     /// # Panics
     ///
     /// Panics if `n < 2` or parameters are out of `(0, 1]`.
-    pub fn waxman<R: Rng>(&self, n: usize, side_km: f64, alpha: f64, beta: f64, rng: &mut R) -> Topology {
+    pub fn waxman<R: Rng>(
+        &self,
+        n: usize,
+        side_km: f64,
+        alpha: f64,
+        beta: f64,
+        rng: &mut R,
+    ) -> Topology {
         assert!(n >= 2, "waxman needs at least 2 nodes");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
         assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
@@ -259,7 +307,10 @@ impl TopologyBuilder {
         for i in 0..n {
             let dx: f64 = rng.gen_range(0.0..side_km);
             let dy: f64 = rng.gen_range(0.0..side_km);
-            let point = GeoPoint::new(base.lat + dy / km_per_deg_lat, base.lon + dx / km_per_deg_lon);
+            let point = GeoPoint::new(
+                base.lat + dy / km_per_deg_lat,
+                base.lon + dx / km_per_deg_lon,
+            );
             nodes.push(
                 NodeBuilder::edge(format!("wax-{i}"), point)
                     .capacity(self.edge_capacity)
@@ -276,7 +327,12 @@ impl TopologyBuilder {
                 if rng.gen::<f64>() < p {
                     let lat = nodes[i].location.propagation_delay_ms(&nodes[j].location)
                         + self.forwarding_latency_ms;
-                    links.push(Link::new(NodeId(i), NodeId(j), lat, self.link_bandwidth_mbps));
+                    links.push(Link::new(
+                        NodeId(i),
+                        NodeId(j),
+                        lat,
+                        self.link_bandwidth_mbps,
+                    ));
                     connected[i] = true;
                     connected[j] = true;
                 }
@@ -285,20 +341,32 @@ impl TopologyBuilder {
         // Spanning chain i -> i+1 where missing, to guarantee connectivity.
         for i in 0..n - 1 {
             if !links.iter().any(|l| l.connects(NodeId(i), NodeId(i + 1))) {
-                let lat = nodes[i].location.propagation_delay_ms(&nodes[i + 1].location)
+                let lat = nodes[i]
+                    .location
+                    .propagation_delay_ms(&nodes[i + 1].location)
                     + self.forwarding_latency_ms;
-                links.push(Link::new(NodeId(i), NodeId(i + 1), lat.max(0.01), self.link_bandwidth_mbps));
+                links.push(Link::new(
+                    NodeId(i),
+                    NodeId(i + 1),
+                    lat.max(0.01),
+                    self.link_bandwidth_mbps,
+                ));
             }
         }
         if self.with_cloud {
             let cloud_id = NodeId(n);
             let cloud_loc = GeoPoint::new(39.0, -98.0);
             nodes.push(NodeBuilder::cloud("cloud", cloud_loc).build(cloud_id));
-            for i in 0..n {
-                let lat = nodes[i].location.propagation_delay_ms(&cloud_loc)
+            for (i, node) in nodes.iter().take(n).enumerate() {
+                let lat = node.location.propagation_delay_ms(&cloud_loc)
                     + self.forwarding_latency_ms
                     + self.cloud_extra_latency_ms;
-                links.push(Link::new(NodeId(i), cloud_id, lat, self.link_bandwidth_mbps));
+                links.push(Link::new(
+                    NodeId(i),
+                    cloud_id,
+                    lat,
+                    self.link_bandwidth_mbps,
+                ));
             }
         }
         Topology::new(nodes, links)
@@ -324,7 +392,10 @@ mod tests {
 
     #[test]
     fn metro_without_cloud() {
-        let builder = TopologyBuilder { with_cloud: false, ..Default::default() };
+        let builder = TopologyBuilder {
+            with_cloud: false,
+            ..Default::default()
+        };
         let topo = builder.metro(4);
         assert_eq!(topo.node_count(), 4);
         assert!(topo.cloud_node().is_none());
@@ -332,7 +403,10 @@ mod tests {
 
     #[test]
     fn ring_is_sparse_and_connected() {
-        let builder = TopologyBuilder { with_cloud: false, ..Default::default() };
+        let builder = TopologyBuilder {
+            with_cloud: false,
+            ..Default::default()
+        };
         let topo = builder.ring(8);
         assert_eq!(topo.link_count(), 8);
         assert!(topo.is_connected());
@@ -345,7 +419,10 @@ mod tests {
     #[test]
     fn waxman_is_connected_by_construction() {
         let mut rng = StdRng::seed_from_u64(5);
-        let builder = TopologyBuilder { with_cloud: false, ..Default::default() };
+        let builder = TopologyBuilder {
+            with_cloud: false,
+            ..Default::default()
+        };
         for n in [5, 20, 50] {
             let topo = builder.waxman(n, 500.0, 0.8, 0.3, &mut rng);
             assert!(topo.is_connected(), "waxman n={n} disconnected");
@@ -355,7 +432,10 @@ mod tests {
 
     #[test]
     fn waxman_is_deterministic_per_seed() {
-        let builder = TopologyBuilder { with_cloud: false, ..Default::default() };
+        let builder = TopologyBuilder {
+            with_cloud: false,
+            ..Default::default()
+        };
         let a = builder.waxman(10, 300.0, 0.7, 0.4, &mut StdRng::seed_from_u64(9));
         let b = builder.waxman(10, 300.0, 0.7, 0.4, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);

@@ -7,11 +7,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// Derivatives are expressed in terms of the *pre-activation* input `z`,
 /// which is what the MLP caches during the forward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Activation {
     /// `f(z) = z` — used on output layers (Q-values are unbounded).
     Identity,
     /// `f(z) = max(0, z)`.
+    #[default]
     Relu,
     /// `f(z) = max(alpha * z, z)` for small positive `alpha`.
     LeakyRelu(f32),
@@ -19,12 +20,6 @@ pub enum Activation {
     Tanh,
     /// Logistic sigmoid.
     Sigmoid,
-}
-
-impl Default for Activation {
-    fn default() -> Self {
-        Activation::Relu
-    }
 }
 
 impl Activation {
@@ -102,7 +97,10 @@ mod tests {
     #[test]
     fn relu_clamps_negatives() {
         let z = Matrix::row_vector(&[-2.0, 0.0, 3.0]);
-        assert_eq!(Activation::Relu.apply(&z), Matrix::row_vector(&[0.0, 0.0, 3.0]));
+        assert_eq!(
+            Activation::Relu.apply(&z),
+            Matrix::row_vector(&[0.0, 0.0, 3.0])
+        );
     }
 
     #[test]
@@ -145,6 +143,9 @@ mod tests {
     #[test]
     fn identity_derivative_is_one() {
         let z = Matrix::row_vector(&[5.0, -5.0]);
-        assert_eq!(Activation::Identity.derivative(&z), Matrix::row_vector(&[1.0, 1.0]));
+        assert_eq!(
+            Activation::Identity.derivative(&z),
+            Matrix::row_vector(&[1.0, 1.0])
+        );
     }
 }

@@ -35,7 +35,13 @@ impl GradCheckReport {
 /// # Panics
 ///
 /// Panics on shape mismatches between `x`, `target` and the network.
-pub fn check_mlp_gradients(net: &mut Mlp, x: &Matrix, target: &Matrix, loss: Loss, eps: f32) -> GradCheckReport {
+pub fn check_mlp_gradients(
+    net: &mut Mlp,
+    x: &Matrix,
+    target: &Matrix,
+    loss: Loss,
+    eps: f32,
+) -> GradCheckReport {
     // Analytic pass.
     let pred = net.forward_train(x);
     let (_, grad_out) = loss.evaluate(&pred, target);
@@ -50,26 +56,30 @@ pub fn check_mlp_gradients(net: &mut Mlp, x: &Matrix, target: &Matrix, loss: Los
     let stride = (total_params / 512).max(1);
     let mut flat_index = 0usize;
 
-    for layer_idx in 0..net.layer_count() {
+    for (layer_idx, grads) in analytic.iter().enumerate() {
         for which in 0..2usize {
-            let shape = {
-                let layer = &net.layers()[layer_idx];
-                if which == 0 { layer.weights().shape() } else { layer.bias().shape() }
+            // Gradient matrices share their parameter's shape.
+            let shape = if which == 0 {
+                grads.0.shape()
+            } else {
+                grads.1.shape()
             };
             for r in 0..shape.0 {
                 for c in 0..shape.1 {
                     flat_index += 1;
-                    if flat_index % stride != 0 {
+                    if !flat_index.is_multiple_of(stride) {
                         continue;
                     }
                     let a = if which == 0 {
-                        analytic[layer_idx].0.get(r, c)
+                        grads.0.get(r, c)
                     } else {
-                        analytic[layer_idx].1.get(r, c)
+                        grads.1.get(r, c)
                     };
                     let numeric = {
-                        let plus = perturbed_loss(net, layer_idx, which, r, c, eps, x, target, loss);
-                        let minus = perturbed_loss(net, layer_idx, which, r, c, -eps, x, target, loss);
+                        let plus =
+                            perturbed_loss(net, layer_idx, which, r, c, eps, x, target, loss);
+                        let minus =
+                            perturbed_loss(net, layer_idx, which, r, c, -eps, x, target, loss);
                         (plus - minus) / (2.0 * eps)
                     };
                     let abs = (a - numeric).abs();
@@ -81,9 +91,14 @@ pub fn check_mlp_gradients(net: &mut Mlp, x: &Matrix, target: &Matrix, loss: Los
             }
         }
     }
-    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, checked }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        checked,
+    }
 }
 
+#[allow(clippy::too_many_arguments)] // internal helper; the coordinates are irreducible
 fn perturbed_loss(
     net: &mut Mlp,
     layer: usize,
@@ -129,12 +144,20 @@ mod tests {
 
     #[test]
     fn tanh_mse_gradients_match() {
-        check(MlpConfig::new(4, &[8, 6], 3).hidden_activation(Activation::Tanh), Loss::Mse, 1);
+        check(
+            MlpConfig::new(4, &[8, 6], 3).hidden_activation(Activation::Tanh),
+            Loss::Mse,
+            1,
+        );
     }
 
     #[test]
     fn sigmoid_mse_gradients_match() {
-        check(MlpConfig::new(3, &[5], 2).hidden_activation(Activation::Sigmoid), Loss::Mse, 2);
+        check(
+            MlpConfig::new(3, &[5], 2).hidden_activation(Activation::Sigmoid),
+            Loss::Mse,
+            2,
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rand::Rng;
 
 /// Weight initialization scheme for a dense layer with `fan_in` inputs and
 /// `fan_out` outputs.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize, Default)]
 pub enum Init {
     /// All weights equal to the given constant (mostly for tests).
     Constant(f32),
@@ -21,13 +21,8 @@ pub enum Init {
     /// He/Kaiming uniform: `limit = sqrt(6 / fan_in)`.
     ///
     /// The default for ReLU networks (used by the DQN in `mano`).
+    #[default]
     HeUniform,
-}
-
-impl Default for Init {
-    fn default() -> Self {
-        Init::HeUniform
-    }
 }
 
 impl Init {
@@ -37,7 +32,10 @@ impl Init {
     ///
     /// Panics if `fan_in == 0` or `fan_out == 0`.
     pub fn weights<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
-        assert!(fan_in > 0 && fan_out > 0, "layer dimensions must be positive");
+        assert!(
+            fan_in > 0 && fan_out > 0,
+            "layer dimensions must be positive"
+        );
         match self {
             Init::Constant(v) => Matrix::full(fan_in, fan_out, v),
             Init::Uniform(limit) => sample_uniform(fan_in, fan_out, limit, rng),
@@ -118,7 +116,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
-        assert_eq!(Init::XavierUniform.weights(5, 5, &mut a), Init::XavierUniform.weights(5, 5, &mut b));
+        assert_eq!(
+            Init::XavierUniform.weights(5, 5, &mut a),
+            Init::XavierUniform.weights(5, 5, &mut b)
+        );
     }
 
     #[test]

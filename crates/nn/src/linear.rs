@@ -61,8 +61,19 @@ impl Dense {
     /// Panics if `bias` is not `1 x weights.cols()`.
     pub fn from_parameters(weights: Matrix, bias: Matrix, activation: Activation) -> Self {
         assert_eq!(bias.rows(), 1, "bias must be a row vector");
-        assert_eq!(bias.cols(), weights.cols(), "bias width must match weight columns");
-        Self { weights, bias, activation, grad_weights: None, grad_bias: None, cache: None }
+        assert_eq!(
+            bias.cols(),
+            weights.cols(),
+            "bias width must match weight columns"
+        );
+        Self {
+            weights,
+            bias,
+            activation,
+            grad_weights: None,
+            grad_bias: None,
+            cache: None,
+        }
     }
 
     /// Input dimension.
@@ -110,7 +121,10 @@ impl Dense {
     pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
         let z = input.matmul(&self.weights).add_row_broadcast(&self.bias);
         let out = self.activation.apply(&z);
-        self.cache = Some(ForwardCache { input: input.clone(), pre_activation: z });
+        self.cache = Some(ForwardCache {
+            input: input.clone(),
+            pre_activation: z,
+        });
         out
     }
 
@@ -147,8 +161,14 @@ impl Dense {
     /// Removes and returns accumulated `(dW, db)` gradients, resetting the
     /// accumulators. Returns zero matrices if no backward pass happened.
     pub fn take_gradients(&mut self) -> (Matrix, Matrix) {
-        let gw = self.grad_weights.take().unwrap_or_else(|| Matrix::zeros(self.weights.rows(), self.weights.cols()));
-        let gb = self.grad_bias.take().unwrap_or_else(|| Matrix::zeros(1, self.bias.cols()));
+        let gw = self
+            .grad_weights
+            .take()
+            .unwrap_or_else(|| Matrix::zeros(self.weights.rows(), self.weights.cols()));
+        let gb = self
+            .grad_bias
+            .take()
+            .unwrap_or_else(|| Matrix::zeros(1, self.bias.cols()));
         (gw, gb)
     }
 
@@ -176,8 +196,15 @@ impl Dense {
     ///
     /// Panics if the layers have different shapes or `tau ∉ [0, 1]`.
     pub fn soft_update_from(&mut self, other: &Dense, tau: f32) {
-        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1], got {tau}");
-        assert_eq!(self.weights.shape(), other.weights.shape(), "soft update shape mismatch");
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "tau must be in [0,1], got {tau}"
+        );
+        assert_eq!(
+            self.weights.shape(),
+            other.weights.shape(),
+            "soft update shape mismatch"
+        );
         self.weights.scale_assign(1.0 - tau);
         self.weights.add_scaled_assign(&other.weights, tau);
         self.bias.scale_assign(1.0 - tau);

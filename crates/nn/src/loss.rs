@@ -83,7 +83,10 @@ impl Loss {
         let mut grad = Matrix::zeros(n, prediction.cols());
         for r in 0..n {
             let c = selected[r];
-            assert!(c < prediction.cols(), "selected column {c} out of range in row {r}");
+            assert!(
+                c < prediction.cols(),
+                "selected column {c} out of range in row {r}"
+            );
             let w = weights.map_or(1.0, |w| w[r]);
             let e = prediction.get(r, c) - targets[r];
             let (l, g) = self.pointwise(e);

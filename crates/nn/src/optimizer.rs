@@ -43,12 +43,21 @@ pub enum OptimizerConfig {
 impl OptimizerConfig {
     /// Adam with standard defaults and the given learning rate.
     pub fn adam(lr: f32) -> Self {
-        OptimizerConfig::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimizerConfig::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// RMSProp with DQN-paper defaults and the given learning rate.
     pub fn rmsprop(lr: f32) -> Self {
-        OptimizerConfig::RmsProp { lr, rho: 0.95, eps: 1e-6 }
+        OptimizerConfig::RmsProp {
+            lr,
+            rho: 0.95,
+            eps: 1e-6,
+        }
     }
 
     /// Plain SGD with the given learning rate.
@@ -82,14 +91,23 @@ impl OptimizerConfig {
                 assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
                 assert!(eps > 0.0, "eps must be positive");
             }
-            OptimizerConfig::Adam { lr, beta1, beta2, eps } => {
+            OptimizerConfig::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 assert!(lr > 0.0, "learning rate must be positive");
                 assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
                 assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
                 assert!(eps > 0.0, "eps must be positive");
             }
         }
-        Optimizer { config: self, slots: Vec::new(), step: 0 }
+        Optimizer {
+            config: self,
+            slots: Vec::new(),
+            step: 0,
+        }
     }
 }
 
@@ -133,7 +151,11 @@ impl Optimizer {
     /// Panics if `param` and `grad` shapes differ, or if a slot is reused
     /// with a different shape.
     pub fn update(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
-        assert_eq!(param.shape(), grad.shape(), "optimizer update shape mismatch");
+        assert_eq!(
+            param.shape(),
+            grad.shape(),
+            "optimizer update shape mismatch"
+        );
         while self.slots.len() <= slot {
             self.slots.push(SlotState {
                 m: Matrix::zeros(param.rows(), param.cols()),
@@ -141,7 +163,11 @@ impl Optimizer {
             });
         }
         let state = &mut self.slots[slot];
-        assert_eq!(state.m.shape(), param.shape(), "optimizer slot {slot} shape changed");
+        assert_eq!(
+            state.m.shape(),
+            param.shape(),
+            "optimizer slot {slot} shape changed"
+        );
         match self.config {
             OptimizerConfig::Sgd { lr, momentum } => {
                 if momentum == 0.0 {
@@ -154,13 +180,22 @@ impl Optimizer {
                 }
             }
             OptimizerConfig::RmsProp { lr, rho, eps } => {
-                let (mp, gp, vp) = (param.as_mut_slice(), grad.as_slice(), state.v.as_mut_slice());
+                let (mp, gp, vp) = (
+                    param.as_mut_slice(),
+                    grad.as_slice(),
+                    state.v.as_mut_slice(),
+                );
                 for i in 0..mp.len() {
                     vp[i] = rho * vp[i] + (1.0 - rho) * gp[i] * gp[i];
                     mp[i] -= lr * gp[i] / (vp[i].sqrt() + eps);
                 }
             }
-            OptimizerConfig::Adam { lr, beta1, beta2, eps } => {
+            OptimizerConfig::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let t = self.step.max(1) as f32;
                 let bc1 = 1.0 - beta1.powf(t);
                 let bc2 = 1.0 - beta2.powf(t);
@@ -186,10 +221,14 @@ impl Optimizer {
 /// Panics if `max_norm` is not positive.
 pub fn clip_global_norm(grads: &mut [&mut Matrix], max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "max_norm must be positive");
-    let total: f32 = grads.iter().map(|g| {
-        let n = g.frobenius_norm();
-        n * n
-    }).sum::<f32>().sqrt();
+    let total: f32 = grads
+        .iter()
+        .map(|g| {
+            let n = g.frobenius_norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt();
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for g in grads.iter_mut() {
@@ -223,7 +262,13 @@ mod tests {
 
     #[test]
     fn sgd_momentum_converges_on_quadratic() {
-        let x = quadratic_descend(OptimizerConfig::Sgd { lr: 0.05, momentum: 0.9 }, 200);
+        let x = quadratic_descend(
+            OptimizerConfig::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            200,
+        );
         assert!(x.abs() < 1e-2, "momentum final x = {x}");
     }
 
@@ -253,7 +298,11 @@ mod tests {
 
     #[test]
     fn slots_are_independent() {
-        let mut opt = OptimizerConfig::Sgd { lr: 0.1, momentum: 0.9 }.build();
+        let mut opt = OptimizerConfig::Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+        }
+        .build();
         let mut a = Matrix::row_vector(&[1.0]);
         let mut b = Matrix::row_vector(&[1.0]);
         let ga = Matrix::row_vector(&[1.0]);

@@ -27,12 +27,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -83,15 +91,28 @@ impl Matrix {
         assert!(cols > 0, "matrix must have at least one column");
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} but expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a `1 x n` row vector from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -136,7 +157,12 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -147,7 +173,12 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -157,7 +188,11 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -167,7 +202,11 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -311,7 +350,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += scale * b;
         }
@@ -336,7 +379,11 @@ impl Matrix {
     /// Panics if `bias` is not `1 x self.cols`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
         assert_eq!(bias.rows, 1, "broadcast bias must be a row vector");
-        assert_eq!(bias.cols, self.cols, "broadcast bias has {} cols, expected {}", bias.cols, self.cols);
+        assert_eq!(
+            bias.cols, self.cols,
+            "broadcast bias has {} cols, expected {}",
+            bias.cols, self.cols
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             for c in 0..out.cols {
@@ -433,7 +480,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 }
@@ -489,16 +541,25 @@ mod tests {
     fn elementwise_ops() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
-        assert_eq!(a.add(&b), Matrix::from_rows(&[&[11.0, 22.0], &[33.0, 44.0]]));
+        assert_eq!(
+            a.add(&b),
+            Matrix::from_rows(&[&[11.0, 22.0], &[33.0, 44.0]])
+        );
         assert_eq!(b.sub(&a), Matrix::from_rows(&[&[9.0, 18.0], &[27.0, 36.0]]));
-        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[10.0, 40.0], &[90.0, 160.0]]));
+        assert_eq!(
+            a.hadamard(&b),
+            Matrix::from_rows(&[&[10.0, 40.0], &[90.0, 160.0]])
+        );
     }
 
     #[test]
     fn broadcast_and_col_sum() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let bias = Matrix::row_vector(&[10.0, 100.0]);
-        assert_eq!(a.add_row_broadcast(&bias), Matrix::from_rows(&[&[11.0, 102.0], &[13.0, 104.0]]));
+        assert_eq!(
+            a.add_row_broadcast(&bias),
+            Matrix::from_rows(&[&[11.0, 102.0], &[13.0, 104.0]])
+        );
         assert_eq!(a.col_sum(), Matrix::row_vector(&[4.0, 6.0]));
     }
 

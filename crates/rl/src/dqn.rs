@@ -175,7 +175,12 @@ impl DqnAgent {
     /// # Panics
     ///
     /// Panics if the config is invalid or dimensions are zero.
-    pub fn new<R: Rng + ?Sized>(config: DqnConfig, state_dim: usize, action_count: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        config: DqnConfig,
+        state_dim: usize,
+        action_count: usize,
+        rng: &mut R,
+    ) -> Self {
         config.validate();
         let online = QNetwork::new(&config.network, state_dim, action_count, rng);
         let target = if config.target_sync_every > 0 || config.soft_tau.is_some() {
@@ -186,11 +191,21 @@ impl DqnAgent {
             None
         };
         let replay = match &config.prioritized {
-            Some(per) => ReplayStore::Prioritized(PrioritizedReplay::new(config.replay_capacity, *per)),
+            Some(per) => {
+                ReplayStore::Prioritized(PrioritizedReplay::new(config.replay_capacity, *per))
+            }
             None => ReplayStore::Uniform(UniformReplay::new(config.replay_capacity)),
         };
         let optimizer = config.optimizer.build();
-        Self { config, online, target, optimizer, replay, env_steps: 0, learn_steps: 0 }
+        Self {
+            config,
+            online,
+            target,
+            optimizer,
+            replay,
+            env_steps: 0,
+            learn_steps: 0,
+        }
     }
 
     /// The agent's configuration.
@@ -231,8 +246,11 @@ impl DqnAgent {
     pub fn act<R: Rng + ?Sized>(&self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
         let eps = self.epsilon();
         if rng.gen::<f32>() < eps {
-            let valid: Vec<usize> =
-                mask.iter().enumerate().filter_map(|(i, &ok)| ok.then_some(i)).collect();
+            let valid: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &ok)| ok.then_some(i))
+                .collect();
             assert!(!valid.is_empty(), "act called with fully-masked action set");
             valid[rng.gen_range(0..valid.len())]
         } else {
@@ -253,11 +271,17 @@ impl DqnAgent {
     /// Stores a transition and, if due, performs a learn step.
     ///
     /// Returns learn-step telemetry when a gradient update happened.
-    pub fn observe<R: Rng + ?Sized>(&mut self, transition: Transition, rng: &mut R) -> Option<LearnStats> {
+    pub fn observe<R: Rng + ?Sized>(
+        &mut self,
+        transition: Transition,
+        rng: &mut R,
+    ) -> Option<LearnStats> {
         self.replay.push(transition);
         self.env_steps += 1;
         let due = self.env_steps as usize >= self.config.learn_start
-            && self.env_steps % self.config.train_every as u64 == 0
+            && self
+                .env_steps
+                .is_multiple_of(self.config.train_every as u64)
             && self.replay.len() >= self.config.batch_size;
         if due {
             Some(self.learn(rng))
@@ -286,7 +310,11 @@ impl DqnAgent {
         // Bootstrapped targets.
         let bootstrap_net = self.target.as_ref().unwrap_or(&self.online);
         let q_next_target = bootstrap_net.forward(&next_states);
-        let q_next_online = if self.config.double { Some(self.online.forward(&next_states)) } else { None };
+        let q_next_online = if self.config.double {
+            Some(self.online.forward(&next_states))
+        } else {
+            None
+        };
 
         let all_valid = vec![true; self.online.action_count()];
         let mut actions = Vec::with_capacity(n);
@@ -334,14 +362,20 @@ impl DqnAgent {
             if let Some(tau) = self.config.soft_tau {
                 target.soft_update_from(&self.online, tau);
             } else if self.config.target_sync_every > 0
-                && self.learn_steps % self.config.target_sync_every == 0
+                && self
+                    .learn_steps
+                    .is_multiple_of(self.config.target_sync_every)
             {
                 target.copy_parameters_from(&self.online);
             }
         }
 
         let mean_abs_td = td.iter().map(|e| e.abs()).sum::<f32>() / n as f32;
-        LearnStats { loss, mean_abs_td, epsilon: self.epsilon() }
+        LearnStats {
+            loss,
+            mean_abs_td,
+            epsilon: self.epsilon(),
+        }
     }
 
     /// Forces a hard target sync (used by tests).
@@ -386,7 +420,10 @@ mod tests {
     #[test]
     fn act_respects_mask_greedy_and_random() {
         let mut rng = StdRng::seed_from_u64(5);
-        let config = DqnConfig { epsilon: EpsilonSchedule::Constant(1.0), ..tiny_config() };
+        let config = DqnConfig {
+            epsilon: EpsilonSchedule::Constant(1.0),
+            ..tiny_config()
+        };
         let agent = DqnAgent::new(config, 2, 4, &mut rng);
         let mask = [false, true, false, false];
         for _ in 0..50 {
@@ -401,7 +438,10 @@ mod tests {
         let mut agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
         let s = vec![0.0, 0.0];
         for i in 0..7 {
-            let stats = agent.observe(Transition::new(s.clone(), 0, 0.0, s.clone(), false), &mut rng);
+            let stats = agent.observe(
+                Transition::new(s.clone(), 0, 0.0, s.clone(), false),
+                &mut rng,
+            );
             assert!(stats.is_none(), "learned too early at step {i}");
         }
         let stats = agent.observe(Transition::new(s.clone(), 0, 0.0, s, false), &mut rng);
@@ -424,7 +464,10 @@ mod tests {
         };
         let mut agent = DqnAgent::new(config, 1, 1, &mut rng);
         for _ in 0..300 {
-            agent.observe(Transition::new(vec![1.0], 0, 1.0, vec![1.0], true), &mut rng);
+            agent.observe(
+                Transition::new(vec![1.0], 0, 1.0, vec![1.0], true),
+                &mut rng,
+            );
         }
         let q = agent.q_values(&[1.0])[0];
         assert!((q - 1.0).abs() < 0.1, "Q = {q}, expected ≈ 1.0");
@@ -434,7 +477,10 @@ mod tests {
     fn double_and_single_targets_both_learn() {
         for double in [false, true] {
             let mut rng = StdRng::seed_from_u64(3);
-            let config = DqnConfig { double, ..tiny_config() };
+            let config = DqnConfig {
+                double,
+                ..tiny_config()
+            };
             let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
             push_n(&mut agent, 100, &mut rng);
             assert!(agent.learn_steps() > 0);
@@ -445,7 +491,11 @@ mod tests {
     #[test]
     fn no_target_network_mode_works() {
         let mut rng = StdRng::seed_from_u64(4);
-        let config = DqnConfig { target_sync_every: 0, soft_tau: None, ..tiny_config() };
+        let config = DqnConfig {
+            target_sync_every: 0,
+            soft_tau: None,
+            ..tiny_config()
+        };
         let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
         push_n(&mut agent, 60, &mut rng);
         assert!(agent.learn_steps() > 0);
@@ -454,7 +504,10 @@ mod tests {
     #[test]
     fn soft_target_mode_works() {
         let mut rng = StdRng::seed_from_u64(6);
-        let config = DqnConfig { soft_tau: Some(0.05), ..tiny_config() };
+        let config = DqnConfig {
+            soft_tau: Some(0.05),
+            ..tiny_config()
+        };
         let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
         push_n(&mut agent, 60, &mut rng);
         assert!(agent.learn_steps() > 0);
@@ -463,7 +516,10 @@ mod tests {
     #[test]
     fn prioritized_mode_learns_and_updates_priorities() {
         let mut rng = StdRng::seed_from_u64(7);
-        let config = DqnConfig { prioritized: Some(PerConfig::default()), ..tiny_config() };
+        let config = DqnConfig {
+            prioritized: Some(PerConfig::default()),
+            ..tiny_config()
+        };
         let mut agent = DqnAgent::new(config, 2, 2, &mut rng);
         push_n(&mut agent, 100, &mut rng);
         assert!(agent.learn_steps() > 0);

@@ -16,7 +16,11 @@ pub struct StepOutcome {
 impl StepOutcome {
     /// Convenience constructor.
     pub fn new(next_state: Vec<f32>, reward: f32, done: bool) -> Self {
-        Self { next_state, reward, done }
+        Self {
+            next_state,
+            reward,
+            done,
+        }
     }
 }
 
@@ -127,7 +131,10 @@ mod tests {
 
     #[test]
     fn masked_max_value() {
-        assert_eq!(masked_max(&[1.0, 10.0, 5.0], &[true, false, true]), Some(5.0));
+        assert_eq!(
+            masked_max(&[1.0, 10.0, 5.0], &[true, false, true]),
+            Some(5.0)
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod transition;
 /// Convenient glob-import of the common types.
 pub mod prelude {
     pub use crate::dqn::{DqnAgent, DqnConfig, LearnStats};
-    pub use crate::env::{masked_argmax, masked_max, DiscreteStateEnvironment, Environment, StepOutcome};
+    pub use crate::env::{
+        masked_argmax, masked_max, DiscreteStateEnvironment, Environment, StepOutcome,
+    };
     pub use crate::qnet::{QNetwork, QNetworkConfig};
     pub use crate::qtable::{QTableAgent, QTableConfig};
     pub use crate::reinforce::{masked_softmax, ReinforceAgent, ReinforceConfig};

@@ -25,7 +25,9 @@ pub enum QNetworkConfig {
 
 impl Default for QNetworkConfig {
     fn default() -> Self {
-        QNetworkConfig::Standard { hidden: vec![64, 64] }
+        QNetworkConfig::Standard {
+            hidden: vec![64, 64],
+        }
     }
 }
 
@@ -57,13 +59,20 @@ impl QNetwork {
         action_count: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(state_dim > 0 && action_count > 0, "network dimensions must be positive");
+        assert!(
+            state_dim > 0 && action_count > 0,
+            "network dimensions must be positive"
+        );
         match config {
-            QNetworkConfig::Standard { hidden } => {
-                QNetwork::Standard(Mlp::new(&MlpConfig::new(state_dim, hidden, action_count), rng))
-            }
+            QNetworkConfig::Standard { hidden } => QNetwork::Standard(Mlp::new(
+                &MlpConfig::new(state_dim, hidden, action_count),
+                rng,
+            )),
             QNetworkConfig::Dueling { trunk, head } => {
-                assert!(!trunk.is_empty(), "dueling trunk must have at least one layer");
+                assert!(
+                    !trunk.is_empty(),
+                    "dueling trunk must have at least one layer"
+                );
                 assert!(*head > 0, "dueling head width must be positive");
                 let trunk_out = *trunk.last().expect("non-empty trunk");
                 // Trunk ends with an activated hidden layer; heads are small
@@ -101,9 +110,11 @@ impl QNetwork {
     pub fn param_count(&self) -> usize {
         match self {
             QNetwork::Standard(net) => net.param_count(),
-            QNetwork::Dueling { trunk, value, advantage } => {
-                trunk.param_count() + value.param_count() + advantage.param_count()
-            }
+            QNetwork::Dueling {
+                trunk,
+                value,
+                advantage,
+            } => trunk.param_count() + value.param_count() + advantage.param_count(),
         }
     }
 
@@ -111,7 +122,11 @@ impl QNetwork {
     pub fn forward(&self, states: &Matrix) -> Matrix {
         match self {
             QNetwork::Standard(net) => net.forward(states),
-            QNetwork::Dueling { trunk, value, advantage } => {
+            QNetwork::Dueling {
+                trunk,
+                value,
+                advantage,
+            } => {
                 let t = trunk.forward(states);
                 let v = value.forward(&t);
                 let a = advantage.forward(&t);
@@ -140,10 +155,20 @@ impl QNetwork {
         max_grad_norm: Option<f32>,
     ) -> (f32, Vec<f32>) {
         match self {
-            QNetwork::Standard(net) => {
-                net.train_selected(states, selected, targets, weights, loss, optimizer, max_grad_norm)
-            }
-            QNetwork::Dueling { trunk, value, advantage } => {
+            QNetwork::Standard(net) => net.train_selected(
+                states,
+                selected,
+                targets,
+                weights,
+                loss,
+                optimizer,
+                max_grad_norm,
+            ),
+            QNetwork::Dueling {
+                trunk,
+                value,
+                advantage,
+            } => {
                 // Forward with caches.
                 let t = trunk.forward_train(states);
                 let v = value.forward_train(&t);
@@ -196,8 +221,16 @@ impl QNetwork {
         match (self, other) {
             (QNetwork::Standard(a), QNetwork::Standard(b)) => a.copy_parameters_from(b),
             (
-                QNetwork::Dueling { trunk: t1, value: v1, advantage: a1 },
-                QNetwork::Dueling { trunk: t2, value: v2, advantage: a2 },
+                QNetwork::Dueling {
+                    trunk: t1,
+                    value: v1,
+                    advantage: a1,
+                },
+                QNetwork::Dueling {
+                    trunk: t2,
+                    value: v2,
+                    advantage: a2,
+                },
             ) => {
                 t1.copy_parameters_from(t2);
                 v1.copy_parameters_from(v2);
@@ -216,8 +249,16 @@ impl QNetwork {
         match (self, other) {
             (QNetwork::Standard(a), QNetwork::Standard(b)) => a.soft_update_from(b, tau),
             (
-                QNetwork::Dueling { trunk: t1, value: v1, advantage: a1 },
-                QNetwork::Dueling { trunk: t2, value: v2, advantage: a2 },
+                QNetwork::Dueling {
+                    trunk: t1,
+                    value: v1,
+                    advantage: a1,
+                },
+                QNetwork::Dueling {
+                    trunk: t2,
+                    value: v2,
+                    advantage: a2,
+                },
             ) => {
                 t1.soft_update_from(t2, tau);
                 v1.soft_update_from(v2, tau);
@@ -231,7 +272,11 @@ impl QNetwork {
     pub fn has_non_finite_params(&self) -> bool {
         match self {
             QNetwork::Standard(net) => net.has_non_finite_params(),
-            QNetwork::Dueling { trunk, value, advantage } => {
+            QNetwork::Dueling {
+                trunk,
+                value,
+                advantage,
+            } => {
                 trunk.has_non_finite_params()
                     || value.has_non_finite_params()
                     || advantage.has_non_finite_params()
@@ -251,7 +296,12 @@ fn combine_dueling(v: &Matrix, a: &Matrix) -> Matrix {
     })
 }
 
-fn apply_subnet(net: &mut Mlp, optimizer: &mut Optimizer, slot_base: usize, max_grad_norm: Option<f32>) {
+fn apply_subnet(
+    net: &mut Mlp,
+    optimizer: &mut Optimizer,
+    slot_base: usize,
+    max_grad_norm: Option<f32>,
+) {
     // Mirror Mlp::apply_gradients but with an externally begun step and a
     // slot offset so the three sub-networks don't collide.
     let mut grads = net.drain_gradients();
@@ -278,7 +328,12 @@ mod tests {
 
     #[test]
     fn standard_shapes() {
-        let net = QNetwork::new(&QNetworkConfig::Standard { hidden: vec![8] }, 4, 3, &mut rng());
+        let net = QNetwork::new(
+            &QNetworkConfig::Standard { hidden: vec![8] },
+            4,
+            3,
+            &mut rng(),
+        );
         assert_eq!(net.state_dim(), 4);
         assert_eq!(net.action_count(), 3);
         assert_eq!(net.q_values(&[0.0; 4]).len(), 3);
@@ -286,7 +341,15 @@ mod tests {
 
     #[test]
     fn dueling_shapes() {
-        let net = QNetwork::new(&QNetworkConfig::Dueling { trunk: vec![16, 8], head: 8 }, 5, 4, &mut rng());
+        let net = QNetwork::new(
+            &QNetworkConfig::Dueling {
+                trunk: vec![16, 8],
+                head: 8,
+            },
+            5,
+            4,
+            &mut rng(),
+        );
         assert_eq!(net.state_dim(), 5);
         assert_eq!(net.action_count(), 4);
         assert!(net.param_count() > 0);
@@ -305,7 +368,12 @@ mod tests {
 
     #[test]
     fn standard_training_reduces_td_error() {
-        let mut net = QNetwork::new(&QNetworkConfig::Standard { hidden: vec![16] }, 3, 2, &mut rng());
+        let mut net = QNetwork::new(
+            &QNetworkConfig::Standard { hidden: vec![16] },
+            3,
+            2,
+            &mut rng(),
+        );
         let mut opt = OptimizerConfig::adam(0.01).build();
         let states = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let selected = [0usize, 1usize];
@@ -313,7 +381,15 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for i in 0..200 {
-            let (l, _) = net.train_selected(&states, &selected, &targets, None, Loss::Mse, &mut opt, None);
+            let (l, _) = net.train_selected(
+                &states,
+                &selected,
+                &targets,
+                None,
+                Loss::Mse,
+                &mut opt,
+                None,
+            );
             if i == 0 {
                 first = l;
             }
@@ -324,8 +400,15 @@ mod tests {
 
     #[test]
     fn dueling_training_reduces_td_error() {
-        let mut net =
-            QNetwork::new(&QNetworkConfig::Dueling { trunk: vec![16], head: 8 }, 3, 2, &mut rng());
+        let mut net = QNetwork::new(
+            &QNetworkConfig::Dueling {
+                trunk: vec![16],
+                head: 8,
+            },
+            3,
+            2,
+            &mut rng(),
+        );
         let mut opt = OptimizerConfig::adam(0.01).build();
         let states = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let selected = [0usize, 1usize];
@@ -333,7 +416,15 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for i in 0..300 {
-            let (l, _) = net.train_selected(&states, &selected, &targets, None, Loss::Mse, &mut opt, None);
+            let (l, _) = net.train_selected(
+                &states,
+                &selected,
+                &targets,
+                None,
+                Loss::Mse,
+                &mut opt,
+                None,
+            );
             if i == 0 {
                 first = l;
             }
@@ -344,7 +435,10 @@ mod tests {
 
     #[test]
     fn copy_parameters_aligns_outputs() {
-        let config = QNetworkConfig::Dueling { trunk: vec![8], head: 4 };
+        let config = QNetworkConfig::Dueling {
+            trunk: vec![8],
+            head: 4,
+        };
         let a = QNetwork::new(&config, 3, 2, &mut rng());
         let mut b = QNetwork::new(&config, 3, 2, &mut StdRng::seed_from_u64(1));
         b.copy_parameters_from(&a);
@@ -355,8 +449,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "different Q-network variants")]
     fn copy_between_variants_panics() {
-        let a = QNetwork::new(&QNetworkConfig::Standard { hidden: vec![4] }, 2, 2, &mut rng());
-        let mut b = QNetwork::new(&QNetworkConfig::Dueling { trunk: vec![4], head: 2 }, 2, 2, &mut rng());
+        let a = QNetwork::new(
+            &QNetworkConfig::Standard { hidden: vec![4] },
+            2,
+            2,
+            &mut rng(),
+        );
+        let mut b = QNetwork::new(
+            &QNetworkConfig::Dueling {
+                trunk: vec![4],
+                head: 2,
+            },
+            2,
+            2,
+            &mut rng(),
+        );
         b.copy_parameters_from(&a);
     }
 }

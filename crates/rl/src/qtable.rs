@@ -24,7 +24,11 @@ impl Default for QTableConfig {
         Self {
             alpha: 0.1,
             gamma: 0.99,
-            epsilon: EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 5_000 },
+            epsilon: EpsilonSchedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: 5_000,
+            },
             initial_q: 0.0,
         }
     }
@@ -45,11 +49,24 @@ impl QTableAgent {
     ///
     /// Panics if either count is zero, `alpha ∉ (0,1]` or `gamma ∉ [0,1]`.
     pub fn new(state_count: usize, action_count: usize, config: QTableConfig) -> Self {
-        assert!(state_count > 0 && action_count > 0, "table dimensions must be positive");
-        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha must be in (0,1]");
-        assert!((0.0..=1.0).contains(&config.gamma), "gamma must be in [0,1]");
+        assert!(
+            state_count > 0 && action_count > 0,
+            "table dimensions must be positive"
+        );
+        assert!(
+            config.alpha > 0.0 && config.alpha <= 1.0,
+            "alpha must be in (0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.gamma),
+            "gamma must be in [0,1]"
+        );
         config.epsilon.validate();
-        Self { q: vec![vec![config.initial_q; action_count]; state_count], config, steps: 0 }
+        Self {
+            q: vec![vec![config.initial_q; action_count]; state_count],
+            config,
+            steps: 0,
+        }
     }
 
     /// Number of states in the table.
@@ -78,8 +95,11 @@ impl QTableAgent {
     /// Panics if every action is masked or `state` is out of range.
     pub fn act<R: Rng + ?Sized>(&self, state: usize, mask: &[bool], rng: &mut R) -> usize {
         if rng.gen::<f32>() < self.epsilon() {
-            let valid: Vec<usize> =
-                mask.iter().enumerate().filter_map(|(i, &ok)| ok.then_some(i)).collect();
+            let valid: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &ok)| ok.then_some(i))
+                .collect();
             assert!(!valid.is_empty(), "act called with fully-masked action set");
             valid[rng.gen_range(0..valid.len())]
         } else {
@@ -149,7 +169,14 @@ impl QTableAgent {
                 let outcome = env.step(action, rng);
                 let next_state = env.state_id();
                 let next_mask = env.action_mask();
-                self.update(state, action, outcome.reward, next_state, outcome.done, Some(&next_mask));
+                self.update(
+                    state,
+                    action,
+                    outcome.reward,
+                    next_state,
+                    outcome.done,
+                    Some(&next_mask),
+                );
                 ep_return += outcome.reward;
                 state = next_state;
                 if outcome.done {
@@ -196,7 +223,14 @@ mod tests {
 
     #[test]
     fn update_moves_toward_target() {
-        let mut agent = QTableAgent::new(2, 2, QTableConfig { alpha: 0.5, ..Default::default() });
+        let mut agent = QTableAgent::new(
+            2,
+            2,
+            QTableConfig {
+                alpha: 0.5,
+                ..Default::default()
+            },
+        );
         let td = agent.update(0, 1, 1.0, 1, true, None);
         assert!((td - 1.0).abs() < 1e-6);
         assert!((agent.q_values(0)[1] - 0.5).abs() < 1e-6);
@@ -204,12 +238,23 @@ mod tests {
 
     #[test]
     fn bootstrap_respects_mask() {
-        let mut agent = QTableAgent::new(2, 2, QTableConfig { alpha: 1.0, gamma: 1.0, ..Default::default() });
+        let mut agent = QTableAgent::new(
+            2,
+            2,
+            QTableConfig {
+                alpha: 1.0,
+                gamma: 1.0,
+                ..Default::default()
+            },
+        );
         // Seed next-state values: Q(1,0)=10 (masked), Q(1,1)=1.
         agent.update(1, 0, 10.0, 1, true, None);
         agent.update(1, 1, 1.0, 1, true, None);
         agent.update(0, 0, 0.0, 1, false, Some(&[false, true]));
-        assert!((agent.q_values(0)[0] - 1.0).abs() < 1e-6, "bootstrapped through masked action");
+        assert!(
+            (agent.q_values(0)[0] - 1.0).abs() < 1e-6,
+            "bootstrapped through masked action"
+        );
     }
 
     #[test]
@@ -221,7 +266,11 @@ mod tests {
             QTableConfig {
                 alpha: 0.2,
                 gamma: 0.95,
-                epsilon: EpsilonSchedule::Linear { start: 1.0, end: 0.01, steps: 2_000 },
+                epsilon: EpsilonSchedule::Linear {
+                    start: 1.0,
+                    end: 0.01,
+                    steps: 2_000,
+                },
                 initial_q: 0.0,
             },
         );
@@ -235,6 +284,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be in (0,1]")]
     fn invalid_alpha_panics() {
-        let _ = QTableAgent::new(1, 1, QTableConfig { alpha: 0.0, ..Default::default() });
+        let _ = QTableAgent::new(
+            1,
+            1,
+            QTableConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

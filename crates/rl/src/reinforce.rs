@@ -55,8 +55,14 @@ impl ReinforceConfig {
     /// Panics on out-of-range values.
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
-        assert!((0.0..1.0).contains(&self.baseline_ema), "baseline_ema must be in [0,1)");
-        assert!(self.entropy_coef >= 0.0, "entropy_coef must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&self.baseline_ema),
+            "baseline_ema must be in [0,1)"
+        );
+        assert!(
+            self.entropy_coef >= 0.0,
+            "entropy_coef must be non-negative"
+        );
     }
 }
 
@@ -165,7 +171,12 @@ impl ReinforceAgent {
 
     /// Records one step of the in-flight episode.
     pub fn record_step(&mut self, state: Vec<f32>, mask: Vec<bool>, action: usize, reward: f32) {
-        self.episode.push(EpisodeStep { state, mask, action, reward });
+        self.episode.push(EpisodeStep {
+            state,
+            mask,
+            action,
+            reward,
+        });
     }
 
     /// Ends the episode: computes discounted returns, subtracts the
@@ -207,7 +218,12 @@ impl ReinforceAgent {
         let logits = self.net.forward_train(&states);
         let mut grad = Matrix::zeros(n, logits.cols());
         for (r, step) in steps.iter().enumerate() {
-            let advantage = returns[r] - if self.baseline_initialized { self.baseline } else { 0.0 };
+            let advantage = returns[r]
+                - if self.baseline_initialized {
+                    self.baseline
+                } else {
+                    0.0
+                };
             let probs = masked_softmax(logits.row(r), &step.mask);
             // Entropy of the masked policy at this state (for the bonus).
             let entropy: f32 = probs
@@ -215,13 +231,13 @@ impl ReinforceAgent {
                 .filter(|&&p| p > 0.0)
                 .map(|&p| -p * p.ln())
                 .sum();
-            for c in 0..logits.cols() {
+            for (c, &p) in probs.iter().enumerate() {
                 let indicator = if c == step.action { 1.0 } else { 0.0 };
                 // Policy-gradient term plus entropy-bonus term
                 // (dH/dlogit_c = p_c·(−ln p_c − H); we *ascend* entropy).
-                let pg = advantage * (probs[c] - indicator);
-                let ent = if probs[c] > 0.0 {
-                    -self.config.entropy_coef * probs[c] * (-probs[c].ln() - entropy)
+                let pg = advantage * (p - indicator);
+                let ent = if p > 0.0 {
+                    -self.config.entropy_coef * p * (-p.ln() - entropy)
                 } else {
                     0.0
                 };
@@ -229,7 +245,8 @@ impl ReinforceAgent {
             }
         }
         self.net.backward(&grad);
-        self.net.apply_gradients(&mut self.optimizer, self.config.max_grad_norm);
+        self.net
+            .apply_gradients(&mut self.optimizer, self.config.max_grad_norm);
         self.episodes_trained += 1;
         Some(episode_return)
     }
@@ -247,7 +264,10 @@ impl ReinforceAgent {
 /// Panics if lengths differ or every action is masked.
 pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
     assert_eq!(logits.len(), mask.len(), "logits/mask length mismatch");
-    assert!(mask.iter().any(|&m| m), "masked_softmax with fully-masked action set");
+    assert!(
+        mask.iter().any(|&m| m),
+        "masked_softmax with fully-masked action set"
+    );
     let masked: Vec<f32> = logits
         .iter()
         .zip(mask.iter())
@@ -310,7 +330,12 @@ mod tests {
         }
     }
 
-    fn greedy_return(agent: &ReinforceAgent, env: &mut impl Environment, episodes: usize, rng: &mut StdRng) -> f32 {
+    fn greedy_return(
+        agent: &ReinforceAgent,
+        env: &mut impl Environment,
+        episodes: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
         let cap = env.max_episode_steps().unwrap_or(100);
         let mut total = 0.0;
         for _ in 0..episodes {
@@ -332,7 +357,11 @@ mod tests {
     fn solves_contextual_bandit() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut env = BanditEnv::new(3, 3);
-        let config = ReinforceConfig { hidden: vec![32], optimizer: OptimizerConfig::adam(5e-3), ..Default::default() };
+        let config = ReinforceConfig {
+            hidden: vec![32],
+            optimizer: OptimizerConfig::adam(5e-3),
+            ..Default::default()
+        };
         let mut agent = ReinforceAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
         run_episodes(&mut agent, &mut env, 1_500, &mut rng);
         let mean = greedy_return(&agent, &mut env, 200, &mut rng);
@@ -343,7 +372,11 @@ mod tests {
     fn solves_chain() {
         let mut rng = StdRng::seed_from_u64(8);
         let mut env = ChainEnv::new(5, 0.01);
-        let config = ReinforceConfig { hidden: vec![32], optimizer: OptimizerConfig::adam(5e-3), ..Default::default() };
+        let config = ReinforceConfig {
+            hidden: vec![32],
+            optimizer: OptimizerConfig::adam(5e-3),
+            ..Default::default()
+        };
         let mut agent = ReinforceAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
         run_episodes(&mut agent, &mut env, 600, &mut rng);
         let mean = greedy_return(&agent, &mut env, 20, &mut rng);

@@ -21,7 +21,12 @@ pub struct PerConfig {
 
 impl Default for PerConfig {
     fn default() -> Self {
-        Self { alpha: 0.6, beta0: 0.4, beta_anneal_steps: 100_000, priority_eps: 1e-3 }
+        Self {
+            alpha: 0.6,
+            beta0: 0.4,
+            beta_anneal_steps: 100_000,
+            priority_eps: 1e-3,
+        }
     }
 }
 
@@ -144,11 +149,19 @@ impl Replay for PrioritizedReplay {
                 *w /= max_w;
             }
         }
-        SampleBatch { indices, transitions, weights }
+        SampleBatch {
+            indices,
+            transitions,
+            weights,
+        }
     }
 
     fn update_priorities(&mut self, indices: &[u64], td_errors: &[f32]) {
-        assert_eq!(indices.len(), td_errors.len(), "indices/td_errors length mismatch");
+        assert_eq!(
+            indices.len(),
+            td_errors.len(),
+            "indices/td_errors length mismatch"
+        );
         for (&i, &td) in indices.iter().zip(td_errors.iter()) {
             let idx = i as usize;
             if idx < self.capacity && self.storage[idx].is_some() {
@@ -234,7 +247,10 @@ mod tests {
             }
         }
         if let (Some(h), Some(l)) = (w_high, w_low) {
-            assert!(h < l, "high-priority weight {h} should be < low-priority weight {l}");
+            assert!(
+                h < l,
+                "high-priority weight {h} should be < low-priority weight {l}"
+            );
         }
         // All weights normalized to (0, 1].
         assert!(s.weights.iter().all(|&w| w > 0.0 && w <= 1.0 + 1e-6));
@@ -244,7 +260,10 @@ mod tests {
     fn beta_anneals_to_one() {
         let mut b = PrioritizedReplay::new(
             2,
-            PerConfig { beta_anneal_steps: 10, ..PerConfig::default() },
+            PerConfig {
+                beta_anneal_steps: 10,
+                ..PerConfig::default()
+            },
         );
         b.push(t(0.0));
         let mut rng = StdRng::seed_from_u64(0);
@@ -265,7 +284,13 @@ mod tests {
 
     #[test]
     fn alpha_zero_is_uniform() {
-        let mut b = PrioritizedReplay::new(2, PerConfig { alpha: 0.0, ..PerConfig::default() });
+        let mut b = PrioritizedReplay::new(
+            2,
+            PerConfig {
+                alpha: 0.0,
+                ..PerConfig::default()
+            },
+        );
         b.push(t(0.0));
         b.push(t(1.0));
         b.update_priorities(&[0, 1], &[0.0, 100.0]);
@@ -276,6 +301,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be in [0,1]")]
     fn invalid_alpha_panics() {
-        let _ = PrioritizedReplay::new(2, PerConfig { alpha: 2.0, ..PerConfig::default() });
+        let _ = PrioritizedReplay::new(
+            2,
+            PerConfig {
+                alpha: 2.0,
+                ..PerConfig::default()
+            },
+        );
     }
 }

@@ -23,7 +23,11 @@ impl SumTree {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "sum-tree capacity must be positive");
         let leaves = capacity.next_power_of_two();
-        Self { nodes: vec![0.0; 2 * leaves], leaves, capacity }
+        Self {
+            nodes: vec![0.0; 2 * leaves],
+            leaves,
+            capacity,
+        }
     }
 
     /// Number of leaf slots usable by callers.
@@ -53,7 +57,10 @@ impl SumTree {
     /// Panics if `index >= capacity` or `priority` is negative/non-finite.
     pub fn set(&mut self, index: usize, priority: f32) {
         assert!(index < self.capacity, "sum-tree index {index} out of range");
-        assert!(priority.is_finite() && priority >= 0.0, "priority must be finite and non-negative, got {priority}");
+        assert!(
+            priority.is_finite() && priority >= 0.0,
+            "priority must be finite and non-negative, got {priority}"
+        );
         let mut node = self.leaves + index;
         let delta = priority as f64 - self.nodes[node];
         while node >= 1 {
@@ -71,7 +78,10 @@ impl SumTree {
     ///
     /// Panics if the tree is entirely zero (nothing to sample).
     pub fn find_prefix(&self, value: f64) -> usize {
-        assert!(self.total() > 0.0, "cannot sample from an all-zero sum-tree");
+        assert!(
+            self.total() > 0.0,
+            "cannot sample from an all-zero sum-tree"
+        );
         let mut v = value.clamp(0.0, self.total() - f64::EPSILON);
         let mut node = 1usize;
         while node < self.leaves {

@@ -40,7 +40,12 @@ impl UniformReplay {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        Self { storage: Vec::with_capacity(capacity.min(1 << 20)), capacity, head: 0, pushed: 0 }
+        Self {
+            storage: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
     }
 
     /// Total number of transitions ever pushed (including evicted ones).
@@ -75,7 +80,10 @@ impl Replay for UniformReplay {
 
     fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
         assert!(batch > 0, "batch size must be positive");
-        assert!(!self.storage.is_empty(), "cannot sample from an empty replay buffer");
+        assert!(
+            !self.storage.is_empty(),
+            "cannot sample from an empty replay buffer"
+        );
         let mut indices = Vec::with_capacity(batch);
         let mut transitions = Vec::with_capacity(batch);
         for _ in 0..batch {
@@ -83,7 +91,11 @@ impl Replay for UniformReplay {
             indices.push(i as u64);
             transitions.push(self.storage[i].clone());
         }
-        SampleBatch { indices, transitions, weights: vec![1.0; batch] }
+        SampleBatch {
+            indices,
+            transitions,
+            weights: vec![1.0; batch],
+        }
     }
 
     fn update_priorities(&mut self, _indices: &[u64], _td_errors: &[f32]) {

@@ -30,7 +30,11 @@ pub enum EpsilonSchedule {
 impl Default for EpsilonSchedule {
     fn default() -> Self {
         // The workhorse DQN schedule: explore fully at first, settle at 5%.
-        EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 50_000 }
+        EpsilonSchedule::Linear {
+            start: 1.0,
+            end: 0.05,
+            steps: 50_000,
+        }
     }
 }
 
@@ -91,7 +95,11 @@ mod tests {
 
     #[test]
     fn linear_endpoints_and_midpoint() {
-        let s = EpsilonSchedule::Linear { start: 1.0, end: 0.0, steps: 100 };
+        let s = EpsilonSchedule::Linear {
+            start: 1.0,
+            end: 0.0,
+            steps: 100,
+        };
         assert_eq!(s.value(0), 1.0);
         assert!((s.value(50) - 0.5).abs() < 1e-6);
         assert_eq!(s.value(100), 0.0);
@@ -100,13 +108,21 @@ mod tests {
 
     #[test]
     fn linear_zero_steps_is_end() {
-        let s = EpsilonSchedule::Linear { start: 1.0, end: 0.1, steps: 0 };
+        let s = EpsilonSchedule::Linear {
+            start: 1.0,
+            end: 0.1,
+            steps: 0,
+        };
         assert_eq!(s.value(0), 0.1);
     }
 
     #[test]
     fn exponential_decays_monotonically_to_end() {
-        let s = EpsilonSchedule::Exponential { start: 1.0, end: 0.1, tau: 100.0 };
+        let s = EpsilonSchedule::Exponential {
+            start: 1.0,
+            end: 0.1,
+            tau: 100.0,
+        };
         let mut prev = s.value(0);
         assert!((prev - 1.0).abs() < 1e-6);
         for step in (10..2000).step_by(10) {
@@ -121,8 +137,16 @@ mod tests {
     fn values_stay_in_unit_interval() {
         let schedules = [
             EpsilonSchedule::Constant(0.5),
-            EpsilonSchedule::Linear { start: 0.9, end: 0.02, steps: 1000 },
-            EpsilonSchedule::Exponential { start: 1.0, end: 0.01, tau: 333.0 },
+            EpsilonSchedule::Linear {
+                start: 0.9,
+                end: 0.02,
+                steps: 1000,
+            },
+            EpsilonSchedule::Exponential {
+                start: 1.0,
+                end: 0.01,
+                tau: 333.0,
+            },
         ];
         for s in schedules {
             s.validate();

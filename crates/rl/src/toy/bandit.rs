@@ -22,7 +22,11 @@ impl BanditEnv {
     pub fn new(arms: usize, contexts: usize) -> Self {
         assert!(arms >= 2, "bandit needs at least 2 arms");
         assert!(contexts >= 1, "bandit needs at least 1 context");
-        Self { arms, context: 0, contexts }
+        Self {
+            arms,
+            context: 0,
+            contexts,
+        }
     }
 
     /// The optimal arm for the current context.
@@ -53,7 +57,11 @@ impl Environment for BanditEnv {
 
     fn step(&mut self, action: usize, rng: &mut dyn RngCore) -> StepOutcome {
         assert!(action < self.arms, "bandit arm out of range");
-        let reward = if action == self.optimal_arm() { 1.0 } else { 0.0 };
+        let reward = if action == self.optimal_arm() {
+            1.0
+        } else {
+            0.0
+        };
         // Draw next context for the returned observation; episode ends.
         self.context = rng.gen_range(0..self.contexts);
         StepOutcome::new(self.observe(), reward, true)

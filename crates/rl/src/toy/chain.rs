@@ -23,7 +23,12 @@ impl ChainEnv {
     /// Panics if `n < 2`.
     pub fn new(n: usize, step_penalty: f32) -> Self {
         assert!(n >= 2, "chain needs at least 2 states");
-        Self { n, position: 0, step_penalty, steps_taken: 0 }
+        Self {
+            n,
+            position: 0,
+            step_penalty,
+            steps_taken: 0,
+        }
     }
 
     /// Number of states (public accessor used by tabular agents).

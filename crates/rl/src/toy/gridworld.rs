@@ -39,7 +39,13 @@ impl GridWorld {
             assert!(!(r == 0 && c == 0), "obstacle on start cell");
             assert!(!(r == n - 1 && c == n - 1), "obstacle on goal cell");
         }
-        Self { n, row: 0, col: 0, obstacles: obstacles.to_vec(), step_penalty }
+        Self {
+            n,
+            row: 0,
+            col: 0,
+            obstacles: obstacles.to_vec(),
+            step_penalty,
+        }
     }
 
     /// Grid side length.
@@ -79,7 +85,8 @@ impl GridWorld {
     /// The undiscounted return of an optimal policy, given the reward
     /// structure (`+1` at goal minus per-step penalties).
     pub fn optimal_return(&self) -> Option<f32> {
-        self.shortest_path_len().map(|l| 1.0 - self.step_penalty * l as f32)
+        self.shortest_path_len()
+            .map(|l| 1.0 - self.step_penalty * l as f32)
     }
 
     fn observe(&self) -> Vec<f32> {
@@ -131,9 +138,12 @@ impl Environment for GridWorld {
     }
 
     fn step(&mut self, action: usize, _rng: &mut dyn RngCore) -> StepOutcome {
-        let cell = self
-            .target_cell(action)
-            .unwrap_or_else(|| panic!("masked action {action} taken at ({}, {})", self.row, self.col));
+        let cell = self.target_cell(action).unwrap_or_else(|| {
+            panic!(
+                "masked action {action} taken at ({}, {})",
+                self.row, self.col
+            )
+        });
         self.row = cell.0;
         self.col = cell.1;
         let done = self.row == self.n - 1 && self.col == self.n - 1;

@@ -57,7 +57,9 @@ pub fn train_dqn<E: Environment, R: Rng>(
     rng: &mut R,
 ) -> TrainingHistory {
     let cap = env.max_episode_steps().unwrap_or(fallback_step_cap);
-    let mut history = TrainingHistory { episodes: Vec::with_capacity(episodes) };
+    let mut history = TrainingHistory {
+        episodes: Vec::with_capacity(episodes),
+    };
     for episode in 0..episodes {
         let mut state = env.reset(rng);
         let mut total_reward = 0.0;
@@ -147,7 +149,11 @@ mod tests {
             learn_start: 64,
             train_every: 1,
             target_sync_every: 100,
-            epsilon: EpsilonSchedule::Linear { start: 1.0, end: 0.02, steps: 2_000 },
+            epsilon: EpsilonSchedule::Linear {
+                start: 1.0,
+                end: 0.02,
+                steps: 2_000,
+            },
             ..DqnConfig::default()
         }
     }

@@ -23,8 +23,21 @@ pub struct Transition {
 
 impl Transition {
     /// Creates a transition with an all-valid next-state mask.
-    pub fn new(state: Vec<f32>, action: usize, reward: f32, next_state: Vec<f32>, done: bool) -> Self {
-        Self { state, action, reward, next_state, done, next_mask: Vec::new() }
+    pub fn new(
+        state: Vec<f32>,
+        action: usize,
+        reward: f32,
+        next_state: Vec<f32>,
+        done: bool,
+    ) -> Self {
+        Self {
+            state,
+            action,
+            reward,
+            next_state,
+            done,
+            next_mask: Vec::new(),
+        }
     }
 
     /// Creates a transition carrying an explicit next-state action mask.
@@ -36,7 +49,14 @@ impl Transition {
         done: bool,
         next_mask: Vec<bool>,
     ) -> Self {
-        Self { state, action, reward, next_state, done, next_mask }
+        Self {
+            state,
+            action,
+            reward,
+            next_state,
+            done,
+            next_mask,
+        }
     }
 
     /// The next-state mask as a slice, or `None` when all actions are valid.

@@ -48,10 +48,26 @@ impl ChainSpec {
         arrival_rate_rps: f64,
     ) -> Self {
         assert!(!vnfs.is_empty(), "chain must contain at least one VNF");
-        assert!(latency_budget_ms.is_finite() && latency_budget_ms > 0.0, "latency budget must be positive");
-        assert!(traffic_gb.is_finite() && traffic_gb >= 0.0, "traffic must be non-negative");
-        assert!(arrival_rate_rps.is_finite() && arrival_rate_rps > 0.0, "arrival rate must be positive");
-        Self { id, name: name.into(), vnfs, latency_budget_ms, traffic_gb, arrival_rate_rps }
+        assert!(
+            latency_budget_ms.is_finite() && latency_budget_ms > 0.0,
+            "latency budget must be positive"
+        );
+        assert!(
+            traffic_gb.is_finite() && traffic_gb >= 0.0,
+            "traffic must be non-negative"
+        );
+        assert!(
+            arrival_rate_rps.is_finite() && arrival_rate_rps > 0.0,
+            "arrival rate must be positive"
+        );
+        Self {
+            id,
+            name: name.into(),
+            vnfs,
+            latency_budget_ms,
+            traffic_gb,
+            arrival_rate_rps,
+        }
     }
 
     /// Chain length (number of VNFs).
@@ -66,9 +82,9 @@ impl ChainSpec {
 
     /// Total resources one dedicated instance of each VNF would need.
     pub fn total_demand(&self, catalog: &VnfCatalog) -> Resources {
-        self.vnfs
-            .iter()
-            .fold(Resources::zero(), |acc, &id| acc.plus(&catalog.get(id).demand))
+        self.vnfs.iter().fold(Resources::zero(), |acc, &id| {
+            acc.plus(&catalog.get(id).demand)
+        })
     }
 }
 
@@ -90,7 +106,11 @@ impl ChainCatalog {
         for (i, c) in chains.iter().enumerate() {
             assert_eq!(c.id.0, i, "chain ids must be dense 0..n in order");
             for &v in &c.vnfs {
-                assert!(v.0 < vnf_catalog.type_count(), "chain {} references unknown {v}", c.name);
+                assert!(
+                    v.0 < vnf_catalog.type_count(),
+                    "chain {} references unknown {v}",
+                    c.name
+                );
             }
         }
         Self { chains }
@@ -101,7 +121,12 @@ impl ChainCatalog {
     ///
     /// Requires [`VnfCatalog::standard`].
     pub fn standard(vnf_catalog: &VnfCatalog) -> Self {
-        let id = |name: &str| vnf_catalog.by_name(name).unwrap_or_else(|| panic!("missing {name}")).id;
+        let id = |name: &str| {
+            vnf_catalog
+                .by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .id
+        };
         Self::new(
             vec![
                 ChainSpec::new(
@@ -123,7 +148,12 @@ impl ChainCatalog {
                 ChainSpec::new(
                     ChainId(2),
                     "video-streaming",
-                    vec![id("nat"), id("firewall"), id("video-transcoder"), id("proxy")],
+                    vec![
+                        id("nat"),
+                        id("firewall"),
+                        id("video-transcoder"),
+                        id("proxy"),
+                    ],
                     120.0,
                     0.50,
                     5.0,
@@ -131,7 +161,13 @@ impl ChainCatalog {
                 ChainSpec::new(
                     ChainId(3),
                     "enterprise-vpn",
-                    vec![id("nat"), id("encryption-gw"), id("firewall"), id("wan-optimizer"), id("ids")],
+                    vec![
+                        id("nat"),
+                        id("encryption-gw"),
+                        id("firewall"),
+                        id("wan-optimizer"),
+                        id("ids"),
+                    ],
                     150.0,
                     0.10,
                     8.0,

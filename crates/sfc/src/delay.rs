@@ -15,7 +15,10 @@
 /// Panics if `mu_rps <= 0` or `lambda_rps < 0`.
 pub fn mm1_sojourn_ms(mu_rps: f64, lambda_rps: f64) -> f64 {
     assert!(mu_rps > 0.0, "service rate must be positive, got {mu_rps}");
-    assert!(lambda_rps >= 0.0, "arrival rate must be non-negative, got {lambda_rps}");
+    assert!(
+        lambda_rps >= 0.0,
+        "arrival rate must be non-negative, got {lambda_rps}"
+    );
     if lambda_rps >= mu_rps {
         f64::INFINITY
     } else {
@@ -40,10 +43,21 @@ pub fn mm1_utilization(mu_rps: f64, lambda_rps: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if rates are invalid or `max_utilization ∉ (0, 1]`.
-pub fn admits_load(mu_rps: f64, current_lambda_rps: f64, extra_lambda_rps: f64, max_utilization: f64) -> bool {
+pub fn admits_load(
+    mu_rps: f64,
+    current_lambda_rps: f64,
+    extra_lambda_rps: f64,
+    max_utilization: f64,
+) -> bool {
     assert!(mu_rps > 0.0, "service rate must be positive");
-    assert!(current_lambda_rps >= 0.0 && extra_lambda_rps >= 0.0, "rates must be non-negative");
-    assert!(max_utilization > 0.0 && max_utilization <= 1.0, "max utilization must be in (0,1]");
+    assert!(
+        current_lambda_rps >= 0.0 && extra_lambda_rps >= 0.0,
+        "rates must be non-negative"
+    );
+    assert!(
+        max_utilization > 0.0 && max_utilization <= 1.0,
+        "max utilization must be in (0,1]"
+    );
     current_lambda_rps + extra_lambda_rps <= mu_rps * max_utilization
 }
 

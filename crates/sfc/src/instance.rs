@@ -71,7 +71,14 @@ impl InstancePool {
         self.next_id += 1;
         self.instances.insert(
             id.0,
-            Instance { id, vnf_type, node, lambda_rps: 0.0, flows: 0, created_slot: slot },
+            Instance {
+                id,
+                vnf_type,
+                node,
+                lambda_rps: 0.0,
+                flows: 0,
+                created_slot: slot,
+            },
         );
         id
     }
@@ -101,7 +108,10 @@ impl InstancePool {
     ///
     /// [`InstanceError::Unknown`] if the id does not exist.
     pub fn add_flow(&mut self, id: InstanceId, lambda_rps: f64) -> Result<(), InstanceError> {
-        let inst = self.instances.get_mut(&id.0).ok_or(InstanceError::Unknown(id))?;
+        let inst = self
+            .instances
+            .get_mut(&id.0)
+            .ok_or(InstanceError::Unknown(id))?;
         inst.lambda_rps += lambda_rps;
         inst.flows += 1;
         Ok(())
@@ -114,7 +124,10 @@ impl InstancePool {
     ///
     /// [`InstanceError::Unknown`] if the id does not exist.
     pub fn remove_flow(&mut self, id: InstanceId, lambda_rps: f64) -> Result<(), InstanceError> {
-        let inst = self.instances.get_mut(&id.0).ok_or(InstanceError::Unknown(id))?;
+        let inst = self
+            .instances
+            .get_mut(&id.0)
+            .ok_or(InstanceError::Unknown(id))?;
         inst.lambda_rps = (inst.lambda_rps - lambda_rps).max(0.0);
         inst.flows = inst.flows.saturating_sub(1);
         Ok(())
@@ -158,7 +171,9 @@ impl InstancePool {
     pub fn idle_instances(&self, current_slot: u64, min_age_slots: u64) -> Vec<InstanceId> {
         self.instances
             .values()
-            .filter(|i| i.flows == 0 && current_slot.saturating_sub(i.created_slot) >= min_age_slots)
+            .filter(|i| {
+                i.flows == 0 && current_slot.saturating_sub(i.created_slot) >= min_age_slots
+            })
             .map(|i| i.id)
             .collect()
     }
@@ -168,7 +183,9 @@ impl InstancePool {
         self.instances
             .values()
             .filter(|i| i.node == node)
-            .fold(Resources::zero(), |acc, i| acc.plus(&catalog.get(i.vnf_type).demand))
+            .fold(Resources::zero(), |acc, i| {
+                acc.plus(&catalog.get(i.vnf_type).demand)
+            })
     }
 }
 
@@ -214,8 +231,14 @@ mod tests {
     #[test]
     fn unknown_instance_errors() {
         let mut pool = InstancePool::new();
-        assert_eq!(pool.add_flow(InstanceId(9), 1.0), Err(InstanceError::Unknown(InstanceId(9))));
-        assert_eq!(pool.retire(InstanceId(9)), Err(InstanceError::Unknown(InstanceId(9))));
+        assert_eq!(
+            pool.add_flow(InstanceId(9), 1.0),
+            Err(InstanceError::Unknown(InstanceId(9)))
+        );
+        assert_eq!(
+            pool.retire(InstanceId(9)),
+            Err(InstanceError::Unknown(InstanceId(9)))
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl std::fmt::Display for AssignmentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AssignmentError::LengthMismatch { expected, got } => {
-                write!(f, "assignment has {got} instances but chain needs {expected}")
+                write!(
+                    f,
+                    "assignment has {got} instances but chain needs {expected}"
+                )
             }
             AssignmentError::UnknownInstance(id) => write!(f, "unknown instance {id}"),
             AssignmentError::TypeMismatch { position } => {
@@ -77,10 +80,15 @@ pub fn validate_assignment(
             got: assignment.instances.len(),
         });
     }
-    for (pos, (&inst_id, &expected_type)) in
-        assignment.instances.iter().zip(chain.vnfs.iter()).enumerate()
+    for (pos, (&inst_id, &expected_type)) in assignment
+        .instances
+        .iter()
+        .zip(chain.vnfs.iter())
+        .enumerate()
     {
-        let inst = pool.get(inst_id).ok_or(AssignmentError::UnknownInstance(inst_id))?;
+        let inst = pool
+            .get(inst_id)
+            .ok_or(AssignmentError::UnknownInstance(inst_id))?;
         if inst.vnf_type != expected_type {
             return Err(AssignmentError::TypeMismatch { position: pos });
         }
@@ -135,7 +143,10 @@ pub fn assignment_latency(
         let inst = pool.get(inst_id).expect("validated");
         let hop = routes.latency_ms(at, inst.node);
         if !hop.is_finite() {
-            return Err(AssignmentError::Unroutable { from: at, to: inst.node });
+            return Err(AssignmentError::Unroutable {
+                from: at,
+                to: inst.node,
+            });
         }
         network += hop;
         let vnf = catalog.get(inst.vnf_type);
@@ -143,7 +154,11 @@ pub fn assignment_latency(
         queueing += mm1_sojourn_ms(vnf.service_rate_rps, inst.lambda_rps);
         at = inst.node;
     }
-    Ok(LatencyBreakdown { network_ms: network, processing_ms: processing, queueing_ms: queueing })
+    Ok(LatencyBreakdown {
+        network_ms: network,
+        processing_ms: processing,
+        queueing_ms: queueing,
+    })
 }
 
 /// Latency of a *hypothetical* node sequence for `chain` from `source`,
@@ -166,7 +181,11 @@ pub fn hypothetical_latency_ms(
     routes: &RoutingTable,
 ) -> f64 {
     assert_eq!(nodes.len(), chain.len(), "node sequence length mismatch");
-    assert_eq!(lambda_at.len(), chain.len(), "lambda sequence length mismatch");
+    assert_eq!(
+        lambda_at.len(),
+        chain.len(),
+        "lambda sequence length mismatch"
+    );
     let mut total = 0.0;
     let mut at = source;
     for (pos, (&node, &lambda)) in nodes.iter().zip(lambda_at.iter()).enumerate() {
@@ -200,7 +219,12 @@ mod tests {
         let chains = ChainCatalog::standard(&catalog);
         let topo = TopologyBuilder::default().metro(4);
         let routes = RoutingTable::build(&topo);
-        Fixture { pool: InstancePool::new(), catalog, chains, routes }
+        Fixture {
+            pool: InstancePool::new(),
+            catalog,
+            chains,
+            routes,
+        }
     }
 
     #[test]
@@ -209,7 +233,10 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone(); // voip: nat, firewall
         let i0 = f.pool.spawn(chain.vnfs[0], NodeId(0), 0);
         let i1 = f.pool.spawn(chain.vnfs[1], NodeId(1), 0);
-        let a = ChainAssignment { request: RequestId(1), instances: vec![i0, i1] };
+        let a = ChainAssignment {
+            request: RequestId(1),
+            instances: vec![i0, i1],
+        };
         assert!(validate_assignment(&a, &chain, &f.pool).is_ok());
     }
 
@@ -219,7 +246,10 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone();
         let i0 = f.pool.spawn(chain.vnfs[1], NodeId(0), 0); // wrong order
         let i1 = f.pool.spawn(chain.vnfs[0], NodeId(1), 0);
-        let a = ChainAssignment { request: RequestId(1), instances: vec![i0, i1] };
+        let a = ChainAssignment {
+            request: RequestId(1),
+            instances: vec![i0, i1],
+        };
         assert_eq!(
             validate_assignment(&a, &chain, &f.pool),
             Err(AssignmentError::TypeMismatch { position: 0 })
@@ -231,10 +261,16 @@ mod tests {
         let mut f = fixture();
         let chain = f.chains.get(ChainId(1)).clone();
         let i0 = f.pool.spawn(chain.vnfs[0], NodeId(0), 0);
-        let a = ChainAssignment { request: RequestId(1), instances: vec![i0] };
+        let a = ChainAssignment {
+            request: RequestId(1),
+            instances: vec![i0],
+        };
         assert!(matches!(
             validate_assignment(&a, &chain, &f.pool),
-            Err(AssignmentError::LengthMismatch { expected: 2, got: 1 })
+            Err(AssignmentError::LengthMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -244,8 +280,12 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone();
         let i0 = f.pool.spawn(chain.vnfs[0], NodeId(0), 0);
         let i1 = f.pool.spawn(chain.vnfs[1], NodeId(1), 0);
-        let a = ChainAssignment { request: RequestId(1), instances: vec![i0, i1] };
-        let lat = assignment_latency(&a, &chain, NodeId(2), &f.pool, &f.catalog, &f.routes).unwrap();
+        let a = ChainAssignment {
+            request: RequestId(1),
+            instances: vec![i0, i1],
+        };
+        let lat =
+            assignment_latency(&a, &chain, NodeId(2), &f.pool, &f.catalog, &f.routes).unwrap();
         assert!(lat.network_ms > 0.0); // source 2 -> node 0 -> node 1
         assert!(lat.processing_ms > 0.0);
         assert!(lat.queueing_ms > 0.0); // idle queues still have service time
@@ -261,8 +301,12 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone();
         let i0 = f.pool.spawn(chain.vnfs[0], NodeId(0), 0);
         let i1 = f.pool.spawn(chain.vnfs[1], NodeId(0), 0);
-        let a = ChainAssignment { request: RequestId(1), instances: vec![i0, i1] };
-        let lat = assignment_latency(&a, &chain, NodeId(0), &f.pool, &f.catalog, &f.routes).unwrap();
+        let a = ChainAssignment {
+            request: RequestId(1),
+            instances: vec![i0, i1],
+        };
+        let lat =
+            assignment_latency(&a, &chain, NodeId(0), &f.pool, &f.catalog, &f.routes).unwrap();
         assert_eq!(lat.network_ms, 0.0);
     }
 
@@ -272,12 +316,17 @@ mod tests {
         let chain = f.chains.get(ChainId(1)).clone();
         let i0 = f.pool.spawn(chain.vnfs[0], NodeId(0), 0);
         let i1 = f.pool.spawn(chain.vnfs[1], NodeId(0), 0);
-        let a = ChainAssignment { request: RequestId(1), instances: vec![i0, i1] };
-        let idle = assignment_latency(&a, &chain, NodeId(0), &f.pool, &f.catalog, &f.routes).unwrap();
+        let a = ChainAssignment {
+            request: RequestId(1),
+            instances: vec![i0, i1],
+        };
+        let idle =
+            assignment_latency(&a, &chain, NodeId(0), &f.pool, &f.catalog, &f.routes).unwrap();
         // Load the NAT instance near saturation.
         let mu = f.catalog.get(chain.vnfs[0]).service_rate_rps;
         f.pool.add_flow(i0, 0.95 * mu).unwrap();
-        let loaded = assignment_latency(&a, &chain, NodeId(0), &f.pool, &f.catalog, &f.routes).unwrap();
+        let loaded =
+            assignment_latency(&a, &chain, NodeId(0), &f.pool, &f.catalog, &f.routes).unwrap();
         assert!(loaded.queueing_ms > idle.queueing_ms * 5.0);
     }
 
@@ -295,7 +344,10 @@ mod tests {
             .zip(nodes.iter())
             .map(|(&v, &n)| f.pool.spawn(v, n, 0))
             .collect();
-        let a = ChainAssignment { request: RequestId(0), instances: ids };
+        let a = ChainAssignment {
+            request: RequestId(0),
+            instances: ids,
+        };
         let actual = assignment_latency(&a, &chain, NodeId(2), &f.pool, &f.catalog, &f.routes)
             .unwrap()
             .total_ms();

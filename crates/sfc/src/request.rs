@@ -36,9 +36,21 @@ impl Request {
     /// # Panics
     ///
     /// Panics if `duration_slots == 0`.
-    pub fn new(id: RequestId, chain: ChainId, source: NodeId, arrival_slot: u64, duration_slots: u32) -> Self {
+    pub fn new(
+        id: RequestId,
+        chain: ChainId,
+        source: NodeId,
+        arrival_slot: u64,
+        duration_slots: u32,
+    ) -> Self {
         assert!(duration_slots >= 1, "request must last at least one slot");
-        Self { id, chain, source, arrival_slot, duration_slots }
+        Self {
+            id,
+            chain,
+            source,
+            arrival_slot,
+            duration_slots,
+        }
     }
 
     /// First slot in which the request is no longer active.

@@ -43,9 +43,21 @@ impl VnfType {
         service_rate_rps: f64,
         base_processing_ms: f64,
     ) -> Self {
-        assert!(service_rate_rps.is_finite() && service_rate_rps > 0.0, "service rate must be positive");
-        assert!(base_processing_ms.is_finite() && base_processing_ms >= 0.0, "base latency must be non-negative");
-        Self { id, name: name.into(), demand, service_rate_rps, base_processing_ms }
+        assert!(
+            service_rate_rps.is_finite() && service_rate_rps > 0.0,
+            "service rate must be positive"
+        );
+        assert!(
+            base_processing_ms.is_finite() && base_processing_ms >= 0.0,
+            "base latency must be non-negative"
+        );
+        Self {
+            id,
+            name: name.into(),
+            demand,
+            service_rate_rps,
+            base_processing_ms,
+        }
     }
 }
 

@@ -12,7 +12,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics if `lambda` is negative or non-finite.
 pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative, got {lambda}");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative, got {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -78,9 +81,18 @@ impl Mmpp2 {
     ///
     /// Panics on invalid rates or probabilities.
     pub fn validate(&self) {
-        assert!(self.low_rate >= 0.0 && self.high_rate >= self.low_rate, "need 0 <= low <= high rate");
-        assert!((0.0..=1.0).contains(&self.p_low_to_high), "p_low_to_high must be a probability");
-        assert!((0.0..=1.0).contains(&self.p_high_to_low), "p_high_to_low must be a probability");
+        assert!(
+            self.low_rate >= 0.0 && self.high_rate >= self.low_rate,
+            "need 0 <= low <= high rate"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_low_to_high),
+            "p_low_to_high must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_high_to_low),
+            "p_high_to_low must be a probability"
+        );
     }
 
     /// Long-run mean arrival rate.
@@ -105,7 +117,10 @@ impl Mmpp2State {
     /// Starts in the low state.
     pub fn new(params: Mmpp2) -> Self {
         params.validate();
-        Self { params, in_high: false }
+        Self {
+            params,
+            in_high: false,
+        }
     }
 
     /// Whether the process is currently in the high regime.
@@ -123,7 +138,11 @@ impl Mmpp2State {
         } else if flip < self.params.p_low_to_high {
             self.in_high = true;
         }
-        let rate = if self.in_high { self.params.high_rate } else { self.params.low_rate };
+        let rate = if self.in_high {
+            self.params.high_rate
+        } else {
+            self.params.low_rate
+        };
         poisson(rate, rng)
     }
 }
@@ -176,14 +195,24 @@ mod tests {
 
     #[test]
     fn mmpp_mean_rate_formula() {
-        let p = Mmpp2 { low_rate: 1.0, high_rate: 9.0, p_low_to_high: 0.1, p_high_to_low: 0.3 };
+        let p = Mmpp2 {
+            low_rate: 1.0,
+            high_rate: 9.0,
+            p_low_to_high: 0.1,
+            p_high_to_low: 0.3,
+        };
         // pi_high = 0.1/0.4 = 0.25 → mean = 1*0.75 + 9*0.25 = 3.0.
         assert!((p.mean_rate() - 3.0).abs() < 1e-9);
     }
 
     #[test]
     fn mmpp_empirical_mean_matches() {
-        let p = Mmpp2 { low_rate: 1.0, high_rate: 9.0, p_low_to_high: 0.1, p_high_to_low: 0.3 };
+        let p = Mmpp2 {
+            low_rate: 1.0,
+            high_rate: 9.0,
+            p_low_to_high: 0.1,
+            p_high_to_low: 0.3,
+        };
         let mut state = Mmpp2State::new(p);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
@@ -194,7 +223,12 @@ mod tests {
 
     #[test]
     fn mmpp_visits_both_states() {
-        let p = Mmpp2 { low_rate: 0.0, high_rate: 5.0, p_low_to_high: 0.2, p_high_to_low: 0.2 };
+        let p = Mmpp2 {
+            low_rate: 0.0,
+            high_rate: 5.0,
+            p_low_to_high: 0.2,
+            p_high_to_low: 0.2,
+        };
         let mut state = Mmpp2State::new(p);
         let mut rng = StdRng::seed_from_u64(6);
         let mut highs = 0;

@@ -52,21 +52,36 @@ impl LoadPattern {
     pub fn rate_at(&self, slot: u64) -> f64 {
         match *self {
             LoadPattern::Constant { rate } => rate.max(0.0),
-            LoadPattern::Diurnal { base, amplitude, period, phase } => {
+            LoadPattern::Diurnal {
+                base,
+                amplitude,
+                period,
+                phase,
+            } => {
                 if period == 0 {
                     return base.max(0.0);
                 }
-                let angle = 2.0 * std::f64::consts::PI * ((slot + phase) % period) as f64 / period as f64;
+                let angle =
+                    2.0 * std::f64::consts::PI * ((slot + phase) % period) as f64 / period as f64;
                 (base + amplitude * angle.sin()).max(0.0)
             }
-            LoadPattern::FlashCrowd { base, spike_rate, spike_start, spike_duration } => {
+            LoadPattern::FlashCrowd {
+                base,
+                spike_rate,
+                spike_start,
+                spike_duration,
+            } => {
                 if slot >= spike_start && slot < spike_start + spike_duration {
                     spike_rate.max(0.0)
                 } else {
                     base.max(0.0)
                 }
             }
-            LoadPattern::Ramp { start_rate, end_rate, ramp_slots } => {
+            LoadPattern::Ramp {
+                start_rate,
+                end_rate,
+                ramp_slots,
+            } => {
                 if ramp_slots == 0 || slot >= ramp_slots {
                     end_rate.max(0.0)
                 } else {
@@ -86,15 +101,32 @@ impl LoadPattern {
     pub fn validate(&self) {
         match *self {
             LoadPattern::Constant { rate } => assert!(rate >= 0.0, "rate must be non-negative"),
-            LoadPattern::Diurnal { base, amplitude, .. } => {
-                assert!(base >= 0.0 && amplitude >= 0.0, "rates must be non-negative");
+            LoadPattern::Diurnal {
+                base, amplitude, ..
+            } => {
+                assert!(
+                    base >= 0.0 && amplitude >= 0.0,
+                    "rates must be non-negative"
+                );
                 assert!(amplitude <= base, "diurnal amplitude must not exceed base");
             }
-            LoadPattern::FlashCrowd { base, spike_rate, .. } => {
-                assert!(base >= 0.0 && spike_rate >= 0.0, "rates must be non-negative");
+            LoadPattern::FlashCrowd {
+                base, spike_rate, ..
+            } => {
+                assert!(
+                    base >= 0.0 && spike_rate >= 0.0,
+                    "rates must be non-negative"
+                );
             }
-            LoadPattern::Ramp { start_rate, end_rate, .. } => {
-                assert!(start_rate >= 0.0 && end_rate >= 0.0, "rates must be non-negative");
+            LoadPattern::Ramp {
+                start_rate,
+                end_rate,
+                ..
+            } => {
+                assert!(
+                    start_rate >= 0.0 && end_rate >= 0.0,
+                    "rates must be non-negative"
+                );
             }
         }
     }
@@ -121,7 +153,12 @@ mod tests {
 
     #[test]
     fn diurnal_oscillates_around_base() {
-        let p = LoadPattern::Diurnal { base: 10.0, amplitude: 5.0, period: 24, phase: 0 };
+        let p = LoadPattern::Diurnal {
+            base: 10.0,
+            amplitude: 5.0,
+            period: 24,
+            phase: 0,
+        };
         p.validate();
         let peak = p.rate_at(6); // sin peaks at quarter period
         let trough = p.rate_at(18);
@@ -132,7 +169,12 @@ mod tests {
 
     #[test]
     fn diurnal_is_periodic() {
-        let p = LoadPattern::Diurnal { base: 4.0, amplitude: 2.0, period: 100, phase: 7 };
+        let p = LoadPattern::Diurnal {
+            base: 4.0,
+            amplitude: 2.0,
+            period: 100,
+            phase: 7,
+        };
         for s in [0u64, 13, 57] {
             assert!((p.rate_at(s) - p.rate_at(s + 100)).abs() < 1e-9);
         }
@@ -140,7 +182,12 @@ mod tests {
 
     #[test]
     fn flash_crowd_window() {
-        let p = LoadPattern::FlashCrowd { base: 2.0, spike_rate: 20.0, spike_start: 50, spike_duration: 10 };
+        let p = LoadPattern::FlashCrowd {
+            base: 2.0,
+            spike_rate: 20.0,
+            spike_start: 50,
+            spike_duration: 10,
+        };
         assert_eq!(p.rate_at(49), 2.0);
         assert_eq!(p.rate_at(50), 20.0);
         assert_eq!(p.rate_at(59), 20.0);
@@ -149,7 +196,11 @@ mod tests {
 
     #[test]
     fn ramp_interpolates() {
-        let p = LoadPattern::Ramp { start_rate: 0.0, end_rate: 10.0, ramp_slots: 10 };
+        let p = LoadPattern::Ramp {
+            start_rate: 0.0,
+            end_rate: 10.0,
+            ramp_slots: 10,
+        };
         assert_eq!(p.rate_at(0), 0.0);
         assert!((p.rate_at(5) - 5.0).abs() < 1e-9);
         assert_eq!(p.rate_at(10), 10.0);
@@ -158,7 +209,12 @@ mod tests {
 
     #[test]
     fn rates_never_negative() {
-        let p = LoadPattern::Diurnal { base: 1.0, amplitude: 1.0, period: 10, phase: 0 };
+        let p = LoadPattern::Diurnal {
+            base: 1.0,
+            amplitude: 1.0,
+            period: 10,
+            phase: 0,
+        };
         for s in 0..20 {
             assert!(p.rate_at(s) >= 0.0);
         }
@@ -167,6 +223,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "amplitude must not exceed base")]
     fn oversized_amplitude_rejected() {
-        LoadPattern::Diurnal { base: 1.0, amplitude: 2.0, period: 10, phase: 0 }.validate();
+        LoadPattern::Diurnal {
+            base: 1.0,
+            amplitude: 2.0,
+            period: 10,
+            phase: 0,
+        }
+        .validate();
     }
 }

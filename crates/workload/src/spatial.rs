@@ -5,9 +5,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How request sources distribute over the edge sites.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum SpatialDistribution {
     /// Every edge site equally likely.
+    #[default]
     Uniform,
     /// Zipf-distributed popularity with exponent `s` over sites in id
     /// order (site 0 most popular). `s = 0` degenerates to uniform.
@@ -25,12 +26,6 @@ pub enum SpatialDistribution {
     },
 }
 
-impl Default for SpatialDistribution {
-    fn default() -> Self {
-        SpatialDistribution::Uniform
-    }
-}
-
 impl SpatialDistribution {
     /// Per-site probability weights over `sites` (normalized to sum 1).
     ///
@@ -45,13 +40,36 @@ impl SpatialDistribution {
             SpatialDistribution::Uniform => vec![1.0; n],
             SpatialDistribution::Zipf { exponent } => {
                 assert!(exponent >= 0.0, "zipf exponent must be non-negative");
-                (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect()
+                (0..n)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                    .collect()
             }
-            SpatialDistribution::Hotspot { hot_index, hot_fraction } => {
-                assert!(hot_index < n, "hotspot index {hot_index} out of range for {n} sites");
-                assert!((0.0..=1.0).contains(&hot_fraction), "hot fraction must be in [0,1]");
-                let rest = if n > 1 { (1.0 - hot_fraction) / (n - 1) as f64 } else { 0.0 };
-                (0..n).map(|i| if i == hot_index { hot_fraction.max(f64::MIN_POSITIVE) } else { rest }).collect()
+            SpatialDistribution::Hotspot {
+                hot_index,
+                hot_fraction,
+            } => {
+                assert!(
+                    hot_index < n,
+                    "hotspot index {hot_index} out of range for {n} sites"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&hot_fraction),
+                    "hot fraction must be in [0,1]"
+                );
+                let rest = if n > 1 {
+                    (1.0 - hot_fraction) / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                (0..n)
+                    .map(|i| {
+                        if i == hot_index {
+                            hot_fraction.max(f64::MIN_POSITIVE)
+                        } else {
+                            rest
+                        }
+                    })
+                    .collect()
             }
         };
         let total: f64 = raw.iter().sum();
@@ -93,7 +111,10 @@ mod tests {
         for _ in 0..draws {
             counts[dist.sample(&s, &mut rng).0] += 1;
         }
-        counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / draws as f64)
+            .collect()
     }
 
     #[test]
@@ -120,7 +141,10 @@ mod tests {
     #[test]
     fn hotspot_gets_requested_fraction() {
         let freq = empirical(
-            &SpatialDistribution::Hotspot { hot_index: 2, hot_fraction: 0.7 },
+            &SpatialDistribution::Hotspot {
+                hot_index: 2,
+                hot_fraction: 0.7,
+            },
             4,
             20_000,
             42,
@@ -135,7 +159,12 @@ mod tests {
         let w = dist.weights(&sites(3));
         let freq = empirical(&dist, 3, 30_000, 7);
         for i in 0..3 {
-            assert!((freq[i] - w[i]).abs() < 0.02, "site {i}: {} vs {}", freq[i], w[i]);
+            assert!(
+                (freq[i] - w[i]).abs() < 0.02,
+                "site {i}: {} vs {}",
+                freq[i],
+                w[i]
+            );
         }
     }
 
@@ -146,7 +175,10 @@ mod tests {
         for dist in [
             SpatialDistribution::Uniform,
             SpatialDistribution::Zipf { exponent: 1.0 },
-            SpatialDistribution::Hotspot { hot_index: 0, hot_fraction: 1.0 },
+            SpatialDistribution::Hotspot {
+                hot_index: 0,
+                hot_fraction: 1.0,
+            },
         ] {
             assert_eq!(dist.sample(&s, &mut rng), NodeId(0));
         }
@@ -155,6 +187,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn hotspot_out_of_range_panics() {
-        let _ = SpatialDistribution::Hotspot { hot_index: 5, hot_fraction: 0.5 }.weights(&sites(2));
+        let _ = SpatialDistribution::Hotspot {
+            hot_index: 5,
+            hot_fraction: 0.5,
+        }
+        .weights(&sites(2));
     }
 }

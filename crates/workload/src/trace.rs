@@ -46,9 +46,18 @@ impl WorkloadSpec {
     pub fn validate(&self) {
         self.pattern.validate();
         assert!(!self.chain_mix.is_empty(), "chain mix must not be empty");
-        assert!(self.chain_mix.iter().all(|&w| w >= 0.0), "chain weights must be non-negative");
-        assert!(self.chain_mix.iter().sum::<f64>() > 0.0, "at least one chain weight must be positive");
-        assert!(self.mean_duration_slots >= 1.0, "mean duration must be at least one slot");
+        assert!(
+            self.chain_mix.iter().all(|&w| w >= 0.0),
+            "chain weights must be non-negative"
+        );
+        assert!(
+            self.chain_mix.iter().sum::<f64>() > 0.0,
+            "at least one chain weight must be positive"
+        );
+        assert!(
+            self.mean_duration_slots >= 1.0,
+            "mean duration must be at least one slot"
+        );
     }
 
     fn sample_chain<R: Rng + ?Sized>(&self, rng: &mut R) -> ChainId {
@@ -131,11 +140,20 @@ pub fn generate_trace<R: Rng + ?Sized>(
             let source = spec.spatial.sample(sites, rng);
             let chain = spec.sample_chain(rng);
             let duration = spec.sample_duration(rng);
-            requests.push(Request::new(RequestId(next_id), chain, source, slot, duration));
+            requests.push(Request::new(
+                RequestId(next_id),
+                chain,
+                source,
+                slot,
+                duration,
+            ));
             next_id += 1;
         }
     }
-    Trace { requests, horizon_slots }
+    Trace {
+        requests,
+        horizon_slots,
+    }
 }
 
 #[cfg(test)]
@@ -153,8 +171,15 @@ mod tests {
         let spec = WorkloadSpec::poisson(5.0, 3, 4.0);
         let mut rng = StdRng::seed_from_u64(1);
         let trace = generate_trace(&spec, &sites(), 2_000, &mut rng);
-        assert!(trace.requests.windows(2).all(|w| w[0].arrival_slot <= w[1].arrival_slot));
-        assert!((trace.mean_rate() - 5.0).abs() < 0.25, "rate {}", trace.mean_rate());
+        assert!(trace
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_slot <= w[1].arrival_slot));
+        assert!(
+            (trace.mean_rate() - 5.0).abs() < 0.25,
+            "rate {}",
+            trace.mean_rate()
+        );
     }
 
     #[test]
@@ -178,7 +203,11 @@ mod tests {
     fn durations_have_requested_mean() {
         let spec = WorkloadSpec::poisson(10.0, 1, 8.0);
         let trace = generate_trace(&spec, &sites(), 3_000, &mut StdRng::seed_from_u64(4));
-        let mean: f64 = trace.requests.iter().map(|r| r.duration_slots as f64).sum::<f64>()
+        let mean: f64 = trace
+            .requests
+            .iter()
+            .map(|r| r.duration_slots as f64)
+            .sum::<f64>()
             / trace.len() as f64;
         assert!((mean - 8.0).abs() < 0.4, "mean duration {mean}");
         assert!(trace.requests.iter().all(|r| r.duration_slots >= 1));
@@ -191,7 +220,11 @@ mod tests {
             ..WorkloadSpec::poisson(10.0, 2, 2.0)
         };
         let trace = generate_trace(&spec, &sites(), 3_000, &mut StdRng::seed_from_u64(5));
-        let c0 = trace.requests.iter().filter(|r| r.chain == ChainId(0)).count() as f64;
+        let c0 = trace
+            .requests
+            .iter()
+            .filter(|r| r.chain == ChainId(0))
+            .count() as f64;
         let frac = c0 / trace.len() as f64;
         assert!((frac - 0.75).abs() < 0.03, "chain-0 fraction {frac}");
     }
@@ -216,9 +249,16 @@ mod tests {
             ..WorkloadSpec::poisson(0.0, 1, 2.0)
         };
         let trace = generate_trace(&spec, &sites(), 300, &mut StdRng::seed_from_u64(7));
-        let in_spike = trace.requests.iter().filter(|r| (100..150).contains(&r.arrival_slot)).count();
+        let in_spike = trace
+            .requests
+            .iter()
+            .filter(|r| (100..150).contains(&r.arrival_slot))
+            .count();
         let outside = trace.len() - in_spike;
-        assert!(in_spike as f64 > outside as f64 * 2.0, "spike {in_spike} vs outside {outside}");
+        assert!(
+            in_spike as f64 > outside as f64 * 2.0,
+            "spike {in_spike} vs outside {outside}"
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@
 use mano::prelude::*;
 
 fn main() {
-    let rate: f64 = std::env::var("RATE").ok().and_then(|v| v.parse().ok()).unwrap_or(6.0);
+    let rate: f64 = std::env::var("RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6.0);
     let mut scenario = Scenario::default_metro().with_arrival_rate(rate);
     scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
     scenario.horizon_slots = 240;

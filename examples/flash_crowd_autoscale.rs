@@ -30,7 +30,11 @@ fn main() {
     println!("slot | load phase   | active flows | instances | util % | cost/slot");
     println!("-----|--------------|--------------|-----------|--------|----------");
     for r in sim.metrics().slots().iter().step_by(10) {
-        let phase = if (80..140).contains(&r.slot) { "FLASH CROWD" } else { "baseline" };
+        let phase = if (80..140).contains(&r.slot) {
+            "FLASH CROWD"
+        } else {
+            "baseline"
+        };
         println!(
             "{:>4} | {:<12} | {:>12} | {:>9} | {:>5.1} | ${:.4}",
             r.slot,
@@ -42,10 +46,18 @@ fn main() {
         );
     }
 
-    let spike: Vec<&SlotRecord> =
-        sim.metrics().slots().iter().filter(|r| (80..140).contains(&r.slot)).collect();
-    let calm: Vec<&SlotRecord> =
-        sim.metrics().slots().iter().filter(|r| r.slot < 80).collect();
+    let spike: Vec<&SlotRecord> = sim
+        .metrics()
+        .slots()
+        .iter()
+        .filter(|r| (80..140).contains(&r.slot))
+        .collect();
+    let calm: Vec<&SlotRecord> = sim
+        .metrics()
+        .slots()
+        .iter()
+        .filter(|r| r.slot < 80)
+        .collect();
     let mean_inst = |rs: &[&SlotRecord]| {
         rs.iter().map(|r| r.live_instances as f64).sum::<f64>() / rs.len().max(1) as f64
     };

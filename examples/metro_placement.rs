@@ -55,18 +55,31 @@ fn main() {
     let mut scenario = Scenario::default_metro();
     scenario.topology = TopologySpec::Metro { sites: 5 };
     let mut sim = Simulation::new(&scenario, RewardConfig::default());
-    let names: Vec<String> = sim.topology.nodes().iter().map(|n| n.name.clone()).collect();
+    let names: Vec<String> = sim
+        .topology
+        .nodes()
+        .iter()
+        .map(|n| n.name.clone())
+        .collect();
     println!("topology: {} (+ cloud)", names[..5].join(", "));
 
-    let mut policy = NarratingPolicy { inner: GreedyLatencyPolicy, sim_names: names };
+    let mut policy = NarratingPolicy {
+        inner: GreedyLatencyPolicy,
+        sim_names: names,
+    };
     let mut rng = StdRng::seed_from_u64(3);
 
     // A video-streaming request (nat → firewall → transcoder → proxy)
     // arriving at Seattle (node 4).
     let request = Request::new(RequestId(0), ChainId(2), edgenet::node::NodeId(4), 0, 12);
     match sim.place_request(&request, &mut policy, &mut rng) {
-        PlacementOutcome::Accepted { latency_ms, sla_violated } => {
-            println!("\naccepted: end-to-end latency {latency_ms:.2} ms (SLA violated: {sla_violated})");
+        PlacementOutcome::Accepted {
+            latency_ms,
+            sla_violated,
+        } => {
+            println!(
+                "\naccepted: end-to-end latency {latency_ms:.2} ms (SLA violated: {sla_violated})"
+            );
         }
         PlacementOutcome::Rejected => println!("\nrejected"),
     }

@@ -38,6 +38,11 @@ fn main() {
     println!("|---|---|---|");
     for r in &results {
         let obj = r.summary.combined_objective(1.0, 1.0);
-        println!("| {} | {:.2} | {:+.1}% |", r.policy, obj, 100.0 * (obj - reference) / reference);
+        println!(
+            "| {} | {:.2} | {:+.1}% |",
+            r.policy,
+            obj,
+            100.0 * (obj - reference) / reference
+        );
     }
 }

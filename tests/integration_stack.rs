@@ -20,7 +20,10 @@ fn full_pipeline_workload_to_summary() {
     let s = &result.summary;
     assert_eq!(s.slots, scenario.horizon_slots);
     assert_eq!(s.total_arrivals, s.total_accepted + s.total_rejected);
-    assert!(s.total_arrivals > 50, "Poisson(3) over 80 slots should produce plenty of requests");
+    assert!(
+        s.total_arrivals > 50,
+        "Poisson(3) over 80 slots should produce plenty of requests"
+    );
     assert!(s.mean_admission_latency_ms > 0.0);
     assert!(s.total_cost_usd > 0.0);
 }
@@ -53,10 +56,26 @@ fn all_baselines_complete_and_respect_bounds() {
     assert_eq!(results.len(), policies.len());
     for r in &results {
         let s = &r.summary;
-        assert!((0.0..=1.0).contains(&s.acceptance_ratio), "{}: acceptance", r.policy);
-        assert!((0.0..=1.0).contains(&s.sla_violation_ratio), "{}: sla", r.policy);
-        assert!((0.0..=1.0 + 1e-9).contains(&s.mean_utilization), "{}: util", r.policy);
-        assert!(s.total_cost_usd.is_finite() && s.total_cost_usd >= 0.0, "{}: cost", r.policy);
+        assert!(
+            (0.0..=1.0).contains(&s.acceptance_ratio),
+            "{}: acceptance",
+            r.policy
+        );
+        assert!(
+            (0.0..=1.0).contains(&s.sla_violation_ratio),
+            "{}: sla",
+            r.policy
+        );
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&s.mean_utilization),
+            "{}: util",
+            r.policy
+        );
+        assert!(
+            s.total_cost_usd.is_finite() && s.total_cost_usd >= 0.0,
+            "{}: cost",
+            r.policy
+        );
     }
 }
 
@@ -75,7 +94,11 @@ fn drl_end_to_end_training_improves_over_random() {
             learn_start: 200,
             target_sync_every: 200,
             optimizer: nn::prelude::OptimizerConfig::adam(1e-3),
-            epsilon: rl::schedule::EpsilonSchedule::Linear { start: 1.0, end: 0.05, steps: 3_000 },
+            epsilon: rl::schedule::EpsilonSchedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: 3_000,
+            },
             ..rl::dqn::DqnConfig::default()
         },
         label: "drl".into(),

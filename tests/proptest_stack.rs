@@ -7,7 +7,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn scenario_from(rate: f64, sites: usize, seed: u64) -> Scenario {
-    let mut s = Scenario::small_test().with_arrival_rate(rate).with_seed(seed);
+    let mut s = Scenario::small_test()
+        .with_arrival_rate(rate)
+        .with_seed(seed);
     s.topology = TopologySpec::Metro { sites };
     s.horizon_slots = 30;
     s

@@ -1,0 +1,58 @@
+//! End-to-end smoke tests: `Scenario::small_test()` must run to
+//! completion under the canonical baseline policies and produce
+//! non-degenerate metrics.
+
+use drl_vnf_edge::prelude::*;
+
+fn smoke(policy: &mut dyn PlacementPolicy, name: &str) -> RunSummary {
+    let scenario = Scenario::small_test();
+    let result = evaluate_policy(&scenario, RewardConfig::default(), policy, 13);
+    let s = result.summary;
+    assert!(s.total_arrivals > 0, "{name}: no arrivals generated");
+    assert!(
+        (0.0..=1.0).contains(&s.acceptance_ratio),
+        "{name}: acceptance ratio {} outside [0,1]",
+        s.acceptance_ratio
+    );
+    assert_eq!(
+        s.total_arrivals,
+        s.total_accepted + s.total_rejected,
+        "{name}: arrival accounting"
+    );
+    assert!(
+        s.total_cost_usd.is_finite() && s.total_cost_usd >= 0.0,
+        "{name}: cost {} degenerate",
+        s.total_cost_usd
+    );
+    assert_eq!(s.slots, scenario.horizon_slots, "{name}: truncated run");
+    s
+}
+
+#[test]
+fn first_fit_smoke() {
+    let s = smoke(&mut FirstFitPolicy, "first-fit");
+    assert!(s.total_accepted > 0, "first-fit should admit something");
+}
+
+#[test]
+fn greedy_latency_smoke() {
+    let s = smoke(&mut GreedyLatencyPolicy, "greedy-latency");
+    assert!(
+        s.total_accepted > 0,
+        "greedy-latency should admit something"
+    );
+    assert!(
+        s.mean_admission_latency_ms > 0.0,
+        "admitted requests must have positive latency"
+    );
+}
+
+#[test]
+fn cloud_only_smoke() {
+    // small_test ships a cloud node, so cloud-only must still admit.
+    let s = smoke(&mut CloudOnlyPolicy, "cloud-only");
+    assert!(
+        s.total_accepted > 0,
+        "cloud-only should admit via the cloud"
+    );
+}

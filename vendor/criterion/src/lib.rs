@@ -1,0 +1,126 @@
+//! Offline, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`black_box`],
+//! [`criterion_group!`]/[`criterion_main!`] — with a simple
+//! calibrate-then-measure loop that prints mean wall-clock time per
+//! iteration. No statistics, HTML reports, or regression detection; swap
+//! in the real crate once crates.io access is available.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work (re-export of the standard library implementation).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity;
+/// this stand-in times each routine invocation individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`]; drives
+/// the measurement loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = calibrated_iters(&mut routine);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut one = || routine(setup());
+        let iters = calibrated_iters(&mut one).min(1_000);
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+        self.iters_done = iters;
+    }
+}
+
+/// Pick an iteration count targeting ~50 ms of measured work.
+fn calibrated_iters<O, R: FnMut() -> O>(routine: &mut R) -> u64 {
+    let start = Instant::now();
+    black_box(routine());
+    let once = start.elapsed().max(Duration::from_nanos(20));
+    (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run `f` as a named benchmark and print the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mean_ns = if b.iters_done == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters_done as f64
+        };
+        println!(
+            "{id:<48} {:>12.1} ns/iter ({} iters)",
+            mean_ns, b.iters_done
+        );
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group (API-compatible with
+/// criterion's macro; configuration arguments are not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

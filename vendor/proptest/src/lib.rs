@@ -1,0 +1,413 @@
+//! Offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! range/tuple/`prop_map`/[`collection::vec`] strategies and
+//! [`test_runner::Config`] (`ProptestConfig`). Differences from upstream:
+//!
+//! * **Fixed RNG seed.** Every run draws from the same deterministic
+//!   stream (see [`test_runner::Config::rng_seed`]), so failures are
+//!   always reproducible — the workspace's reproducibility bar.
+//! * **No shrinking.** A failing case reports the case number and the
+//!   assertion message; it is not minimized.
+//!
+//! Swap in the real `proptest` by deleting this vendor entry once
+//! crates.io access is available.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Test-case outcomes and the case runner.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was filtered out by `prop_assume!`; it does not count
+        /// toward the executed-case total.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection (assumption not met).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type property-test bodies evaluate to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (stands in for `proptest::prelude::ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successfully executed cases required.
+        pub cases: u32,
+        /// Seed for the deterministic case-generation stream.
+        pub rng_seed: u64,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                rng_seed: 0x5EED_CA5E,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases (mirrors upstream's constructor).
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Execute `case` until `config.cases` cases pass, panicking on the
+    /// first failure. Rejections retry with fresh draws, up to a cap.
+    pub fn run<F>(config: Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> TestCaseResult,
+    {
+        let mut rng = StdRng::seed_from_u64(config.rng_seed);
+        let mut executed = 0u32;
+        let mut rejected = 0u32;
+        while executed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.cases.saturating_mul(16).max(256),
+                        "proptest `{name}`: too many rejected cases ({rejected}); \
+                         weaken the prop_assume! filter"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed at case {executed}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Value-generation strategies (deterministic, non-shrinking).
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value from the deterministic stream.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f` (mirrors upstream).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0.0)
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+        (S0.0, S1.1, S2.2, S3.3, S4.4)
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` (see [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `elem` (mirrors
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans (mirrors `proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run($cfg, stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current generated case (with optional format
+/// message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format_args!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{:?} != {:?} at {}:{}", l, r, file!(), line!()),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{:?} != {:?}: {} at {}:{}", l, r, format_args!($($fmt)+), file!(), line!()),
+            ));
+        }
+    }};
+}
+
+/// Skip the current generated case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, -1.0f64..1.0), c in 0u64..5) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!(c < 5);
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec((0usize..3, 0.0f32..1.0), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (i, f) in v {
+                prop_assert!(i < 3 && (0.0..1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn assume_filters(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let collect = || {
+            let mut out = Vec::new();
+            crate::test_runner::run(ProptestConfig::with_cases(8), "det", |rng| {
+                out.push((0usize..100).generate(rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline, dependency-free stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derives from the vendored `serde_derive` and
+//! declares empty `Serialize`/`Deserialize` marker traits so that both
+//! `#[derive(serde::Serialize)]` and `use serde::{Serialize, Deserialize}`
+//! compile unchanged. No serialization is performed; the workspace does
+//! not yet consume serde impls. Replace with the real crate when network
+//! access is available.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

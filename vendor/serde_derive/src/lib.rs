@@ -1,0 +1,22 @@
+//! Offline, dependency-free stand-in for `serde_derive`.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; nothing in
+//! this workspace currently *consumes* those impls (no serde-based I/O is
+//! wired up yet), so these derives deliberately expand to nothing. They
+//! exist so that `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! field attributes across the workspace compile unchanged, keeping the
+//! source ready for the real `serde` once crates.io access is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

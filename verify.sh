@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the workspace. CI runs exactly this; run it
+# locally before pushing. Requires only the stable Rust toolchain (all
+# third-party dependencies are vendored under vendor/ — no network needed).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify.sh: all gates passed"
