@@ -1,11 +1,15 @@
 //! Figure 10 — reward-weight sensitivity: sweeping α (latency weight) vs
 //! β (cost weight) traces the latency/cost trade-off frontier of the DRL
-//! manager.
+//! manager. The five weightings train concurrently; the frontier points
+//! are means ± 95% CI across the evaluation seeds.
 //!
 //! Expected shape: latency-heavy weights produce low latency and higher
 //! cost; cost-heavy the reverse; the points form a monotone frontier.
 
-use bench::{bench_scenario, default_passes, drl_default, emit_csv};
+use bench::{
+    bench_scenario, default_passes, drl_default, emit_csv, emit_report, eval_seeds, factory_of,
+};
+use exper::prelude::*;
 use mano::prelude::*;
 
 fn main() {
@@ -17,31 +21,60 @@ fn main() {
         (0.5, 2.0),
         (0.25, 4.0),
     ];
-    let mut lines = vec![
-        "alpha,beta,mean_latency_ms,mean_slot_cost_usd,acceptance_ratio,sla_violation_ratio"
-            .to_string(),
-    ];
-    for (alpha, beta) in weights {
-        eprintln!("[fig10] training with α={alpha}, β={beta}…");
+
+    eprintln!(
+        "[fig10] training {} weightings on {} threads…",
+        weights.len(),
+        thread_count()
+    );
+    let trained = parallel_map(&weights, |_, &(alpha, beta)| {
         let reward = RewardConfig {
             alpha_latency: alpha,
             beta_cost: beta,
             ..RewardConfig::default()
         };
-        let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
-        let result = evaluate_policy(&scenario, reward, &mut trained.policy, 31);
-        let s = &result.summary;
+        let t = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
+        eprintln!("[fig10] α={alpha}, β={beta}: trained");
+        t
+    });
+
+    // One grid column per weighting; physical metrics (latency, cost,
+    // acceptance) don't depend on the evaluation-time reward shaping.
+    let mut grid = ExperimentGrid::new("fig10_reward_weights")
+        .scenario("lambda=8", 8.0, scenario)
+        .seeds(&eval_seeds());
+    for (&(alpha, beta), t) in weights.iter().zip(trained) {
+        grid = grid.policy_boxed(format!("a{alpha}-b{beta}"), factory_of(t.policy));
+    }
+    let report = grid.run();
+
+    let mut lines = vec![
+        "alpha,beta,seeds,mean_latency_ms,mean_latency_ms_ci95,mean_slot_cost_usd,\
+         mean_slot_cost_usd_ci95,acceptance_ratio,acceptance_ratio_ci95,\
+         sla_violation_ratio,sla_violation_ratio_ci95"
+            .to_string(),
+    ];
+    for ((alpha, beta), a) in weights.iter().zip(&report.aggregates) {
+        let g = |name: &str| a.aggregate.get(name).expect("standard metric");
         eprintln!(
-            "[fig10]   → {:.2} ms, ${:.4}/slot",
-            s.mean_admission_latency_ms, s.mean_slot_cost_usd
+            "[fig10]   α={alpha}, β={beta} → {:.2} ± {:.2} ms, ${:.4}/slot",
+            g("mean_latency_ms").mean,
+            g("mean_latency_ms").ci95,
+            g("mean_slot_cost_usd").mean,
         );
         lines.push(format!(
-            "{alpha},{beta},{:.4},{:.6},{:.4},{:.4}",
-            s.mean_admission_latency_ms,
-            s.mean_slot_cost_usd,
-            s.acceptance_ratio,
-            s.sla_violation_ratio
+            "{alpha},{beta},{},{:.4},{:.4},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4}",
+            a.aggregate.runs,
+            g("mean_latency_ms").mean,
+            g("mean_latency_ms").ci95,
+            g("mean_slot_cost_usd").mean,
+            g("mean_slot_cost_usd").ci95,
+            g("acceptance_ratio").mean,
+            g("acceptance_ratio").ci95,
+            g("sla_violation_ratio").mean,
+            g("sla_violation_ratio").ci95,
         ));
     }
     emit_csv("fig10_reward_weights.csv", &lines);
+    emit_report(&report);
 }

@@ -1,12 +1,17 @@
 //! Figure 11 (extension) — value-based vs policy-gradient management:
 //! the Double-DQN manager against a REINFORCE manager trained on the same
-//! scenario, plus their convergence curves.
+//! scenario (concurrently, on the engine's pool), plus their convergence
+//! curves and a multi-seed head-to-head grid.
 //!
 //! Expected shape: DQN converges faster and more stably (off-policy replay
 //! reuses every transition); REINFORCE reaches a comparable final policy
 //! but with noisier curves — the classic trade-off.
 
-use bench::{bench_scenario, default_passes, drl_default, emit_csv, emit_markdown};
+use bench::{
+    bench_scenario, default_passes, drl_default, emit_csv, emit_markdown, emit_report, eval_seeds,
+    factory_of,
+};
+use exper::prelude::*;
 use mano::prelude::*;
 
 fn main() {
@@ -14,18 +19,27 @@ fn main() {
     let reward = RewardConfig::default();
     let passes = default_passes();
 
-    eprintln!("[fig11] training DQN manager…");
-    let trained_dqn = train_drl(&scenario, reward, drl_default(), passes);
-    eprintln!("[fig11] training REINFORCE manager…");
-    let (mut pg_policy, pg_returns, _) =
-        train_pg(&scenario, reward, PgManagerConfig::default(), passes);
+    eprintln!(
+        "[fig11] training DQN and REINFORCE on {} threads…",
+        thread_count()
+    );
+    let algorithms = ["dqn", "reinforce"];
+    let trained: Vec<(String, Vec<f32>, PolicyFactory)> =
+        parallel_map(&algorithms, |_, &algo| match algo {
+            "dqn" => {
+                let t = train_drl(&scenario, reward, drl_default(), passes);
+                ("dqn".to_string(), t.episode_returns, factory_of(t.policy))
+            }
+            _ => {
+                let (policy, returns, _) =
+                    train_pg(&scenario, reward, PgManagerConfig::default(), passes);
+                ("reinforce".to_string(), returns, factory_of(policy))
+            }
+        });
 
     // Convergence curves.
     let mut lines = vec!["algorithm,episode,smoothed_return".to_string()];
-    for (label, returns) in [
-        ("dqn", &trained_dqn.episode_returns),
-        ("reinforce", &pg_returns),
-    ] {
+    for (label, returns, _) in &trained {
         let smoothed = moving_average(returns, 200);
         for (i, &s) in smoothed.iter().enumerate() {
             if i % 10 == 0 {
@@ -35,13 +49,23 @@ fn main() {
     }
     emit_csv("fig11_pg_vs_dqn_curves.csv", &lines);
 
-    // Head-to-head evaluation on an identical trace.
-    let mut dqn_policy = trained_dqn.policy;
-    let results = vec![
-        evaluate_policy(&scenario, reward, &mut dqn_policy, 616),
-        evaluate_policy(&scenario, reward, &mut pg_policy, 616),
-    ];
+    // Head-to-head evaluation on identical traces across seeds.
+    let mut grid = ExperimentGrid::new("fig11_pg_vs_dqn")
+        .scenario("lambda=8", 8.0, scenario)
+        .reward(reward)
+        .seeds(&eval_seeds());
+    for (label, _, factory) in trained {
+        grid = grid.policy_boxed(label, factory);
+    }
+    let report = grid.run();
+
+    let rows: Vec<(String, SummaryAggregate)> = report
+        .aggregates
+        .iter()
+        .map(|a| (a.policy.clone(), a.aggregate.clone()))
+        .collect();
     let mut md = String::from("# Figure 11 — DQN vs REINFORCE managers\n\n");
-    md.push_str(&markdown_comparison(&results));
+    md.push_str(&markdown_aggregate_comparison(&rows));
     emit_markdown("fig11_pg_vs_dqn.md", &md);
+    emit_report(&report);
 }

@@ -1,25 +1,25 @@
-//! Figure 3 — mean per-slot operational cost vs arrival rate λ.
+//! Figure 3 — mean per-slot operational cost vs arrival rate λ,
+//! mean ± 95% CI across the evaluation seeds.
 //!
 //! Expected shape: cost grows roughly linearly with load for all
 //! policies; greedy-latency pays a growing premium (it spawns instances
 //! wherever latency is lowest); cloud-only pays the cloud-traffic premium;
 //! DRL and weighted-greedy sit lowest.
 
-use bench::{emit_sweep_csv, load_sweep_results};
+use bench::{best_per_coordinate, emit_sweep_csv, load_sweep_grid};
 
 fn main() {
-    let sweep = load_sweep_results();
-    emit_sweep_csv("fig3_cost_vs_load.csv", &sweep);
-    for (rate, results) in &sweep {
-        let mut best = ("", f64::MAX);
-        for r in results {
-            if r.summary.mean_slot_cost_usd < best.1 {
-                best = (&r.policy, r.summary.mean_slot_cost_usd);
-            }
-        }
+    let report = load_sweep_grid();
+    emit_sweep_csv("fig3_cost_vs_load.csv", &report);
+    for (rate, best) in best_per_coordinate(&report, "mean_slot_cost_usd") {
         eprintln!(
-            "[fig3] λ={rate:>4.1}: best cost {} (${:.4}/slot)",
-            best.0, best.1
+            "[fig3] λ={rate:>4.1}: best cost {} (${:.4} ± {:.4}/slot)",
+            best.policy,
+            best.aggregate.mean("mean_slot_cost_usd"),
+            best.aggregate
+                .get("mean_slot_cost_usd")
+                .expect("metric")
+                .ci95,
         );
     }
 }

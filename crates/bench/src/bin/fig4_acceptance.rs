@@ -1,24 +1,26 @@
-//! Figure 4 — request acceptance ratio vs arrival rate λ.
+//! Figure 4 — request acceptance ratio vs arrival rate λ,
+//! mean ± 95% CI across the evaluation seeds.
 //!
 //! Expected shape: near 1.0 for everyone below the capacity knee, then
 //! degrading at overload; DRL and the packing-aware heuristics degrade
 //! last; policies ignoring capacity (cloud-only excepted — the cloud is
 //! effectively infinite) drop first.
 
-use bench::{emit_sweep_csv, load_sweep_results};
+use bench::{emit_sweep_csv, load_sweep_grid};
 
 fn main() {
-    let sweep = load_sweep_results();
-    emit_sweep_csv("fig4_acceptance.csv", &sweep);
-    for (rate, results) in &sweep {
-        for r in results {
-            if r.summary.acceptance_ratio < 0.999 {
-                eprintln!(
-                    "[fig4] λ={rate:>4.1}: {} accepts {:.1}%",
-                    r.policy,
-                    100.0 * r.summary.acceptance_ratio
-                );
-            }
+    let report = load_sweep_grid();
+    emit_sweep_csv("fig4_acceptance.csv", &report);
+    for a in &report.aggregates {
+        let acc = a.aggregate.get("acceptance_ratio").expect("metric");
+        if acc.mean < 0.999 {
+            eprintln!(
+                "[fig4] λ={:>4.1}: {} accepts {:.1} ± {:.1}%",
+                a.x,
+                a.policy,
+                100.0 * acc.mean,
+                100.0 * acc.ci95,
+            );
         }
     }
 }

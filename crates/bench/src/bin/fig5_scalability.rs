@@ -1,48 +1,74 @@
 //! Figure 5 — scalability: per-decision wall-clock time and achieved
-//! latency/cost as the number of edge sites grows.
+//! latency/cost as the number of edge sites grows. One sub-grid per size
+//! (the DRL observation width depends on N, so each size trains its own
+//! manager), merged into a single report.
 //!
-//! Expected shape: heuristic decision time grows linearly in N (candidate
-//! scan); DRL decision time grows with the network's input width but stays
-//! in the tens of microseconds; solution quality is stable across N.
+//! Decision time is deliberately *kept* in this figure's cells (the whole
+//! point is timing), so unlike the other figures its CSV is not covered
+//! by the byte-identical determinism guarantee.
 
-use bench::{comparison_baselines, default_passes, drl_default, emit_csv, fast_mode, scaled};
+use bench::{
+    comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds,
+    factory_of, scaled,
+};
+use exper::prelude::*;
 use mano::prelude::*;
 
+fn size_scenario(n: usize) -> Scenario {
+    let mut scenario = Scenario::default_metro().with_arrival_rate(6.0);
+    scenario.topology = TopologySpec::Metro { sites: n };
+    scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+    scenario.horizon_slots = scaled(240, 30) as u64;
+    scenario
+}
+
 fn main() {
-    let sizes: Vec<usize> = if fast_mode() {
+    let sizes: Vec<usize> = if bench::fast_mode() {
         vec![4, 8]
     } else {
         vec![4, 8, 12, 16]
     };
     let reward = RewardConfig::default();
-    let mut lines = vec![format!("{},n_sites", summary_csv_header())];
 
-    for &n in &sizes {
-        eprintln!("[fig5] sites = {n}");
-        let mut scenario = Scenario::default_metro().with_arrival_rate(6.0);
-        scenario.topology = TopologySpec::Metro { sites: n };
-        scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
-        scenario.horizon_slots = scaled(240, 30) as u64;
+    // Train one DRL manager per size concurrently.
+    eprintln!(
+        "[fig5] training {} sizes on {} threads…",
+        sizes.len(),
+        thread_count()
+    );
+    let trained = parallel_map(&sizes, |_, &n| {
+        let scenario = size_scenario(n);
+        let t = train_drl(&scenario, reward, drl_default(), default_passes().min(5));
+        eprintln!("[fig5] sites = {n}: trained");
+        (n, t)
+    });
 
-        // Train a DRL manager per size (the observation width depends on N).
-        let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(5));
-        let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 555)];
-        for mut p in comparison_baselines() {
-            results.push(evaluate_policy(&scenario, reward, p.as_mut(), 555));
-        }
-        for r in &results {
-            lines.push(format!(
-                "{},{n}",
-                summary_csv_row(&r.policy, n as f64, &r.summary)
-            ));
-            eprintln!(
-                "[fig5]   {:>16}: {:>6.2} ms, ${:.4}/slot, {:.1} µs/decision",
-                r.policy,
-                r.summary.mean_admission_latency_ms,
-                r.summary.mean_slot_cost_usd,
-                r.summary.mean_decision_time_us
-            );
-        }
+    // One evaluation sub-grid per size (its own DRL + shared baselines).
+    let reports: Vec<BenchReport> = trained
+        .into_iter()
+        .map(|(n, t)| {
+            ExperimentGrid::new(format!("fig5_n{n}"))
+                .scenario(format!("sites={n}"), n as f64, size_scenario(n))
+                .reward(reward)
+                .seeds(&eval_seeds())
+                .keep_decision_time()
+                .policy_boxed("drl", factory_of(t.policy))
+                .policies(comparison_factories())
+                .run()
+        })
+        .collect();
+    let report = merge_reports("fig5_scalability", reports);
+
+    emit_csv("fig5_scalability.csv", &sweep_csv(&report));
+    for a in &report.aggregates {
+        eprintln!(
+            "[fig5] n={:>2} {:>16}: {:>6.2} ms, ${:.4}/slot, {:.1} µs/decision",
+            a.x,
+            a.policy,
+            a.aggregate.mean("mean_latency_ms"),
+            a.aggregate.mean("mean_slot_cost_usd"),
+            a.aggregate.mean("mean_decision_time_us"),
+        );
     }
-    emit_csv("fig5_scalability.csv", &lines);
+    emit_report(&report);
 }

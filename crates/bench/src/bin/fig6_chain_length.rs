@@ -2,13 +2,18 @@
 //!
 //! Builds a synthetic chain catalog where chain *k* has *k* VNFs drawn
 //! from the standard light-to-medium types, trains one DRL manager on the
-//! uniform mix, then evaluates every policy on single-length workloads.
+//! uniform mix, then evaluates every policy on single-length workloads —
+//! one grid row per length, multi-seed bands per cell.
 //!
 //! Expected shape: latency and cost grow roughly linearly with chain
 //! length for all policies; the gap between placement-aware policies and
 //! random/first-fit widens with length (more decisions to get wrong).
 
-use bench::{comparison_baselines, default_passes, drl_default, emit_csv, fast_mode, scaled};
+use bench::{
+    comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds,
+    factory_of, fast_mode, scaled,
+};
+use exper::prelude::*;
 use mano::prelude::*;
 use sfc::chain::{ChainCatalog, ChainId, ChainSpec};
 use sfc::vnf::VnfCatalog;
@@ -53,7 +58,7 @@ fn main() {
     scenario.workload.chain_mix = vec![1.0; max_len];
 
     eprintln!("[fig6] training DRL on the uniform length mix…");
-    let mut trained = train_drl_with_catalogs(
+    let trained = train_drl_with_catalogs(
         &scenario,
         reward,
         drl_default(),
@@ -62,38 +67,21 @@ fn main() {
         &chains,
     );
 
-    let mut lines = vec![format!("{},chain_len", summary_csv_header())];
+    // One grid row per chain length: workload concentrated on that length.
+    let mut grid = ExperimentGrid::new("fig6_chain_length")
+        .reward(reward)
+        .seeds(&eval_seeds())
+        .with_catalogs(vnfs, chains)
+        .policy_boxed("drl", factory_of(trained.policy))
+        .policies(comparison_factories());
     for len in 1..=max_len {
-        eprintln!("[fig6] evaluating length {len}…");
-        // Workload concentrated on the single length under test.
         let mut s = scenario.clone();
         s.workload.chain_mix = (0..max_len)
             .map(|i| if i + 1 == len { 1.0 } else { 0.0 })
             .collect();
-        let mut results = vec![evaluate_policy_with_catalogs(
-            &s,
-            reward,
-            &mut trained.policy,
-            333,
-            &vnfs,
-            &chains,
-        )];
-        for mut p in comparison_baselines() {
-            results.push(evaluate_policy_with_catalogs(
-                &s,
-                reward,
-                p.as_mut(),
-                333,
-                &vnfs,
-                &chains,
-            ));
-        }
-        for r in &results {
-            lines.push(format!(
-                "{},{len}",
-                summary_csv_row(&r.policy, len as f64, &r.summary)
-            ));
-        }
+        grid = grid.scenario(format!("len={len}"), len as f64, s);
     }
-    emit_csv("fig6_chain_length.csv", &lines);
+    let report = grid.run();
+    emit_csv("fig6_chain_length.csv", &sweep_csv(&report));
+    emit_report(&report);
 }

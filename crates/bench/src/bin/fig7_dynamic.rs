@@ -1,11 +1,14 @@
 //! Figure 7 — time-varying load: per-slot cost and latency under a diurnal
-//! cycle with a flash crowd, DRL vs static heuristics.
+//! cycle with a flash crowd, DRL vs static heuristics. Training (one DRL
+//! manager per workload) and the per-policy slot traces fan out on the
+//! engine's pool; a merged multi-seed summary grid feeds the JSON report.
 //!
 //! Expected shape: every policy's cost follows the load envelope; during
 //! the flash crowd the adaptive policies (DRL, weighted-greedy) absorb the
 //! spike by spilling to reuse/cloud while first-fit's latency spikes.
 
-use bench::{default_passes, drl_default, emit_csv, scaled};
+use bench::{default_passes, drl_default, emit_csv, emit_report, eval_seeds, factory_of, scaled};
+use exper::prelude::*;
 use mano::prelude::*;
 use workload::pattern::LoadPattern;
 
@@ -33,41 +36,82 @@ fn flash_scenario() -> Scenario {
     s
 }
 
-fn run_and_collect(
-    label: &str,
-    scenario: &Scenario,
-    policy: &mut dyn PlacementPolicy,
-    lines: &mut Vec<String>,
-    workload_tag: &str,
-) {
-    policy.set_training(false);
-    let mut sim = Simulation::new(scenario, RewardConfig::default());
-    let _ = sim.run(policy, 2024);
-    for r in sim.metrics().slots() {
-        lines.push(format!("{workload_tag},{}", slot_csv_row(label, r)));
-    }
-}
+/// The slot-trace seed (a single fixed trace keeps the time series
+/// readable; the summary grid below carries the multi-seed bands).
+const TRACE_SEED: u64 = 2024;
 
 fn main() {
     let reward = RewardConfig::default();
-    let mut lines = vec![format!("workload,{}", slot_csv_header())];
+    let workloads = [("diurnal", dynamic_scenario()), ("flash", flash_scenario())];
 
-    for (tag, scenario) in [("diurnal", dynamic_scenario()), ("flash", flash_scenario())] {
-        eprintln!("[fig7] training DRL on {tag} workload…");
-        let mut trained = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
-        run_and_collect(
-            &trained.policy.name(),
-            &scenario,
-            &mut trained.policy,
-            &mut lines,
-            tag,
-        );
-        let mut wg = WeightedGreedyPolicy::default();
-        run_and_collect("weighted-greedy", &scenario, &mut wg, &mut lines, tag);
-        let mut ff = FirstFitPolicy;
-        run_and_collect("first-fit", &scenario, &mut ff, &mut lines, tag);
-        let mut gl = GreedyLatencyPolicy;
-        run_and_collect("greedy-latency", &scenario, &mut gl, &mut lines, tag);
+    eprintln!(
+        "[fig7] training per-workload DRL on {} threads…",
+        thread_count()
+    );
+    let trained = parallel_map(&workloads, |_, (tag, scenario)| {
+        let t = train_drl(scenario, reward, drl_default(), default_passes().min(6));
+        eprintln!("[fig7] {tag}: trained");
+        t
+    });
+
+    // Per-slot traces: one engine cell per (workload, policy).
+    let mut jobs: Vec<(String, Scenario, PolicyFactory)> = Vec::new();
+    for ((tag, scenario), t) in workloads.iter().zip(&trained) {
+        jobs.push((
+            tag.to_string(),
+            scenario.clone(),
+            factory_of(t.policy.clone()),
+        ));
+        jobs.push((
+            tag.to_string(),
+            scenario.clone(),
+            factory_of(WeightedGreedyPolicy::default()),
+        ));
+        jobs.push((
+            tag.to_string(),
+            scenario.clone(),
+            factory_of(FirstFitPolicy),
+        ));
+        jobs.push((
+            tag.to_string(),
+            scenario.clone(),
+            factory_of(GreedyLatencyPolicy),
+        ));
     }
+    let mut lines = vec![format!("workload,{}", slot_csv_header())];
+    let traces = parallel_map(&jobs, |_, (tag, scenario, factory)| {
+        let mut policy = factory();
+        policy.set_training(false);
+        let mut sim = Simulation::new(scenario, reward);
+        let _ = sim.run(policy.as_mut(), TRACE_SEED);
+        let label = policy.name();
+        sim.metrics()
+            .slots()
+            .iter()
+            .map(|r| format!("{tag},{}", slot_csv_row(&label, r)))
+            .collect::<Vec<_>>()
+    });
+    lines.extend(traces.into_iter().flatten());
     emit_csv("fig7_dynamic.csv", &lines);
+
+    // Multi-seed summary grid: one sub-grid per workload (each has its
+    // own trained DRL), merged into the JSON report.
+    let reports: Vec<BenchReport> = workloads
+        .iter()
+        .zip(trained)
+        .map(|((tag, scenario), t)| {
+            ExperimentGrid::new(format!("fig7_{tag}"))
+                .scenario(*tag, 0.0, scenario.clone())
+                .reward(reward)
+                .seeds(&eval_seeds())
+                .policy_boxed("drl", factory_of(t.policy))
+                .policy("weighted-greedy", || {
+                    Box::new(WeightedGreedyPolicy::default())
+                })
+                .policy("first-fit", || Box::new(FirstFitPolicy))
+                .policy("greedy-latency", || Box::new(GreedyLatencyPolicy))
+                .run()
+        })
+        .collect();
+    emit_report(&merge_reports("fig7_dynamic", reports));
 }

@@ -1,11 +1,16 @@
 //! Figure 8 — optimality gap on tiny instances: DRL and heuristics vs the
-//! exhaustive lookahead comparator (3 edge sites + cloud, short chains).
+//! exhaustive lookahead comparator (3 edge sites + cloud, short chains),
+//! multi-seed: the gap is now a mean over the evaluation seeds instead of
+//! a single-trace sample.
 //!
 //! Expected shape: exhaustive sets the reference combined objective; DRL
 //! lands within ~5–15%; weighted-greedy close behind; first-fit and
 //! random show large gaps.
 
-use bench::{default_passes, drl_default, emit_markdown, scaled};
+use bench::{
+    default_passes, drl_default, emit_markdown, emit_report, eval_seeds, factory_of, scaled,
+};
+use exper::prelude::*;
 use mano::prelude::*;
 
 fn tiny_scenario() -> Scenario {
@@ -24,12 +29,12 @@ fn main() {
     let reward = RewardConfig::default();
 
     eprintln!("[fig8] training DRL on the tiny instance…");
-    let mut trained = train_drl(&scenario, reward, drl_default(), default_passes());
+    let trained = train_drl(&scenario, reward, drl_default(), default_passes());
 
     // The exhaustive policy needs simulator components.
     let probe = Simulation::new(&scenario, reward);
     let mean_duration_s = scenario.workload.mean_duration_slots * scenario.slot_seconds;
-    let mut exhaustive = ExhaustivePolicy::new(
+    let exhaustive = ExhaustivePolicy::new(
         probe.topology.clone(),
         probe.routes.clone(),
         probe.vnfs.clone(),
@@ -38,29 +43,37 @@ fn main() {
     );
     drop(probe);
 
-    let mut results = vec![
-        evaluate_policy(&scenario, reward, &mut exhaustive, 99),
-        evaluate_policy(&scenario, reward, &mut trained.policy, 99),
-    ];
-    let mut wg = WeightedGreedyPolicy::default();
-    results.push(evaluate_policy(&scenario, reward, &mut wg, 99));
-    let mut ff = FirstFitPolicy;
-    results.push(evaluate_policy(&scenario, reward, &mut ff, 99));
-    let mut rnd = RandomPolicy;
-    results.push(evaluate_policy(&scenario, reward, &mut rnd, 99));
+    let report = ExperimentGrid::new("fig8_optgap")
+        .scenario("tiny", 3.0, scenario)
+        .reward(reward)
+        .seeds(&eval_seeds())
+        .policy_boxed("exhaustive", factory_of(exhaustive))
+        .policy_boxed("drl", factory_of(trained.policy))
+        .policy("weighted-greedy", || {
+            Box::new(WeightedGreedyPolicy::default())
+        })
+        .policy("first-fit", || Box::new(FirstFitPolicy))
+        .policy("random", || Box::new(RandomPolicy))
+        .run();
 
-    let reference = results[0].summary.combined_objective(1.0, 1.0);
+    let reference = report.aggregates[0].aggregate.combined_objective(1.0, 1.0);
+    let rows: Vec<(String, SummaryAggregate)> = report
+        .aggregates
+        .iter()
+        .map(|a| (a.policy.clone(), a.aggregate.clone()))
+        .collect();
     let mut md = String::from("# Figure 8 — optimality gap vs exhaustive (tiny instance)\n\n");
-    md.push_str(&markdown_comparison(&results));
+    md.push_str(&markdown_aggregate_comparison(&rows));
     md.push_str("\n| policy | combined objective | gap vs exhaustive |\n|---|---|---|\n");
-    for r in &results {
-        let obj = r.summary.combined_objective(1.0, 1.0);
+    for a in &report.aggregates {
+        let obj = a.aggregate.combined_objective(1.0, 1.0);
         md.push_str(&format!(
             "| {} | {:.2} | {:+.1}% |\n",
-            r.policy,
+            a.policy,
             obj,
             100.0 * (obj - reference) / reference
         ));
     }
     emit_markdown("fig8_optgap.md", &md);
+    emit_report(&report);
 }

@@ -1,42 +1,50 @@
 //! Table 3 — head-to-head summary of every policy on the reference
-//! scenario (λ = 8, scarce edge capacity): the paper's main comparison.
+//! scenario (λ = 8, scarce edge capacity): the paper's main comparison,
+//! now mean ± 95% CI across the evaluation seeds.
 
-use bench::{bench_scenario, default_passes, drl_default, emit_markdown};
+use bench::{
+    bench_scenario, emit_markdown, emit_report, eval_seeds, factory_of, standard_factories,
+    train_headline,
+};
+use exper::prelude::*;
 use mano::prelude::*;
 
 fn main() {
     let scenario = bench_scenario(8.0);
-    let reward = RewardConfig::default();
     eprintln!("[table3] training DRL…");
-    let mut trained = train_drl(&scenario, reward, drl_default(), default_passes());
+    let trained = train_headline(&scenario);
 
-    let mut results = vec![evaluate_policy(
-        &scenario,
-        reward,
-        &mut trained.policy,
-        12345,
-    )];
-    for mut p in standard_baselines() {
-        results.push(evaluate_policy(&scenario, reward, p.as_mut(), 12345));
-    }
-    results.sort_by(|a, b| {
-        a.summary
-            .combined_objective(1.0, 1.0)
-            .partial_cmp(&b.summary.combined_objective(1.0, 1.0))
-            .unwrap()
+    let report = ExperimentGrid::new("table3_summary")
+        .scenario("lambda=8", 8.0, scenario)
+        .seeds(&eval_seeds())
+        .policy_boxed("drl", factory_of(trained.policy))
+        .policies(standard_factories())
+        .run();
+
+    let mut rows: Vec<(String, SummaryAggregate)> = report
+        .aggregates
+        .iter()
+        .map(|a| (a.policy.clone(), a.aggregate.clone()))
+        .collect();
+    rows.sort_by(|a, b| {
+        a.1.combined_objective(1.0, 1.0)
+            .total_cmp(&b.1.combined_objective(1.0, 1.0))
     });
+
     let mut md = String::from(
         "# Table 3 — head-to-head on the reference scenario (λ=8, 8 sites + cloud)\n\n\
-         Rows sorted by the combined objective (α·latency + β·cost + rejection penalty).\n\n",
+         Rows sorted by the combined objective (α·latency + β·cost + rejection penalty),\n\
+         mean ± 95% CI across the evaluation seeds.\n\n",
     );
-    md.push_str(&markdown_comparison(&results));
+    md.push_str(&markdown_aggregate_comparison(&rows));
     md.push_str("\n| policy | combined objective |\n|---|---|\n");
-    for r in &results {
+    for (policy, agg) in &rows {
         md.push_str(&format!(
             "| {} | {:.2} |\n",
-            r.policy,
-            r.summary.combined_objective(1.0, 1.0)
+            policy,
+            agg.combined_objective(1.0, 1.0)
         ));
     }
     emit_markdown("table3_summary.md", &md);
+    emit_report(&report);
 }

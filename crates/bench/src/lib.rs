@@ -2,12 +2,15 @@
 //!
 //! Presets and plumbing shared by the `fig*`/`table*` binaries that
 //! regenerate every figure and table of the evaluation (see DESIGN.md §4
-//! for the experiment index). Binaries write CSV/markdown into
-//! `results/` (override with the `RESULTS_DIR` environment variable).
+//! for the experiment index). Binaries write CSV/markdown plus a
+//! machine-readable `BENCH_<name>.json` into `results/` (override with
+//! the `RESULTS_DIR` environment variable) and fan their evaluation grids
+//! out through the [`exper`] engine (`EXPER_THREADS` controls workers).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use exper::prelude::*;
 use mano::prelude::*;
 use rl::dqn::DqnConfig;
 use rl::qnet::QNetworkConfig;
@@ -161,39 +164,170 @@ pub fn train_headline(scenario: &Scenario) -> TrainedDrl {
     )
 }
 
-/// Runs the λ sweep shared by figures 2–4: the DRL manager is trained once
-/// at the high end of the sweep (standard practice — the observation
-/// includes utilization, so one policy generalizes across loads), then
-/// every policy is evaluated on identical traces at each rate.
-pub fn load_sweep_results() -> Vec<(f64, Vec<PolicyResult>)> {
-    let rates = load_sweep_rates();
-    let train_rate = *rates.last().expect("non-empty sweep") * 0.8;
-    eprintln!("[sweep] training DRL at rate {train_rate:.1}…");
-    let mut trained = train_headline(&bench_scenario(train_rate));
-    let reward = RewardConfig::default();
-    rates
+/// Workload seed offsets every evaluation grid runs across. The paper's
+/// curves were single-seed; mean ± 95% CI across these seeds is a strict
+/// upgrade. `FAST=1` keeps two seeds so smoke runs still exercise the
+/// multi-seed path.
+pub fn eval_seeds() -> Vec<u64> {
+    if fast_mode() {
+        vec![101, 102]
+    } else {
+        vec![101, 102, 103, 104, 105]
+    }
+}
+
+/// Wraps a clonable policy as a per-cell grid factory: each cell gets its
+/// own clone, so stateful policies never share state across cells.
+pub fn factory_of<P>(policy: P) -> PolicyFactory
+where
+    P: PlacementPolicy + Clone + Send + Sync + 'static,
+{
+    Box::new(move || Box::new(policy.clone()))
+}
+
+/// The comparison baseline set as labelled grid factories.
+pub fn comparison_factories() -> Vec<(String, PolicyFactory)> {
+    vec![
+        ("random".into(), factory_of(RandomPolicy)),
+        ("first-fit".into(), factory_of(FirstFitPolicy)),
+        ("greedy-latency".into(), factory_of(GreedyLatencyPolicy)),
+        ("greedy-cost".into(), factory_of(GreedyCostPolicy)),
+        ("cloud-only".into(), factory_of(CloudOnlyPolicy)),
+        (
+            "weighted-greedy".into(),
+            factory_of(WeightedGreedyPolicy::default()),
+        ),
+    ]
+}
+
+/// Every standard baseline as labelled grid factories (Table 3).
+pub fn standard_factories() -> Vec<(String, PolicyFactory)> {
+    vec![
+        ("random".into(), factory_of(RandomPolicy)),
+        ("first-fit".into(), factory_of(FirstFitPolicy)),
+        ("best-fit".into(), factory_of(BestFitPolicy)),
+        ("worst-fit".into(), factory_of(WorstFitPolicy)),
+        ("greedy-latency".into(), factory_of(GreedyLatencyPolicy)),
+        ("greedy-cost".into(), factory_of(GreedyCostPolicy)),
+        ("cloud-only".into(), factory_of(CloudOnlyPolicy)),
+        (
+            "weighted-greedy".into(),
+            factory_of(WeightedGreedyPolicy::default()),
+        ),
+    ]
+}
+
+/// Writes `BENCH_<name>.json` for an engine run into [`results_dir`] and
+/// logs the throughput line CI tracks.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn emit_report(report: &BenchReport) {
+    let path = report.write_to(&results_dir()).expect("write BENCH json");
+    eprintln!(
+        "[bench] wrote {} ({} cells on {} threads, {:.2}s wall, {:.0} slots/s)",
+        path.display(),
+        report.cells.len(),
+        report.threads,
+        report.wall_clock_secs,
+        report.throughput_slots_per_sec,
+    );
+}
+
+/// Emits a band CSV (mean/std/ci95 per metric) from a grid report.
+pub fn emit_sweep_csv(name: &str, report: &BenchReport) {
+    emit_csv(name, &sweep_csv(report));
+}
+
+/// For each distinct sweep coordinate of `report` (in first-appearance
+/// order), the aggregate whose *mean* of `metric` is lowest — the shared
+/// "best policy per λ" digest of the sweep figures.
+///
+/// # Panics
+///
+/// Panics on an unknown metric name.
+pub fn best_per_coordinate<'a>(
+    report: &'a BenchReport,
+    metric: &str,
+) -> Vec<(f64, &'a BenchAggregate)> {
+    let mut coordinates: Vec<f64> = Vec::new();
+    for a in &report.aggregates {
+        if !coordinates.contains(&a.x) {
+            coordinates.push(a.x);
+        }
+    }
+    coordinates
         .into_iter()
-        .map(|rate| {
-            eprintln!("[sweep] evaluating at rate {rate:.1}…");
-            let scenario = bench_scenario(rate);
-            let mut results = vec![evaluate_policy(&scenario, reward, &mut trained.policy, 777)];
-            for mut p in comparison_baselines() {
-                results.push(evaluate_policy(&scenario, reward, p.as_mut(), 777));
-            }
-            (rate, results)
+        .map(|x| {
+            let best = report
+                .aggregates
+                .iter()
+                .filter(|a| a.x == x)
+                .min_by(|a, b| {
+                    a.aggregate
+                        .mean(metric)
+                        .total_cmp(&b.aggregate.mean(metric))
+                })
+                .expect("coordinate came from this aggregate list");
+            (x, best)
         })
         .collect()
 }
 
-/// Emits one sweep CSV (all summary columns at each sweep coordinate).
-pub fn emit_sweep_csv(name: &str, sweep: &[(f64, Vec<PolicyResult>)]) {
-    let mut lines = vec![summary_csv_header().to_string()];
-    for (x, results) in sweep {
-        for r in results {
-            lines.push(summary_csv_row(&r.policy, *x, &r.summary));
+/// `true` unless `EXPER_SWEEP_CACHE=0`: figures 2–4 share one λ-sweep
+/// grid, so the first binary to run computes and persists it and the
+/// other two reuse the identical cached cells instead of retraining.
+pub fn sweep_cache_enabled() -> bool {
+    std::env::var_os("EXPER_SWEEP_CACHE").is_none_or(|v| v != "0")
+}
+
+/// Runs (or reuses) the λ sweep shared by figures 2–4: the DRL manager is
+/// trained once at the high end of the sweep (standard practice — the
+/// observation includes utilization, so one policy generalizes across
+/// loads), then every policy × rate × seed cell runs through the engine.
+///
+/// The report is cached as `BENCH_load_sweep.json` keyed by a
+/// configuration fingerprint; a cache hit returns cells bit-identical to
+/// a fresh run (the JSON round-trip is exact).
+pub fn load_sweep_grid() -> BenchReport {
+    let rates = load_sweep_rates();
+    let seeds = eval_seeds();
+    let train_rate = *rates.last().expect("non-empty sweep") * 0.8;
+    // The fingerprint must cover everything that changes the cells:
+    // sweep shape, seed axis, training budget, scenario, the trained
+    // manager's full config, the reward, and the policy roster.
+    let policy_roster: Vec<String> = std::iter::once("drl".to_string())
+        .chain(comparison_factories().into_iter().map(|(label, _)| label))
+        .collect();
+    let fingerprint = format!(
+        "load_sweep;v1;rates={rates:?};seeds={seeds:?};passes={};scenario={:?};drl={:?};reward={:?};policies={policy_roster:?}",
+        default_passes(),
+        bench_scenario(train_rate),
+        drl_default(),
+        RewardConfig::default(),
+    );
+    if sweep_cache_enabled() {
+        if let Some(cached) = load_bench_report(&results_dir(), "load_sweep") {
+            if cached.fingerprint == fingerprint {
+                eprintln!("[sweep] reusing cached BENCH_load_sweep.json");
+                return cached;
+            }
         }
     }
-    emit_csv(name, &lines);
+    eprintln!("[sweep] training DRL at rate {train_rate:.1}…");
+    let trained = train_headline(&bench_scenario(train_rate));
+    let mut grid = ExperimentGrid::new("load_sweep")
+        .seeds(&seeds)
+        .fingerprint(fingerprint)
+        .policy_boxed("drl", factory_of(trained.policy))
+        .policies(comparison_factories());
+    for &rate in &rates {
+        grid = grid.scenario(format!("lambda={rate}"), rate, bench_scenario(rate));
+    }
+    let report = grid.run();
+    emit_report(&report);
+    report
 }
 
 /// The λ sweep (requests per slot) shared by figures 2-4.
@@ -241,5 +375,23 @@ mod tests {
     fn sweep_rates_increasing() {
         let rates = load_sweep_rates();
         assert!(rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn eval_seeds_distinct_and_multi() {
+        let seeds = eval_seeds();
+        assert!(seeds.len() >= 2, "error bands need at least two seeds");
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), seeds.len());
+    }
+
+    #[test]
+    fn factory_labels_match_policy_names() {
+        for (label, factory) in comparison_factories()
+            .into_iter()
+            .chain(standard_factories())
+        {
+            assert_eq!(label, factory().name(), "grid label must equal name()");
+        }
     }
 }

@@ -58,12 +58,17 @@ pub mod prelude {
     };
     pub use crate::config::{Scenario, TopologySpec};
     pub use crate::drl::{DrlManagerConfig, DrlPolicy};
-    pub use crate::metrics::{MetricsCollector, RunSummary, SlotRecord};
+    pub use crate::metrics::{
+        aggregate_summaries, MetricStats, MetricsCollector, RunSummary, SlotRecord,
+        SummaryAggregate, SUMMARY_METRICS,
+    };
     pub use crate::pg::{train_pg, PgManagerConfig, PgPolicy};
     pub use crate::policy::{CandidateInfo, DecisionContext, DecisionFeedback, PlacementPolicy};
     pub use crate::report::{
-        convergence_csv, markdown_comparison, slot_csv_header, slot_csv_row, summary_csv_header,
-        summary_csv_row, write_lines,
+        aggregate_csv_header, aggregate_csv_row, convergence_csv, group_aggregates,
+        load_bench_report, markdown_aggregate_comparison, markdown_comparison, slot_csv_header,
+        slot_csv_row, summary_csv_header, summary_csv_row, summary_from_json, summary_json,
+        write_lines, BenchAggregate, BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
     };
     pub use crate::reward::RewardConfig;
     pub use crate::runner::{

@@ -205,6 +205,116 @@ impl RunSummary {
     }
 }
 
+/// A named scalar metric of a [`RunSummary`]: (name, accessor).
+pub type SummaryMetric = (&'static str, fn(&RunSummary) -> f64);
+
+/// The named scalar metrics of a [`RunSummary`] that multi-seed
+/// aggregation reports bands for, in the order the sweep CSVs emit them.
+/// One table drives aggregation, the band CSV schema and the JSON schema,
+/// so the three can never drift apart.
+pub const SUMMARY_METRICS: &[SummaryMetric] = &[
+    ("acceptance_ratio", |s| s.acceptance_ratio),
+    ("mean_latency_ms", |s| s.mean_admission_latency_ms),
+    ("p50_latency_ms", |s| s.p50_admission_latency_ms),
+    ("p95_latency_ms", |s| s.p95_admission_latency_ms),
+    ("sla_violation_ratio", |s| s.sla_violation_ratio),
+    ("total_cost_usd", |s| s.total_cost_usd),
+    ("mean_slot_cost_usd", |s| s.mean_slot_cost_usd),
+    ("mean_utilization", |s| s.mean_utilization),
+    ("mean_active_flows", |s| s.mean_active_flows),
+    ("mean_live_instances", |s| s.mean_live_instances),
+    ("mean_decision_time_us", |s| s.mean_decision_time_us),
+];
+
+/// Mean, sample standard deviation and 95% confidence-interval half-width
+/// of one metric across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricStats {
+    /// Arithmetic mean across seeds.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single seed).
+    pub std: f64,
+    /// 95% CI half-width under the normal approximation:
+    /// `1.96 · std / √n` (0 for a single seed).
+    pub ci95: f64,
+}
+
+/// Per-metric statistics of a group of seed runs — the unit every error
+/// band in the figure CSVs and `BENCH_*.json` reports is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryAggregate {
+    /// Number of seed runs aggregated.
+    pub runs: usize,
+    /// One entry per [`SUMMARY_METRICS`] row, same order.
+    pub metrics: Vec<(&'static str, MetricStats)>,
+}
+
+impl SummaryAggregate {
+    /// Statistics for a metric by its [`SUMMARY_METRICS`] name.
+    pub fn get(&self, name: &str) -> Option<&MetricStats> {
+        self.metrics
+            .iter()
+            .find_map(|(n, s)| (*n == name).then_some(s))
+    }
+
+    /// Mean of a metric by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown metric name.
+    pub fn mean(&self, name: &str) -> f64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("unknown metric `{name}`"))
+            .mean
+    }
+
+    /// The combined objective computed over the per-seed means (matches
+    /// [`RunSummary::combined_objective`] in expectation).
+    pub fn combined_objective(&self, alpha: f64, beta: f64) -> f64 {
+        alpha * self.mean("mean_latency_ms")
+            + beta * self.mean("mean_slot_cost_usd") * 1000.0
+            + 100.0 * (1.0 - self.mean("acceptance_ratio"))
+    }
+}
+
+/// Aggregates seed runs of one grid cell group into per-metric statistics.
+///
+/// The reduction is a pure function of the *ordered* slice: callers
+/// (the experiment engine) sort runs by grid index before calling, which
+/// makes the output independent of execution interleaving — a parallel
+/// grid run aggregates bit-identically to a sequential one.
+///
+/// # Panics
+///
+/// Panics on an empty slice — aggregating zero runs is a harness bug.
+pub fn aggregate_summaries(summaries: &[RunSummary]) -> SummaryAggregate {
+    assert!(!summaries.is_empty(), "cannot aggregate zero runs");
+    let n = summaries.len() as f64;
+    let metrics = SUMMARY_METRICS
+        .iter()
+        .map(|&(name, accessor)| {
+            let values: Vec<f64> = summaries.iter().map(accessor).collect();
+            let mean = values.iter().sum::<f64>() / n;
+            let std = if summaries.len() < 2 {
+                0.0
+            } else {
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+                var.sqrt()
+            };
+            let ci95 = if summaries.len() < 2 {
+                0.0
+            } else {
+                1.96 * std / n.sqrt()
+            };
+            (name, MetricStats { mean, std, ci95 })
+        })
+        .collect();
+    SummaryAggregate {
+        runs: summaries.len(),
+        metrics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +386,65 @@ mod tests {
         m.push_decision_time(1_000);
         m.push_decision_time(3_000);
         assert!((m.summarize().mean_decision_time_us - 2.0).abs() < 1e-9);
+    }
+
+    fn summary_with_latency(latency: f64) -> RunSummary {
+        let mut m = MetricsCollector::new();
+        m.push_slot(slot(0, 2, 2));
+        m.push_admission_latency(latency);
+        m.summarize()
+    }
+
+    #[test]
+    fn aggregate_computes_mean_std_ci() {
+        let runs: Vec<RunSummary> = [10.0, 20.0, 30.0, 40.0]
+            .into_iter()
+            .map(summary_with_latency)
+            .collect();
+        let agg = aggregate_summaries(&runs);
+        assert_eq!(agg.runs, 4);
+        let lat = agg.get("mean_latency_ms").unwrap();
+        assert!((lat.mean - 25.0).abs() < 1e-9);
+        // Sample std of {10,20,30,40} is √(500/3).
+        let expected_std = (500.0f64 / 3.0).sqrt();
+        assert!((lat.std - expected_std).abs() < 1e-9);
+        assert!((lat.ci95 - 1.96 * expected_std / 2.0).abs() < 1e-9);
+        // A metric identical across seeds has zero spread.
+        let acc = agg.get("acceptance_ratio").unwrap();
+        assert!((acc.mean - 1.0).abs() < 1e-9);
+        assert_eq!(acc.std, 0.0);
+    }
+
+    #[test]
+    fn aggregate_single_run_has_zero_bands() {
+        let agg = aggregate_summaries(&[summary_with_latency(5.0)]);
+        assert_eq!(agg.runs, 1);
+        for (_, stats) in &agg.metrics {
+            assert_eq!(stats.std, 0.0);
+            assert_eq!(stats.ci95, 0.0);
+        }
+    }
+
+    #[test]
+    fn aggregate_covers_every_summary_metric() {
+        let agg = aggregate_summaries(&[summary_with_latency(5.0)]);
+        assert_eq!(agg.metrics.len(), SUMMARY_METRICS.len());
+        for (name, _) in SUMMARY_METRICS {
+            assert!(agg.get(name).is_some(), "metric {name} missing");
+        }
+    }
+
+    #[test]
+    fn aggregate_objective_matches_single_run_objective() {
+        let s = summary_with_latency(12.0);
+        let agg = aggregate_summaries(std::slice::from_ref(&s));
+        let direct = s.combined_objective(1.0, 1.0);
+        assert!((agg.combined_objective(1.0, 1.0) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot aggregate zero runs")]
+    fn aggregate_empty_panics() {
+        let _ = aggregate_summaries(&[]);
     }
 }

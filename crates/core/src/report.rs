@@ -1,8 +1,12 @@
 //! Result emission: CSV series and markdown tables for the experiment
-//! harness (the same rows/series the paper's figures and tables report).
+//! harness (the same rows/series the paper's figures and tables report),
+//! plus the machine-readable `BENCH_<name>.json` report CI tracks.
 
-use crate::metrics::{RunSummary, SlotRecord};
+use crate::metrics::{
+    aggregate_summaries, MetricStats, RunSummary, SlotRecord, SummaryAggregate, SUMMARY_METRICS,
+};
 use crate::runner::PolicyResult;
+use serde_json::Value;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -97,6 +101,55 @@ pub fn write_lines<P: AsRef<Path>>(path: P, lines: &[String]) -> io::Result<()> 
     std::fs::write(path, lines.join("\n") + "\n")
 }
 
+/// CSV header for multi-seed band rows: `policy,x,seeds`, then
+/// `<metric>_mean,<metric>_std,<metric>_ci95` for every
+/// [`SUMMARY_METRICS`] entry (matches [`aggregate_csv_row`]).
+pub fn aggregate_csv_header() -> String {
+    let mut out = String::from("policy,x,seeds");
+    for (name, _) in SUMMARY_METRICS {
+        let _ = write!(out, ",{name}_mean,{name}_std,{name}_ci95");
+    }
+    out
+}
+
+/// One CSV row of per-metric mean/std/ci95 bands at sweep coordinate `x`.
+pub fn aggregate_csv_row(policy: &str, x: f64, agg: &SummaryAggregate) -> String {
+    let mut out = format!("{policy},{x},{}", agg.runs);
+    for (_, s) in &agg.metrics {
+        let _ = write!(out, ",{:.6},{:.6},{:.6}", s.mean, s.std, s.ci95);
+    }
+    out
+}
+
+/// Renders multi-seed aggregates as a markdown comparison table with
+/// mean ± 95% CI cells (the banded sibling of [`markdown_comparison`]).
+pub fn markdown_aggregate_comparison(rows: &[(String, SummaryAggregate)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| policy | seeds | accept % | mean lat (ms) | p95 lat (ms) | SLA viol % | cost/slot ($) | util % |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    let pm = |s: &MetricStats, scale: f64, prec: usize| {
+        format!("{:.prec$} ± {:.prec$}", s.mean * scale, s.ci95 * scale)
+    };
+    for (policy, agg) in rows {
+        let g = |name: &str| agg.get(name).expect("standard metric");
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            policy,
+            agg.runs,
+            pm(g("acceptance_ratio"), 100.0, 1),
+            pm(g("mean_latency_ms"), 1.0, 2),
+            pm(g("p95_latency_ms"), 1.0, 2),
+            pm(g("sla_violation_ratio"), 100.0, 1),
+            pm(g("mean_slot_cost_usd"), 1.0, 4),
+            pm(g("mean_utilization"), 100.0, 1),
+        );
+    }
+    out
+}
+
 /// A convergence-curve CSV: episode index, raw return, smoothed return.
 pub fn convergence_csv(label: &str, returns: &[f32], smoothed: &[f32]) -> Vec<String> {
     assert_eq!(returns.len(), smoothed.len(), "curve lengths must match");
@@ -106,6 +159,283 @@ pub fn convergence_csv(label: &str, returns: &[f32], smoothed: &[f32]) -> Vec<St
         lines.push(format!("{label},{i},{r:.4},{s:.4}"));
     }
     lines
+}
+
+/// Version stamp of the `BENCH_*.json` schema; bump on breaking changes
+/// so the perf-trajectory tooling can detect old artifacts.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One executed grid cell of a bench report: the (scenario, policy, seed)
+/// coordinate plus its run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Scenario label (grid row).
+    pub scenario: String,
+    /// Policy label (grid column).
+    pub policy: String,
+    /// Sweep coordinate of the scenario (arrival rate, sites, …).
+    pub x: f64,
+    /// Workload seed offset of this cell.
+    pub seed: u64,
+    /// The cell's run summary.
+    pub summary: RunSummary,
+}
+
+/// Multi-seed statistics of one (scenario, policy) cell group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchAggregate {
+    /// Scenario label.
+    pub scenario: String,
+    /// Policy label.
+    pub policy: String,
+    /// Sweep coordinate.
+    pub x: f64,
+    /// Per-metric bands across the group's seeds.
+    pub aggregate: SummaryAggregate,
+}
+
+/// The machine-readable result of one experiment-engine run: everything
+/// `BENCH_<name>.json` contains. `cells` and `aggregates` are the
+/// deterministic payload (bit-identical for any thread count);
+/// `wall_clock_secs`/`throughput_slots_per_sec`/`threads` are measurement
+/// metadata and legitimately vary run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Experiment name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Worker threads the grid ran on.
+    pub threads: usize,
+    /// Wall-clock duration of the grid run (seconds).
+    pub wall_clock_secs: f64,
+    /// Total slots simulated across all cells.
+    pub slots_simulated: u64,
+    /// `slots_simulated / wall_clock_secs`.
+    pub throughput_slots_per_sec: f64,
+    /// Configuration fingerprint (used by binaries that share cached
+    /// grids); empty when unused.
+    pub fingerprint: String,
+    /// Per-cell results in grid-index order.
+    pub cells: Vec<BenchCell>,
+    /// Per-(scenario, policy) multi-seed statistics, grid order.
+    pub aggregates: Vec<BenchAggregate>,
+}
+
+/// Groups consecutive cells sharing (scenario, policy, x) and aggregates
+/// each group across its seeds. Cells arrive in grid-index order
+/// (scenario-major, then policy, then seed), so consecutive grouping
+/// exactly recovers the grid's cell groups.
+pub fn group_aggregates(cells: &[BenchCell]) -> Vec<BenchAggregate> {
+    let mut out: Vec<BenchAggregate> = Vec::new();
+    let mut group: Vec<RunSummary> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        group.push(cell.summary.clone());
+        let next_differs = cells.get(i + 1).is_none_or(|n| {
+            n.scenario != cell.scenario || n.policy != cell.policy || n.x != cell.x
+        });
+        if next_differs {
+            out.push(BenchAggregate {
+                scenario: cell.scenario.clone(),
+                policy: cell.policy.clone(),
+                x: cell.x,
+                aggregate: aggregate_summaries(&group),
+            });
+            group.clear();
+        }
+    }
+    out
+}
+
+/// Serializes a [`RunSummary`] with exact field names.
+pub fn summary_json(s: &RunSummary) -> Value {
+    let mut map = serde_json::Map::new();
+    map.insert("slots", Value::from(s.slots));
+    map.insert("total_arrivals", Value::from(s.total_arrivals));
+    map.insert("total_accepted", Value::from(s.total_accepted));
+    map.insert("total_rejected", Value::from(s.total_rejected));
+    map.insert("acceptance_ratio", Value::from(s.acceptance_ratio));
+    map.insert("sla_violation_ratio", Value::from(s.sla_violation_ratio));
+    map.insert(
+        "mean_admission_latency_ms",
+        Value::from(s.mean_admission_latency_ms),
+    );
+    map.insert(
+        "p50_admission_latency_ms",
+        Value::from(s.p50_admission_latency_ms),
+    );
+    map.insert(
+        "p95_admission_latency_ms",
+        Value::from(s.p95_admission_latency_ms),
+    );
+    map.insert("total_cost_usd", Value::from(s.total_cost_usd));
+    map.insert("mean_slot_cost_usd", Value::from(s.mean_slot_cost_usd));
+    map.insert("mean_utilization", Value::from(s.mean_utilization));
+    map.insert("mean_active_flows", Value::from(s.mean_active_flows));
+    map.insert("mean_live_instances", Value::from(s.mean_live_instances));
+    map.insert(
+        "mean_decision_time_us",
+        Value::from(s.mean_decision_time_us),
+    );
+    Value::Object(map)
+}
+
+/// Parses a [`RunSummary`] back out of [`summary_json`] output.
+pub fn summary_from_json(v: &Value) -> Option<RunSummary> {
+    let u = |k: &str| v.get(k).and_then(Value::as_u64);
+    let f = |k: &str| v.get(k).and_then(Value::as_f64);
+    Some(RunSummary {
+        slots: u("slots")?,
+        total_arrivals: u("total_arrivals")?,
+        total_accepted: u("total_accepted")?,
+        total_rejected: u("total_rejected")?,
+        acceptance_ratio: f("acceptance_ratio")?,
+        sla_violation_ratio: f("sla_violation_ratio")?,
+        mean_admission_latency_ms: f("mean_admission_latency_ms")?,
+        p50_admission_latency_ms: f("p50_admission_latency_ms")?,
+        p95_admission_latency_ms: f("p95_admission_latency_ms")?,
+        total_cost_usd: f("total_cost_usd")?,
+        mean_slot_cost_usd: f("mean_slot_cost_usd")?,
+        mean_utilization: f("mean_utilization")?,
+        mean_active_flows: f("mean_active_flows")?,
+        mean_live_instances: f("mean_live_instances")?,
+        mean_decision_time_us: f("mean_decision_time_us")?,
+    })
+}
+
+fn aggregate_json(agg: &SummaryAggregate) -> Value {
+    let mut metrics = serde_json::Map::new();
+    for (name, s) in &agg.metrics {
+        let mut stats = serde_json::Map::new();
+        stats.insert("mean", Value::from(s.mean));
+        stats.insert("std", Value::from(s.std));
+        stats.insert("ci95", Value::from(s.ci95));
+        metrics.insert(*name, Value::Object(stats));
+    }
+    let mut map = serde_json::Map::new();
+    map.insert("seeds", Value::from(agg.runs));
+    map.insert("metrics", Value::Object(metrics));
+    Value::Object(map)
+}
+
+impl BenchReport {
+    /// The deterministic payload: cells + aggregates only. Two runs of the
+    /// same grid serialize this identically regardless of thread count.
+    pub fn payload_json(&self) -> Value {
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut map = serde_json::Map::new();
+                map.insert("scenario", Value::from(c.scenario.as_str()));
+                map.insert("policy", Value::from(c.policy.as_str()));
+                map.insert("x", Value::from(c.x));
+                map.insert("seed", Value::from(c.seed));
+                map.insert("summary", summary_json(&c.summary));
+                Value::Object(map)
+            })
+            .collect();
+        let aggregates: Vec<Value> = self
+            .aggregates
+            .iter()
+            .map(|a| {
+                let mut map = serde_json::Map::new();
+                map.insert("scenario", Value::from(a.scenario.as_str()));
+                map.insert("policy", Value::from(a.policy.as_str()));
+                map.insert("x", Value::from(a.x));
+                map.insert("aggregate", aggregate_json(&a.aggregate));
+                Value::Object(map)
+            })
+            .collect();
+        let mut map = serde_json::Map::new();
+        map.insert("cells", Value::Array(cells));
+        map.insert("aggregates", Value::Array(aggregates));
+        Value::Object(map)
+    }
+
+    /// The full document written to `BENCH_<name>.json`.
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("schema_version", Value::from(BENCH_SCHEMA_VERSION));
+        map.insert("name", Value::from(self.name.as_str()));
+        map.insert("threads", Value::from(self.threads));
+        map.insert("wall_clock_secs", Value::from(self.wall_clock_secs));
+        map.insert("slots_simulated", Value::from(self.slots_simulated));
+        map.insert(
+            "throughput_slots_per_sec",
+            Value::from(self.throughput_slots_per_sec),
+        );
+        if !self.fingerprint.is_empty() {
+            map.insert("fingerprint", Value::from(self.fingerprint.as_str()));
+        }
+        let payload = self.payload_json();
+        map.insert(
+            "cells",
+            payload.get("cells").expect("payload has cells").clone(),
+        );
+        map.insert(
+            "aggregates",
+            payload
+                .get("aggregates")
+                .expect("payload has aggregates")
+                .clone(),
+        );
+        Value::Object(map)
+    }
+
+    /// Parses a report back from [`BenchReport::to_json`] output.
+    /// Aggregates are recomputed from the cells (they are derived data),
+    /// which also validates the document's internal consistency.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        if v.get("schema_version").and_then(Value::as_u64) != Some(BENCH_SCHEMA_VERSION) {
+            return None;
+        }
+        let cells: Vec<BenchCell> = v
+            .get("cells")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                Some(BenchCell {
+                    scenario: c.get("scenario")?.as_str()?.to_string(),
+                    policy: c.get("policy")?.as_str()?.to_string(),
+                    x: c.get("x")?.as_f64()?,
+                    seed: c.get("seed")?.as_u64()?,
+                    summary: summary_from_json(c.get("summary")?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let aggregates = group_aggregates(&cells);
+        Some(Self {
+            name: v.get("name")?.as_str()?.to_string(),
+            threads: v.get("threads")?.as_u64()? as usize,
+            wall_clock_secs: v.get("wall_clock_secs")?.as_f64()?,
+            slots_simulated: v.get("slots_simulated")?.as_u64()?,
+            throughput_slots_per_sec: v.get("throughput_slots_per_sec")?.as_f64()?,
+            fingerprint: v
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            cells,
+            aggregates,
+        })
+    }
+
+    /// Writes the pretty-printed report to `dir/BENCH_<name>.json` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        write_lines(&path, &[serde_json::to_string_pretty(&self.to_json())])?;
+        Ok(path)
+    }
+}
+
+/// Loads and parses `dir/BENCH_<name>.json` if present and well-formed.
+pub fn load_bench_report(dir: &Path, name: &str) -> Option<BenchReport> {
+    let text = std::fs::read_to_string(dir.join(format!("BENCH_{name}.json"))).ok()?;
+    BenchReport::from_json(&serde_json::from_str(&text).ok()?)
 }
 
 #[cfg(test)]
@@ -185,6 +515,96 @@ mod tests {
         let lines = convergence_csv("drl", &[1.0, 2.0], &[1.0, 1.5]);
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("drl,0,"));
+    }
+
+    fn report_fixture() -> BenchReport {
+        let mut cells = Vec::new();
+        for policy in ["drl", "first-fit"] {
+            for seed in [1u64, 2] {
+                let mut s = summary();
+                s.mean_admission_latency_ms += seed as f64;
+                cells.push(BenchCell {
+                    scenario: "s0".into(),
+                    policy: policy.into(),
+                    x: 8.0,
+                    seed,
+                    summary: s,
+                });
+            }
+        }
+        let aggregates = group_aggregates(&cells);
+        BenchReport {
+            name: "unit".into(),
+            threads: 4,
+            wall_clock_secs: 1.5,
+            slots_simulated: 40,
+            throughput_slots_per_sec: 40.0 / 1.5,
+            fingerprint: "fp".into(),
+            cells,
+            aggregates,
+        }
+    }
+
+    #[test]
+    fn aggregate_csv_row_matches_header_arity() {
+        let agg = aggregate_summaries(&[summary(), summary()]);
+        assert_eq!(
+            aggregate_csv_header().split(',').count(),
+            aggregate_csv_row("p", 1.0, &agg).split(',').count()
+        );
+    }
+
+    #[test]
+    fn aggregate_markdown_has_band_cells() {
+        let agg = aggregate_summaries(&[summary(), summary()]);
+        let md = markdown_aggregate_comparison(&[("drl".to_string(), agg)]);
+        assert!(md.contains("| drl | 2 |"));
+        assert!(md.contains("±"));
+    }
+
+    #[test]
+    fn group_aggregates_splits_on_cell_group_boundaries() {
+        let report = report_fixture();
+        assert_eq!(report.aggregates.len(), 2);
+        assert_eq!(report.aggregates[0].policy, "drl");
+        assert_eq!(report.aggregates[0].aggregate.runs, 2);
+        assert_eq!(report.aggregates[1].policy, "first-fit");
+    }
+
+    #[test]
+    fn bench_report_json_roundtrip() {
+        let report = report_fixture();
+        let text = serde_json::to_string_pretty(&report.to_json());
+        let parsed = BenchReport::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn summary_json_roundtrip_is_exact() {
+        let s = summary();
+        let v = serde_json::from_str(&serde_json::to_string(&summary_json(&s))).unwrap();
+        assert_eq!(summary_from_json(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn bench_report_write_and_load() {
+        let dir = std::env::temp_dir().join("mano_bench_report_test");
+        let report = report_fixture();
+        let path = report.write_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit.json");
+        let loaded = load_bench_report(&dir, "unit").unwrap();
+        assert_eq!(loaded, report);
+        assert_eq!(load_bench_report(&dir, "missing"), None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn payload_json_excludes_timing_metadata() {
+        let payload = report_fixture().payload_json();
+        assert!(payload.get("cells").is_some());
+        assert!(payload.get("aggregates").is_some());
+        assert!(payload.get("wall_clock_secs").is_none());
+        assert!(payload.get("threads").is_none());
     }
 
     #[test]

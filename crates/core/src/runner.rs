@@ -127,15 +127,22 @@ pub fn train_drl_with_catalogs(
         episode_returns.extend(policy.take_episode_returns());
         pass_summaries.push(summary);
 
-        policy.set_training(false);
-        let mut val_sim = Simulation::with_catalogs(scenario, reward, vnfs.clone(), chains.clone());
-        let val = val_sim.run(&mut policy, VALIDATION_OFFSET);
-        policy.take_episode_returns(); // validation episodes don't belong in the curve
-        policy.set_training(true);
-        let objective =
-            val.combined_objective(reward.alpha_latency as f64, reward.beta_cost as f64);
-        if best.as_ref().is_none_or(|(b, _)| objective < *b) {
-            best = Some((objective, policy.clone()));
+        // Checkpoint selection needs at least two candidates; with a
+        // single pass the only checkpoint wins unconditionally, so the
+        // held-out validation run would be pure wasted work (FAST smoke
+        // runs hit this path on every training).
+        if passes > 1 {
+            policy.set_training(false);
+            let mut val_sim =
+                Simulation::with_catalogs(scenario, reward, vnfs.clone(), chains.clone());
+            let val = val_sim.run(&mut policy, VALIDATION_OFFSET);
+            policy.take_episode_returns(); // validation episodes don't belong in the curve
+            policy.set_training(true);
+            let objective =
+                val.combined_objective(reward.alpha_latency as f64, reward.beta_cost as f64);
+            if best.as_ref().is_none_or(|(b, _)| objective < *b) {
+                best = Some((objective, policy.clone()));
+            }
         }
     }
     let mut policy = best.map(|(_, p)| p).unwrap_or(policy);

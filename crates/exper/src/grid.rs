@@ -1,0 +1,383 @@
+//! Declarative experiment grids: a (scenario × policy-factory × seed)
+//! cross-product whose cells run in parallel and reduce deterministically.
+//!
+//! Every cell carries its grid index; workers report `(index, result)`
+//! pairs that land in index-addressed slots, and aggregation walks the
+//! slots in index order. The reduction therefore never observes execution
+//! interleaving, which is what makes a parallel run bit-identical to
+//! `EXPER_THREADS=1`.
+
+use crate::pool::{run_indexed, thread_count};
+use mano::prelude::*;
+use mano::report::group_aggregates;
+use sfc::chain::ChainCatalog;
+use sfc::vnf::VnfCatalog;
+use std::time::Instant;
+
+/// Builds a fresh policy instance for one grid cell. Cells never share
+/// policy state — stateful policies (the DRL manager) are cloned into
+/// each cell by their factory, so cells stay independent and the grid can
+/// run them in any order on any thread.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn PlacementPolicy> + Send + Sync>;
+
+/// One labelled grid row: a scenario plus the sweep coordinate it
+/// represents (arrival rate, site count, chain length, …).
+pub struct GridScenario {
+    /// Stable label recorded in cells (`λ=8`, `sites=12`, …).
+    pub label: String,
+    /// Numeric sweep coordinate for CSV/plot axes.
+    pub x: f64,
+    /// The scenario itself.
+    pub scenario: Scenario,
+}
+
+/// A declarative (scenario × policy × seed) experiment.
+///
+/// ```
+/// use exper::prelude::*;
+/// use mano::prelude::*;
+///
+/// let report = ExperimentGrid::new("doc")
+///     .scenario("small", 1.0, Scenario::small_test())
+///     .policy("first-fit", || Box::new(FirstFitPolicy))
+///     .policy("greedy-latency", || Box::new(GreedyLatencyPolicy))
+///     .seeds(&[1, 2])
+///     .threads(2)
+///     .run();
+/// assert_eq!(report.cells.len(), 4);
+/// assert_eq!(report.aggregates.len(), 2);
+/// ```
+pub struct ExperimentGrid {
+    name: String,
+    scenarios: Vec<GridScenario>,
+    policies: Vec<(String, PolicyFactory)>,
+    seeds: Vec<u64>,
+    reward: RewardConfig,
+    threads: Option<usize>,
+    scrub_decision_time: bool,
+    catalogs: Option<(VnfCatalog, ChainCatalog)>,
+    fingerprint: String,
+}
+
+impl ExperimentGrid {
+    /// Starts an empty grid named `name` (becomes `BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            scenarios: Vec::new(),
+            policies: Vec::new(),
+            seeds: vec![0],
+            reward: RewardConfig::default(),
+            threads: None,
+            scrub_decision_time: true,
+            catalogs: None,
+            fingerprint: String::new(),
+        }
+    }
+
+    /// Adds a scenario row with its sweep coordinate.
+    pub fn scenario(mut self, label: impl Into<String>, x: f64, scenario: Scenario) -> Self {
+        self.scenarios.push(GridScenario {
+            label: label.into(),
+            x,
+            scenario,
+        });
+        self
+    }
+
+    /// Adds a policy column built per cell by `factory`.
+    pub fn policy<F, P>(mut self, label: impl Into<String>, factory: F) -> Self
+    where
+        F: Fn() -> Box<P> + Send + Sync + 'static,
+        P: PlacementPolicy + 'static,
+    {
+        self.policies.push((
+            label.into(),
+            Box::new(move || factory() as Box<dyn PlacementPolicy>),
+        ));
+        self
+    }
+
+    /// Adds a policy column from an already-boxed factory (for trait
+    /// objects whose concrete type varies at runtime).
+    pub fn policy_boxed(mut self, label: impl Into<String>, factory: PolicyFactory) -> Self {
+        self.policies.push((label.into(), factory));
+        self
+    }
+
+    /// Appends a batch of labelled boxed factories (the common "DRL plus
+    /// all baselines" shape).
+    pub fn policies(mut self, policies: Vec<(String, PolicyFactory)>) -> Self {
+        for (label, factory) in policies {
+            self.policies.push((label, factory));
+        }
+        self
+    }
+
+    /// Replaces the seed axis (default `[0]`).
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the reward configuration passed to every evaluation.
+    pub fn reward(mut self, reward: RewardConfig) -> Self {
+        self.reward = reward;
+        self
+    }
+
+    /// Pins the worker-thread count, overriding `EXPER_THREADS` (tests
+    /// use this to compare thread counts without mutating the process
+    /// environment).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Keeps wall-clock decision times in cell summaries. They are
+    /// scrubbed to zero by default because they are measurement noise
+    /// that would break the byte-identical-output guarantee; the
+    /// scalability figure opts back in (its whole point is timing).
+    pub fn keep_decision_time(mut self) -> Self {
+        self.scrub_decision_time = false;
+        self
+    }
+
+    /// Evaluates every cell on custom VNF/chain catalogs instead of the
+    /// standard ones.
+    pub fn with_catalogs(mut self, vnfs: VnfCatalog, chains: ChainCatalog) -> Self {
+        self.catalogs = Some((vnfs, chains));
+        self
+    }
+
+    /// Attaches a configuration fingerprint recorded in the report
+    /// (binaries sharing a cached grid use it to detect staleness).
+    pub fn fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.fingerprint = fingerprint.into();
+        self
+    }
+
+    /// Total number of cells the grid will run.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.policies.len() * self.seeds.len()
+    }
+
+    /// Executes the grid and returns its report.
+    ///
+    /// Cell order (and therefore `report.cells` order) is scenario-major,
+    /// then policy, then seed. `cells` and `aggregates` are bit-identical
+    /// for any thread count; `wall_clock_secs`/`throughput_slots_per_sec`
+    /// are measurement metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has no scenarios or no policies, or if a cell's
+    /// policy panics.
+    pub fn run(&self) -> BenchReport {
+        assert!(
+            !self.scenarios.is_empty(),
+            "grid needs at least one scenario"
+        );
+        assert!(!self.policies.is_empty(), "grid needs at least one policy");
+        assert!(!self.seeds.is_empty(), "grid needs at least one seed");
+
+        let threads = self.threads.unwrap_or_else(thread_count);
+        let n = self.cell_count();
+        let per_policy = self.seeds.len();
+        let per_scenario = self.policies.len() * per_policy;
+
+        let started = Instant::now();
+        let cells = run_indexed(n, threads, |index| {
+            let row = &self.scenarios[index / per_scenario];
+            let (policy_label, factory) = &self.policies[(index % per_scenario) / per_policy];
+            let seed = self.seeds[index % per_policy];
+            let mut policy = factory();
+            let mut result = match &self.catalogs {
+                Some((vnfs, chains)) => evaluate_policy_with_catalogs(
+                    &row.scenario,
+                    self.reward,
+                    policy.as_mut(),
+                    seed,
+                    vnfs,
+                    chains,
+                ),
+                None => evaluate_policy(&row.scenario, self.reward, policy.as_mut(), seed),
+            };
+            if self.scrub_decision_time {
+                result.summary.mean_decision_time_us = 0.0;
+            }
+            BenchCell {
+                scenario: row.label.clone(),
+                policy: policy_label.clone(),
+                x: row.x,
+                seed,
+                summary: result.summary,
+            }
+        });
+        let wall_clock_secs = started.elapsed().as_secs_f64();
+
+        let slots_simulated: u64 = cells.iter().map(|c| c.summary.slots).sum();
+        let aggregates = group_aggregates(&cells);
+        BenchReport {
+            name: self.name.clone(),
+            threads,
+            wall_clock_secs,
+            slots_simulated,
+            throughput_slots_per_sec: if wall_clock_secs > 0.0 {
+                slots_simulated as f64 / wall_clock_secs
+            } else {
+                0.0
+            },
+            fingerprint: self.fingerprint.clone(),
+            cells,
+            aggregates,
+        }
+    }
+}
+
+/// Concatenates several grid reports into one (used when a sweep must be
+/// split into sub-grids, e.g. a per-size DRL manager whose observation
+/// width differs per scenario). Cells keep their per-report order;
+/// aggregates are recomputed over the concatenation; wall-clock and slot
+/// totals are summed (the sub-grids ran back to back).
+///
+/// # Panics
+///
+/// Panics when `reports` is empty.
+pub fn merge_reports(name: impl Into<String>, reports: Vec<BenchReport>) -> BenchReport {
+    assert!(!reports.is_empty(), "cannot merge zero reports");
+    let threads = reports.iter().map(|r| r.threads).max().unwrap_or(1);
+    let wall_clock_secs: f64 = reports.iter().map(|r| r.wall_clock_secs).sum();
+    let cells: Vec<BenchCell> = reports.into_iter().flat_map(|r| r.cells).collect();
+    let slots_simulated: u64 = cells.iter().map(|c| c.summary.slots).sum();
+    let aggregates = group_aggregates(&cells);
+    BenchReport {
+        name: name.into(),
+        threads,
+        wall_clock_secs,
+        slots_simulated,
+        throughput_slots_per_sec: if wall_clock_secs > 0.0 {
+            slots_simulated as f64 / wall_clock_secs
+        } else {
+            0.0
+        },
+        fingerprint: String::new(),
+        cells,
+        aggregates,
+    }
+}
+
+/// Renders a report's aggregates as a band CSV (header + one row per
+/// (scenario, policy) group): the multi-seed upgrade of the old
+/// single-seed sweep CSVs.
+pub fn sweep_csv(report: &BenchReport) -> Vec<String> {
+    let mut lines = vec![aggregate_csv_header()];
+    for a in &report.aggregates {
+        lines.push(aggregate_csv_row(&a.policy, a.x, &a.aggregate));
+    }
+    lines
+}
+
+/// Renders a report's raw cells as a CSV (header + one row per cell),
+/// for consumers that want the per-seed scatter rather than the bands.
+pub fn cells_csv(report: &BenchReport) -> Vec<String> {
+    let mut lines = vec![format!("{},seed", summary_csv_header())];
+    for c in &report.cells {
+        lines.push(format!(
+            "{},{}",
+            summary_csv_row(&c.policy, c.x, &c.summary),
+            c.seed
+        ));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid(threads: usize) -> BenchReport {
+        ExperimentGrid::new("unit")
+            .scenario("small", 1.0, Scenario::small_test())
+            .policy("first-fit", || Box::new(FirstFitPolicy))
+            .policy("cloud-only", || Box::new(CloudOnlyPolicy))
+            .seeds(&[3, 7])
+            .threads(threads)
+            .run()
+    }
+
+    #[test]
+    fn grid_runs_all_cells_in_order() {
+        let report = tiny_grid(2);
+        assert_eq!(report.cells.len(), 4);
+        let coords: Vec<(&str, u64)> = report
+            .cells
+            .iter()
+            .map(|c| (c.policy.as_str(), c.seed))
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                ("first-fit", 3),
+                ("first-fit", 7),
+                ("cloud-only", 3),
+                ("cloud-only", 7)
+            ]
+        );
+        assert_eq!(report.aggregates.len(), 2);
+        assert_eq!(report.aggregates[0].aggregate.runs, 2);
+        assert!(report.slots_simulated > 0);
+        assert!(report.wall_clock_secs > 0.0);
+    }
+
+    #[test]
+    fn decision_time_scrubbed_by_default() {
+        let report = tiny_grid(1);
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.summary.mean_decision_time_us == 0.0));
+        let kept = ExperimentGrid::new("unit")
+            .scenario("small", 1.0, Scenario::small_test())
+            .policy("first-fit", || Box::new(FirstFitPolicy))
+            .keep_decision_time()
+            .threads(1)
+            .run();
+        assert!(kept.cells[0].summary.mean_decision_time_us > 0.0);
+    }
+
+    #[test]
+    fn merge_concatenates_and_reaggregates() {
+        // The fig5 shape: one sub-grid per scenario size, merged into a
+        // single report whose groups stay distinct per scenario.
+        let sub = |label: &str, x: f64| {
+            ExperimentGrid::new(label)
+                .scenario(label, x, Scenario::small_test())
+                .policy("first-fit", || Box::new(FirstFitPolicy))
+                .seeds(&[3, 7])
+                .threads(2)
+                .run()
+        };
+        let merged = merge_reports("merged", vec![sub("n=4", 4.0), sub("n=8", 8.0)]);
+        assert_eq!(merged.cells.len(), 4);
+        assert_eq!(merged.aggregates.len(), 2);
+        assert_eq!(merged.aggregates[0].scenario, "n=4");
+        assert_eq!(merged.aggregates[1].scenario, "n=8");
+        assert!(merged.aggregates.iter().all(|a| a.aggregate.runs == 2));
+    }
+
+    #[test]
+    fn csv_renderers_match_cell_counts() {
+        let report = tiny_grid(1);
+        assert_eq!(sweep_csv(&report).len(), 1 + report.aggregates.len());
+        assert_eq!(cells_csv(&report).len(), 1 + report.cells.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_policy_axis_rejected() {
+        let _ = ExperimentGrid::new("unit")
+            .scenario("small", 1.0, Scenario::small_test())
+            .run();
+    }
+}

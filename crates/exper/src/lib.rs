@@ -1,0 +1,34 @@
+//! # exper — the parallel multi-seed experiment engine
+//!
+//! The paper's evaluation is a grid of (scenario × policy × seed) cells.
+//! Each simulation run stays sequential and deterministic — a pure
+//! function of (scenario, seed) — so the engine scales the evaluation the
+//! only way that preserves reproducibility: Monte Carlo fan-out of whole
+//! runs across worker threads.
+//!
+//! * [`pool`] — the std-only fork-join pool (`EXPER_THREADS` override,
+//!   shared-counter work stealing, index-ordered results).
+//! * [`grid`] — declarative [`grid::ExperimentGrid`]s with deterministic
+//!   multi-seed aggregation and [`mano::report::BenchReport`] output.
+//!
+//! # Determinism guarantee
+//!
+//! `report.cells` and `report.aggregates` of a grid run are bit-identical
+//! for every thread count (cells carry their grid index; reduction sorts
+//! by index, and per-cell wall-clock decision timing is scrubbed unless
+//! explicitly kept). Only `wall_clock_secs` / `throughput_slots_per_sec`
+//! / `threads` — measurement metadata — vary between runs.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod pool;
+
+/// Convenient glob-import of the engine's surface.
+pub mod prelude {
+    pub use crate::grid::{
+        cells_csv, merge_reports, sweep_csv, ExperimentGrid, GridScenario, PolicyFactory,
+    };
+    pub use crate::pool::{parallel_map, run_indexed, thread_count, THREADS_ENV};
+}

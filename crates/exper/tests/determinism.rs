@@ -1,0 +1,88 @@
+//! Engine determinism: a parallel grid run must be bit-identical to the
+//! sequential reference run — same cells, same aggregates, same serialized
+//! JSON payload — because reduction is keyed by grid index, never by
+//! completion order.
+
+use exper::prelude::*;
+use mano::prelude::*;
+
+/// The 2-scenario × 3-policy × 4-seed grid from the engine's acceptance
+/// criteria, pinned to an explicit thread count.
+fn reference_grid(threads: usize) -> BenchReport {
+    let low = Scenario::small_test().with_arrival_rate(2.0);
+    let high = Scenario::small_test().with_arrival_rate(6.0);
+    ExperimentGrid::new("determinism")
+        .scenario("low-load", 2.0, low)
+        .scenario("high-load", 6.0, high)
+        .policy("first-fit", || Box::new(FirstFitPolicy))
+        .policy("greedy-latency", || Box::new(GreedyLatencyPolicy))
+        .policy("weighted-greedy", || {
+            Box::new(WeightedGreedyPolicy::default())
+        })
+        .seeds(&[11, 12, 13, 14])
+        .threads(threads)
+        .run()
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_sequential() {
+    let sequential = reference_grid(1);
+    let parallel = reference_grid(8);
+
+    assert_eq!(sequential.cells.len(), 2 * 3 * 4);
+    // Cell-level: every summary field, every coordinate.
+    assert_eq!(sequential.cells, parallel.cells);
+    // Aggregate-level: mean/std/ci95 of every metric of every group.
+    assert_eq!(sequential.aggregates, parallel.aggregates);
+    // Byte-level: the serialized deterministic payload is what CI diffs,
+    // so compare the exact strings that would land on disk.
+    assert_eq!(
+        serde_json::to_string_pretty(&sequential.payload_json()),
+        serde_json::to_string_pretty(&parallel.payload_json()),
+    );
+    // The band CSVs derived from the aggregates must match byte for byte.
+    assert_eq!(sweep_csv(&sequential), sweep_csv(&parallel));
+    assert_eq!(cells_csv(&sequential), cells_csv(&parallel));
+}
+
+#[test]
+fn thread_count_is_recorded_but_outside_the_payload() {
+    let parallel = reference_grid(8);
+    assert_eq!(parallel.threads, 8);
+    let payload = serde_json::to_string(&parallel.payload_json());
+    assert!(
+        !payload.contains("wall_clock"),
+        "payload must not leak timing"
+    );
+}
+
+#[test]
+fn stateful_policy_cells_stay_independent() {
+    // A learning policy cloned per cell must give the same result as the
+    // same policy evaluated directly: no cross-cell state bleed.
+    let scenario = Scenario::small_test();
+    let mut agent_rng = rand::SeedableRng::seed_from_u64(9);
+    let probe = Simulation::new(&scenario, RewardConfig::default());
+    let trained = DrlPolicy::new(
+        DrlManagerConfig::default(),
+        probe.encoder.dim(),
+        probe.action_space.len(),
+        &mut agent_rng,
+    );
+    drop(probe);
+
+    let factory_policy = trained.clone();
+    let report = ExperimentGrid::new("stateful")
+        .scenario("small", 1.0, scenario.clone())
+        .policy_boxed("drl", Box::new(move || Box::new(factory_policy.clone())))
+        .seeds(&[5, 6])
+        .threads(4)
+        .run();
+
+    for (cell, seed) in report.cells.iter().zip([5u64, 6]) {
+        let mut fresh = trained.clone();
+        let mut direct = evaluate_policy(&scenario, RewardConfig::default(), &mut fresh, seed);
+        direct.summary.mean_decision_time_us = 0.0;
+        assert_eq!(cell.summary, direct.summary, "seed {seed} diverged");
+    }
+}

@@ -6,6 +6,7 @@
 //!
 //! | layer | crate | contents |
 //! |---|---|---|
+//! | experiments | [`exper`] | parallel multi-seed grid engine, deterministic aggregation |
 //! | orchestrator | [`mano`] | MDP formulation, simulation engine, DRL manager, baselines |
 //! | learning | [`rl`] | DQN family, replay buffers, schedules, toy validation envs |
 //! | function approximation | [`nn`] | MLP + backprop, optimizers, gradient checking |
@@ -28,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub use edgenet;
+pub use exper;
 pub use mano;
 pub use nn;
 pub use rl;
@@ -37,6 +39,7 @@ pub use workload;
 /// One prelude over the whole stack.
 pub mod prelude {
     pub use edgenet::prelude::*;
+    pub use exper::prelude::*;
     pub use mano::prelude::*;
     pub use sfc::prelude::*;
     pub use workload::prelude::*;

@@ -1,0 +1,680 @@
+//! Offline, dependency-free stand-in for the `serde_json` crate.
+//!
+//! The real crate serializes any `serde::Serialize` type; this stand-in
+//! covers the subset the workspace actually uses: the self-describing
+//! [`Value`] tree, a strict parser ([`from_str`]), and deterministic
+//! compact/pretty writers ([`to_string`] / [`to_string_pretty`]).
+//! Callers build `Value`s explicitly instead of deriving serializers —
+//! when crates.io access exists, swap the manifest entry for the real
+//! `serde_json` and replace manual `Value` construction with
+//! `serde_json::to_value` on the already-`#[derive(Serialize)]`d types.
+//!
+//! Determinism contract (the experiment engine depends on it): writing a
+//! `Value` is a pure function of the tree — object members keep insertion
+//! order, and numbers are formatted with Rust's shortest-roundtrip `f64`
+//! formatting — so equal trees always produce byte-identical documents.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Alias mirroring `serde_json::Map` closely enough for field access.
+/// Insertion order is preserved (like the real crate's `preserve_order`
+/// feature, which experiment tooling enables for stable diffs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under `key`, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    /// Looks up a member by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Member keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A parsed/buildable JSON document node (the stand-in's `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like lossy mode of the real crate).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered members.
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup; `None` for other variants / out of range.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+/// Writes a number exactly the way every emitter in the workspace must:
+/// integral values without a trailing `.0`, everything else via Rust's
+/// shortest-roundtrip formatting. Deterministic on every platform.
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() && n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        // JSON has no NaN/Inf; mirror the real crate's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Serializes `value` compactly (no whitespace).
+#[allow(clippy::inherent_to_string_shadow_display)]
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes `value` with two-space indentation (matches the real
+/// crate's `to_string_pretty`).
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Parse failure: message plus byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", expected as char))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{literal}`"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => self.err(format!("unexpected byte `{}`", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Number(n)),
+            Err(_) => self.err(format!("invalid number `{text}`")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are trustworthy).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters after document");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = obj(vec![
+            ("name", Value::from("bench")),
+            ("count", Value::from(3u64)),
+            ("ratio", Value::from(0.25)),
+            ("ok", Value::from(true)),
+            ("none", Value::Null),
+            (
+                "cells",
+                Value::Array(vec![Value::from(1u64), Value::from(2u64)]),
+            ),
+        ]);
+        let text = to_string(&v);
+        assert_eq!(
+            text,
+            r#"{"name":"bench","count":3,"ratio":0.25,"ok":true,"none":null,"cells":[1,2]}"#
+        );
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_pretty() {
+        let v = obj(vec![("a", Value::Array(vec![Value::from(1u64)]))]);
+        let pretty = to_string_pretty(&v);
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ]\n}");
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn deterministic_number_formatting() {
+        assert_eq!(to_string(&Value::Number(5.0)), "5");
+        assert_eq!(to_string(&Value::Number(-2.0)), "-2");
+        assert_eq!(to_string(&Value::Number(0.1)), "0.1");
+        assert_eq!(to_string(&Value::Number(1e-9)), "0.000000001");
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::from("line\nquote\"tab\tback\\slash");
+        let text = to_string(&v);
+        assert_eq!(from_str(&text).unwrap(), v);
+        let unicode = from_str(r#""é中""#).unwrap();
+        assert_eq!(unicode.as_str(), Some("é中"));
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_nesting() {
+        let v = from_str(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
+        assert_eq!(
+            v.get("a")
+                .and_then(|a| a.get_index(0))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert!(v
+            .get("a")
+            .and_then(|a| a.get_index(1))
+            .and_then(|o| o.get("b"))
+            .is_some_and(Value::is_null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn as_u64_guards_range_and_fraction() {
+        assert_eq!(Value::Number(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Number(3.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut map = Map::new();
+        map.insert("a", Value::from(1u64));
+        map.insert("b", Value::from(2u64));
+        map.insert("a", Value::from(3u64));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.keys().collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(map.get("a").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn btreemap_interop_compiles() {
+        // Downstream code may collect sorted maps; keep the path open.
+        let sorted: BTreeMap<String, f64> = BTreeMap::from([("k".into(), 1.0)]);
+        let v: Value = Value::Object(
+            sorted
+                .into_iter()
+                .map(|(k, n)| (k, Value::Number(n)))
+                .collect(),
+        );
+        assert_eq!(to_string(&v), r#"{"k":1}"#);
+    }
+}

@@ -1,20 +1,69 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate for the workspace. CI runs exactly this; run it
-# locally before pushing. Requires only the stable Rust toolchain (all
-# third-party dependencies are vendored under vendor/ — no network needed).
+# Tier-1 verification gates for the workspace. CI runs these same
+# subcommands as separate jobs; run `./verify.sh` locally before pushing.
+# Requires only the stable Rust toolchain (all third-party dependencies
+# are vendored under vendor/ — no network needed).
+#
+# Usage:
+#   ./verify.sh             # lint + test (the tier-1 gate)
+#   ./verify.sh lint        # rustfmt + clippy only (fast feedback)
+#   ./verify.sh test        # release build + full test pyramid
+#   ./verify.sh bench-smoke # FAST=1 run of every fig/table binary;
+#                           # writes CSV/JSON artifacts into $RESULTS_DIR
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+lint() {
+  echo "==> cargo fmt --all --check"
+  cargo fmt --all --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> cargo build --release"
-cargo build --release
+test_() {
+  echo "==> cargo build --release"
+  cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+  echo "==> cargo test -q"
+  cargo test -q
+}
 
-echo "verify.sh: all gates passed"
+bench_smoke() {
+  export FAST=1
+  export RESULTS_DIR="${RESULTS_DIR:-results}"
+  echo "==> cargo build --release -p bench"
+  cargo build --release -p bench
+
+  local binaries=(
+    fig1_convergence fig2_latency_vs_load fig3_cost_vs_load fig4_acceptance
+    fig5_scalability fig6_chain_length fig7_dynamic fig8_optgap fig9_ablation
+    fig10_reward_weights fig11_pg_vs_dqn
+    table1_params table2_hyperparams table3_summary
+  )
+  for bin in "${binaries[@]}"; do
+    echo "==> $bin (FAST=1 -> $RESULTS_DIR)"
+    ./target/release/"$bin" >/dev/null
+  done
+
+  echo "==> artifacts in $RESULTS_DIR:"
+  ls -l "$RESULTS_DIR"
+  # The perf trajectory needs at least one machine-readable report.
+  ls "$RESULTS_DIR"/BENCH_*.json >/dev/null
+}
+
+case "${1:-all}" in
+  lint) lint ;;
+  test) test_ ;;
+  bench-smoke) bench_smoke ;;
+  all)
+    lint
+    test_
+    ;;
+  *)
+    echo "usage: $0 [lint|test|bench-smoke|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "verify.sh: ${1:-all} gates passed"
