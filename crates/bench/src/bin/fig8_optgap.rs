@@ -35,8 +35,8 @@ fn main() {
     let probe = Simulation::new(&scenario, reward);
     let mean_duration_s = scenario.workload.mean_duration_slots * scenario.slot_seconds;
     let exhaustive = ExhaustivePolicy::new(
-        probe.topology.clone(),
-        probe.routes.clone(),
+        probe.topology().clone(),
+        probe.routes().clone(),
         probe.vnfs.clone(),
         scenario.prices,
         mean_duration_s,

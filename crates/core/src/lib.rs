@@ -56,7 +56,7 @@ pub mod prelude {
         standard_baselines, BestFitPolicy, CloudOnlyPolicy, ExhaustivePolicy, FirstFitPolicy,
         GreedyCostPolicy, GreedyLatencyPolicy, RandomPolicy, WeightedGreedyPolicy, WorstFitPolicy,
     };
-    pub use crate::config::{Scenario, TopologySpec};
+    pub use crate::config::{EventSchedule, FailureModel, Scenario, TimedEvent, TopologySpec};
     pub use crate::drl::{DrlManagerConfig, DrlPolicy};
     pub use crate::metrics::{
         aggregate_summaries, MetricStats, MetricsCollector, RunSummary, SlotRecord,
@@ -70,7 +70,7 @@ pub mod prelude {
         slot_csv_row, summary_csv_header, summary_csv_row, summary_from_json, summary_json,
         write_lines, BenchAggregate, BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
     };
-    pub use crate::reward::RewardConfig;
+    pub use crate::reward::{RewardConfig, INFEASIBLE_LATENCY_MS};
     pub use crate::runner::{
         compare_policies, evaluate_policy, evaluate_policy_with_catalogs, moving_average,
         train_drl, train_drl_with_catalogs, PolicyResult, TrainedDrl,

@@ -31,6 +31,12 @@ pub struct SlotRecord {
     pub deployment_cost: f64,
     /// Mean dominant node utilization at slot end.
     pub mean_utilization: f64,
+    /// Active flows disrupted by node failures this slot.
+    pub flows_disrupted: u32,
+    /// Disrupted flows successfully re-placed this slot.
+    pub flows_replaced: u32,
+    /// Nodes down at slot end.
+    pub nodes_down: u32,
 }
 
 impl SlotRecord {
@@ -83,6 +89,9 @@ impl MetricsCollector {
         let total_rejected: u64 = self.slots.iter().map(|s| s.rejected as u64).sum();
         let total_sla_violations: u64 = self.slots.iter().map(|s| s.sla_violations as u64).sum();
         let total_cost: f64 = self.slots.iter().map(SlotRecord::total_cost).sum();
+        let flows_disrupted: u64 = self.slots.iter().map(|s| s.flows_disrupted as u64).sum();
+        let flows_replaced: u64 = self.slots.iter().map(|s| s.flows_replaced as u64).sum();
+        let downtime_slots: u64 = self.slots.iter().map(|s| s.nodes_down as u64).sum();
         let slot_count = self.slots.len() as f64;
 
         let mut sorted = self.admission_latencies.clone();
@@ -155,6 +164,13 @@ impl MetricsCollector {
                 0.0
             },
             mean_decision_time_us: mean_decision_us,
+            flows_disrupted,
+            replacement_success_rate: if flows_disrupted > 0 {
+                flows_replaced as f64 / flows_disrupted as f64
+            } else {
+                1.0
+            },
+            downtime_slots,
         }
     }
 }
@@ -193,6 +209,13 @@ pub struct RunSummary {
     pub mean_live_instances: f64,
     /// Mean wall-clock time per placement decision (µs).
     pub mean_decision_time_us: f64,
+    /// Active flows disrupted by node failures over the run.
+    pub flows_disrupted: u64,
+    /// Fraction of disrupted flows successfully re-placed (1.0 when
+    /// nothing was disrupted).
+    pub replacement_success_rate: f64,
+    /// Accumulated node-slots of downtime (Σ over slots of nodes down).
+    pub downtime_slots: u64,
 }
 
 impl RunSummary {
@@ -224,6 +247,9 @@ pub const SUMMARY_METRICS: &[SummaryMetric] = &[
     ("mean_active_flows", |s| s.mean_active_flows),
     ("mean_live_instances", |s| s.mean_live_instances),
     ("mean_decision_time_us", |s| s.mean_decision_time_us),
+    ("flows_disrupted", |s| s.flows_disrupted as f64),
+    ("replacement_success_rate", |s| s.replacement_success_rate),
+    ("downtime_slots", |s| s.downtime_slots as f64),
 ];
 
 /// Mean, sample standard deviation and 95% confidence-interval half-width
@@ -334,6 +360,9 @@ mod tests {
             traffic_cost: 0.25,
             deployment_cost: 0.25,
             mean_utilization: 0.5,
+            flows_disrupted: 0,
+            flows_replaced: 0,
+            nodes_down: 0,
         }
     }
 
@@ -378,6 +407,28 @@ mod tests {
         assert_eq!(s.acceptance_ratio, 1.0);
         assert_eq!(s.mean_admission_latency_ms, 0.0);
         assert_eq!(s.mean_decision_time_us, 0.0);
+        assert_eq!(s.flows_disrupted, 0);
+        assert_eq!(s.replacement_success_rate, 1.0);
+        assert_eq!(s.downtime_slots, 0);
+    }
+
+    #[test]
+    fn disruption_metrics_accumulate() {
+        let mut m = MetricsCollector::new();
+        let mut a = slot(0, 2, 2);
+        a.flows_disrupted = 4;
+        a.flows_replaced = 3;
+        a.nodes_down = 2;
+        let mut b = slot(1, 2, 2);
+        b.flows_disrupted = 2;
+        b.flows_replaced = 0;
+        b.nodes_down = 1;
+        m.push_slot(a);
+        m.push_slot(b);
+        let s = m.summarize();
+        assert_eq!(s.flows_disrupted, 6);
+        assert!((s.replacement_success_rate - 0.5).abs() < 1e-9);
+        assert_eq!(s.downtime_slots, 3);
     }
 
     #[test]

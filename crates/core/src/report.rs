@@ -65,13 +65,13 @@ pub fn summary_csv_row(policy: &str, x: f64, s: &RunSummary) -> String {
 pub fn slot_csv_header() -> &'static str {
     "policy,slot,arrivals,accepted,rejected,sla_violations,active_flows,live_instances,\
      mean_latency_ms,compute_cost,energy_cost,traffic_cost,deployment_cost,total_cost,\
-     mean_utilization"
+     mean_utilization,flows_disrupted,flows_replaced,nodes_down"
 }
 
 /// One CSV row for a slot record.
 pub fn slot_csv_row(policy: &str, r: &SlotRecord) -> String {
     format!(
-        "{policy},{},{},{},{},{},{},{},{:.4},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4}",
+        "{policy},{},{},{},{},{},{},{},{:.4},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4},{},{},{}",
         r.slot,
         r.arrivals,
         r.accepted,
@@ -86,6 +86,9 @@ pub fn slot_csv_row(policy: &str, r: &SlotRecord) -> String {
         r.deployment_cost,
         r.total_cost(),
         r.mean_utilization,
+        r.flows_disrupted,
+        r.flows_replaced,
+        r.nodes_down,
     )
 }
 
@@ -275,6 +278,12 @@ pub fn summary_json(s: &RunSummary) -> Value {
         "mean_decision_time_us",
         Value::from(s.mean_decision_time_us),
     );
+    map.insert("flows_disrupted", Value::from(s.flows_disrupted));
+    map.insert(
+        "replacement_success_rate",
+        Value::from(s.replacement_success_rate),
+    );
+    map.insert("downtime_slots", Value::from(s.downtime_slots));
     Value::Object(map)
 }
 
@@ -298,6 +307,9 @@ pub fn summary_from_json(v: &Value) -> Option<RunSummary> {
         mean_active_flows: f("mean_active_flows")?,
         mean_live_instances: f("mean_live_instances")?,
         mean_decision_time_us: f("mean_decision_time_us")?,
+        flows_disrupted: u("flows_disrupted")?,
+        replacement_success_rate: f("replacement_success_rate")?,
+        downtime_slots: u("downtime_slots")?,
     })
 }
 
@@ -459,6 +471,9 @@ mod tests {
             mean_active_flows: 30.0,
             mean_live_instances: 12.0,
             mean_decision_time_us: 15.0,
+            flows_disrupted: 3,
+            replacement_success_rate: 2.0 / 3.0,
+            downtime_slots: 7,
         }
     }
 
@@ -503,6 +518,9 @@ mod tests {
             traffic_cost: 0.1,
             deployment_cost: 0.1,
             mean_utilization: 0.2,
+            flows_disrupted: 1,
+            flows_replaced: 1,
+            nodes_down: 0,
         };
         assert_eq!(
             slot_csv_header().split(',').count(),

@@ -7,6 +7,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Finite stand-in latency (ms) for an infeasible or overloaded
+/// assignment: far above any real end-to-end latency in the evaluation
+/// topologies, yet small enough to keep metric averages and Q-targets
+/// bounded. Shared by metric accounting (the simulation's cached
+/// active-flow latencies) and reward shaping so the two paths can never
+/// disagree on what "broken" costs.
+pub const INFEASIBLE_LATENCY_MS: f64 = 10_000.0;
+
 /// Reward weights and normalization scales.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RewardConfig {
@@ -62,14 +70,11 @@ impl RewardConfig {
     /// Reward for placing one VNF: marginal latency (hop network latency +
     /// processing + queueing) and marginal monetary cost of the step.
     ///
-    /// Infinite marginal latency (overloaded queue) is clamped to a large
-    /// but finite penalty so Q-targets stay bounded.
+    /// Infinite marginal latency (overloaded queue) is clamped to the
+    /// shared [`INFEASIBLE_LATENCY_MS`] sentinel so the penalty stays
+    /// finite and Q-targets stay bounded.
     pub fn step_reward(&self, marginal_latency_ms: f64, marginal_cost_usd: f64) -> f32 {
-        let lat_norm = if marginal_latency_ms.is_finite() {
-            marginal_latency_ms / self.latency_scale_ms
-        } else {
-            10.0
-        };
+        let lat_norm = marginal_latency_ms.min(INFEASIBLE_LATENCY_MS) / self.latency_scale_ms;
         let cost_norm = marginal_cost_usd / self.cost_scale_usd;
         -(self.alpha_latency * lat_norm as f32 + self.beta_cost * cost_norm as f32)
     }

@@ -11,12 +11,13 @@ use crate::action::{ActionSpace, PlacementAction};
 use crate::config::Scenario;
 use crate::metrics::{MetricsCollector, RunSummary, SlotRecord};
 use crate::policy::{CandidateInfo, DecisionContext, DecisionFeedback, PlacementPolicy};
-use crate::reward::RewardConfig;
+use crate::reward::{RewardConfig, INFEASIBLE_LATENCY_MS};
 use crate::state::StateEncoder;
 use edgenet::capacity::CapacityLedger;
 use edgenet::node::NodeId;
 use edgenet::routing::RoutingTable;
 use edgenet::topology::Topology;
+use edgenet::view::{NetworkEvent, NetworkView};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sfc::chain::{ChainCatalog, ChainSpec};
@@ -25,7 +26,7 @@ use sfc::instance::{InstanceId, InstancePool};
 use sfc::placement::{assignment_latency, ChainAssignment};
 use sfc::request::{Request, RequestId};
 use sfc::vnf::VnfCatalog;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 use workload::trace::{generate_trace, Trace};
 
@@ -50,16 +51,18 @@ struct ActiveFlow {
     instances: Vec<InstanceId>,
     /// Per-instance arrival-rate contribution to release on departure.
     arrival_rate_rps: f64,
+    /// End-to-end latency cached at admission (or at the last network
+    /// event / re-placement). Avoids re-running `assignment_latency` for
+    /// every active flow every slot; the approximation ignores queueing
+    /// drift from flows joining/leaving shared instances between events.
+    latency_ms: f64,
 }
 
 /// The simulation: all mutable world state plus immutable catalogs.
 pub struct Simulation {
-    /// The network.
-    pub topology: Topology,
-    /// All-pairs routes over it.
-    pub routes: RoutingTable,
-    /// Per-node resource accounting.
-    pub ledger: CapacityLedger,
+    /// The network: topology + routes + capacity behind one versioned,
+    /// event-driven API.
+    pub network: NetworkView,
     /// Live VNF instances.
     pub pool: InstancePool,
     /// VNF type catalog.
@@ -75,6 +78,8 @@ pub struct Simulation {
     scenario: Scenario,
     active: BTreeMap<u64, ActiveFlow>,
     departures: BTreeMap<u64, Vec<RequestId>>,
+    /// Slot-keyed network events, consumed as slots advance.
+    event_timeline: BTreeMap<u64, Vec<NetworkEvent>>,
     slot: u64,
     deployment_cost_this_slot: f64,
     metrics: MetricsCollector,
@@ -128,11 +133,14 @@ impl Simulation {
         let topology = scenario
             .topology
             .build(&scenario.topology_builder, &mut topo_rng);
-        let routes = RoutingTable::build(&topology);
-        let ledger = CapacityLedger::for_topology(&topology);
-        let action_space = ActionSpace::new(topology.node_count());
+        let event_timeline =
+            scenario
+                .events
+                .materialize(&topology, scenario.horizon_slots, scenario.seed);
+        let network = NetworkView::new(topology);
+        let action_space = ActionSpace::new(network.topology().node_count());
         let encoder = StateEncoder::for_catalogs(
-            topology.node_count(),
+            network.topology().node_count(),
             &chains,
             // Phase features keyed to the diurnal period when present.
             match scenario.workload.pattern {
@@ -141,9 +149,7 @@ impl Simulation {
             },
         );
         Self {
-            topology,
-            routes,
-            ledger,
+            network,
             pool: InstancePool::new(),
             vnfs,
             chains,
@@ -153,6 +159,7 @@ impl Simulation {
             scenario: scenario.clone(),
             active: BTreeMap::new(),
             departures: BTreeMap::new(),
+            event_timeline,
             slot: 0,
             deployment_cost_this_slot: 0.0,
             metrics: MetricsCollector::new(),
@@ -162,6 +169,22 @@ impl Simulation {
     /// The scenario this simulation was built from.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The network topology (shorthand for `network.topology()`).
+    pub fn topology(&self) -> &Topology {
+        self.network.topology()
+    }
+
+    /// Current routes over the live network (shorthand for
+    /// `network.routes()`).
+    pub fn routes(&self) -> &RoutingTable {
+        self.network.routes()
+    }
+
+    /// Per-node resource accounting (shorthand for `network.ledger()`).
+    pub fn ledger(&self) -> &CapacityLedger {
+        self.network.ledger()
     }
 
     /// Current slot index.
@@ -184,11 +207,17 @@ impl Simulation {
     ) -> Vec<CandidateInfo> {
         let vnf = self.vnfs.get(chain.vnfs[position]);
         let slot_s = self.scenario.slot_seconds;
-        (0..self.topology.node_count())
+        let topology = self.network.topology();
+        let routes = self.network.routes();
+        (0..topology.node_count())
             .map(|i| {
                 let node_id = NodeId(i);
-                let node = self.topology.node(node_id);
-                let reachable = at_node == node_id || self.routes.reachable(at_node, node_id);
+                let node = topology.node(node_id);
+                // A dead node can neither host nor be routed to; a dead
+                // *source* leaves every candidate infeasible (the request
+                // can only be rejected until the site recovers).
+                let alive = self.network.node_alive(node_id) && self.network.node_alive(at_node);
+                let reachable = alive && (at_node == node_id || routes.reachable(at_node, node_id));
                 // Reuse: any instance of the type with queueing headroom.
                 let reusable = self
                     .pool
@@ -203,7 +232,11 @@ impl Simulation {
                         )
                     })
                     .min_by(|a, b| a.lambda_rps.partial_cmp(&b.lambda_rps).unwrap());
-                let can_spawn = self.ledger.fits(node_id, &vnf.demand).unwrap_or(false);
+                let can_spawn = self
+                    .network
+                    .ledger()
+                    .fits(node_id, &vnf.demand)
+                    .unwrap_or(false);
                 let feasible = reachable && (reusable.is_some() || can_spawn);
 
                 // Marginal latency: hop + fixed processing + queueing at the
@@ -211,7 +244,7 @@ impl Simulation {
                 let hop = if at_node == node_id {
                     0.0
                 } else {
-                    self.routes.latency_ms(at_node, node_id)
+                    routes.latency_ms(at_node, node_id)
                 };
                 let lambda_after = reusable
                     .map(|inst| inst.lambda_rps + chain.arrival_rate_rps)
@@ -235,7 +268,7 @@ impl Simulation {
                 }
                 let gb_lifetime = chain.traffic_gb * self.scenario.workload.mean_duration_slots;
                 cost += self.scenario.prices.traffic_cost_usd(
-                    self.topology.node(at_node),
+                    topology.node(at_node),
                     node,
                     if at_node == node_id { 0.0 } else { gb_lifetime },
                 );
@@ -246,7 +279,7 @@ impl Simulation {
                     reuse_available: reusable.is_some(),
                     marginal_latency_ms: marginal_latency,
                     marginal_cost_usd: cost,
-                    utilization: self.ledger.utilization_of(node_id).unwrap_or(1.0),
+                    utilization: self.network.ledger().utilization_of(node_id).unwrap_or(1.0),
                     is_cloud: node.is_cloud(),
                 }
             })
@@ -266,7 +299,7 @@ impl Simulation {
         let mut mask: Vec<bool> = candidates.iter().map(|c| c.feasible).collect();
         mask.push(true); // reject always valid
         let encoded_state = self.encoder.encode(
-            &self.ledger,
+            self.network.ledger(),
             &self.pool,
             &self.vnfs,
             chain,
@@ -276,6 +309,7 @@ impl Simulation {
             consumed_latency_ms,
             self.scenario.max_instance_utilization,
             self.slot,
+            self.network.health(),
             &candidates,
         );
         DecisionContext {
@@ -323,7 +357,8 @@ impl Simulation {
                 (id, false, 0.0)
             }
             None => {
-                self.ledger
+                self.network
+                    .ledger_mut()
                     .allocate(node, &vnf.demand)
                     .expect("engine only commits feasible placements");
                 let id = self.pool.spawn(vnf.id, node, self.slot);
@@ -348,7 +383,10 @@ impl Simulation {
             if spawned {
                 self.pool.retire(id).expect("spawned instance is now idle");
                 let demand = self.vnfs.get(vnf_type).demand;
-                self.ledger.release(node, &demand).expect("node exists");
+                self.network
+                    .ledger_mut()
+                    .release(node, &demand)
+                    .expect("node exists");
             }
         }
     }
@@ -435,7 +473,7 @@ impl Simulation {
                             request.source,
                             &self.pool,
                             &self.vnfs,
-                            &self.routes,
+                            self.network.routes(),
                         )
                         .expect("committed assignment is valid");
                         let latency_ms = breakdown.total_ms();
@@ -461,6 +499,11 @@ impl Simulation {
                                 request: request.clone(),
                                 instances: assignment.instances,
                                 arrival_rate_rps: chain.arrival_rate_rps,
+                                latency_ms: if latency_ms.is_finite() {
+                                    latency_ms
+                                } else {
+                                    INFEASIBLE_LATENCY_MS
+                                },
                             },
                         );
                         self.departures
@@ -509,96 +552,185 @@ impl Simulation {
             };
             self.pool.retire(id).expect("idle instance retires");
             let demand = self.vnfs.get(vnf_type).demand;
-            self.ledger.release(node, &demand).expect("node exists");
+            self.network
+                .ledger_mut()
+                .release(node, &demand)
+                .expect("node exists");
         }
     }
 
-    /// Per-slot operational costs.
-    fn slot_costs(&self) -> (f64, f64, f64) {
+    /// Applies the network events scheduled for the current slot. Node
+    /// failures evict every instance on the dead node and tear the flows
+    /// they served out of the active set; flows whose instances survived
+    /// but whose route was severed (a partition) are stranded and torn
+    /// out too. All disrupted flows are returned for re-placement.
+    /// Surviving flows get their cached latencies refreshed against the
+    /// changed routes.
+    fn apply_due_events(&mut self) -> Vec<ActiveFlow> {
+        let Some(events) = self.event_timeline.remove(&self.slot) else {
+            return Vec::new();
+        };
+        let mut downed: Vec<NodeId> = Vec::new();
+        for event in &events {
+            self.network.apply(event);
+            if let Some(node) = event.downed_node() {
+                downed.push(node);
+            }
+        }
+        // Evict every instance hosted on a dead node and return its
+        // capacity (the ledger stays consistent for eventual recovery).
+        let mut dead_instances: BTreeSet<InstanceId> = BTreeSet::new();
+        for &node in &downed {
+            for inst in self.pool.evict_node(node) {
+                let demand = self.vnfs.get(inst.vnf_type).demand;
+                self.network
+                    .ledger_mut()
+                    .release(node, &demand)
+                    .expect("node exists");
+                dead_instances.insert(inst.id);
+            }
+        }
+        // Tear disrupted flows out of the active set, releasing their load
+        // on surviving instances (which may then retire as idle).
+        let mut disrupted = Vec::new();
+        if !dead_instances.is_empty() {
+            let hit: Vec<u64> = self
+                .active
+                .iter()
+                .filter(|(_, f)| f.instances.iter().any(|i| dead_instances.contains(i)))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in hit {
+                let flow = self.active.remove(&id).expect("listed flow exists");
+                for inst_id in &flow.instances {
+                    if !dead_instances.contains(inst_id) {
+                        self.pool
+                            .remove_flow(*inst_id, flow.arrival_rate_rps)
+                            .expect("surviving instance exists");
+                    }
+                }
+                disrupted.push(flow);
+            }
+        }
+        // Routes (and queueing on surviving instances) changed: refresh
+        // the cached end-to-end latency of every surviving flow, and
+        // strand the ones whose path no longer exists.
+        for id in self.refresh_cached_latencies() {
+            let flow = self.active.remove(&id).expect("listed flow exists");
+            for inst_id in &flow.instances {
+                self.pool
+                    .remove_flow(*inst_id, flow.arrival_rate_rps)
+                    .expect("stranded flow's instances survived");
+            }
+            disrupted.push(flow);
+        }
+        disrupted
+    }
+
+    /// Recomputes every active flow's cached latency against the current
+    /// network (only called after events — the per-slot hot path reads the
+    /// cache instead of re-evaluating assignments). Returns the ids of
+    /// flows whose assignment is no longer routable at all (stranded by a
+    /// partition); an overloaded-but-routable flow is *not* stranded, it
+    /// just carries the [`INFEASIBLE_LATENCY_MS`] sentinel.
+    fn refresh_cached_latencies(&mut self) -> Vec<u64> {
+        let mut updates: Vec<(u64, f64)> = Vec::new();
+        let mut stranded: Vec<u64> = Vec::new();
+        for (&id, flow) in &self.active {
+            let chain = self.chains.get(flow.request.chain);
+            let assignment = ChainAssignment {
+                request: flow.request.id,
+                instances: flow.instances.clone(),
+            };
+            match assignment_latency(
+                &assignment,
+                chain,
+                flow.request.source,
+                &self.pool,
+                &self.vnfs,
+                self.network.routes(),
+            ) {
+                Ok(breakdown) => {
+                    let t = breakdown.total_ms();
+                    updates.push((
+                        id,
+                        if t.is_finite() {
+                            t
+                        } else {
+                            INFEASIBLE_LATENCY_MS
+                        },
+                    ));
+                }
+                // The only reachable error here is `Unroutable`: the
+                // instances exist and match the chain (they were
+                // validated at admission), so an error means the network
+                // no longer connects them.
+                Err(_) => stranded.push(id),
+            }
+        }
+        for (id, latency) in updates {
+            self.active.get_mut(&id).expect("listed flow").latency_ms = latency;
+        }
+        stranded
+    }
+
+    /// Per-slot operational costs plus the mean active-flow latency, in a
+    /// single pass over the active set (cost's traffic term and the
+    /// latency average used to be two separate full scans).
+    fn slot_costs_and_latency(&self) -> (f64, f64, f64, f64) {
         let slot_s = self.scenario.slot_seconds;
+        let topology = self.network.topology();
         // Compute: every live instance bills its CPU share.
         let compute: f64 = self
             .pool
             .iter()
             .map(|inst| {
-                let node = self.topology.node(inst.node);
+                let node = topology.node(inst.node);
                 let cpu = self.vnfs.get(inst.vnf_type).demand.cpu;
                 self.scenario.prices.compute_cost_usd(node, cpu, slot_s)
             })
             .sum();
-        // Energy: edge nodes bill their utilization-dependent power.
-        let energy: f64 = self
-            .topology
+        // Energy: live edge nodes bill their utilization-dependent power
+        // (a failed node is powered off and draws nothing).
+        let energy: f64 = topology
             .nodes()
             .iter()
-            .filter(|n| !n.is_cloud())
+            .filter(|n| !n.is_cloud() && self.network.node_alive(n.id))
             .map(|n| {
-                let u = self.ledger.utilization_of(n.id).unwrap_or(0.0);
+                let u = self.network.ledger().utilization_of(n.id).unwrap_or(0.0);
                 self.scenario.energy.cost_usd(n, u.min(1.0), slot_s)
             })
             .sum();
-        // Traffic: each active flow moves its chain's per-slot volume along
-        // source → VNF₁ → … → VNFₙ.
-        let traffic: f64 = self
-            .active
-            .values()
-            .map(|flow| {
-                let chain = self.chains.get(flow.request.chain);
-                let mut at = flow.request.source;
-                let mut cost = 0.0;
-                for &inst_id in &flow.instances {
-                    let node = self.pool.get(inst_id).expect("active instance").node;
-                    cost += self.scenario.prices.traffic_cost_usd(
-                        self.topology.node(at),
-                        self.topology.node(node),
-                        chain.traffic_gb,
-                    );
-                    at = node;
-                }
-                cost
-            })
-            .sum();
-        (compute, energy, traffic)
-    }
-
-    /// Mean current end-to-end latency over active flows.
-    fn mean_active_latency(&self) -> f64 {
-        if self.active.is_empty() {
-            return 0.0;
+        // One pass over active flows: traffic cost (chain's per-slot
+        // volume along source → VNF₁ → … → VNFₙ) + cached latency sum.
+        let mut traffic = 0.0;
+        let mut latency_sum = 0.0;
+        for flow in self.active.values() {
+            latency_sum += flow.latency_ms;
+            let chain = self.chains.get(flow.request.chain);
+            let mut at = flow.request.source;
+            for &inst_id in &flow.instances {
+                let node = self.pool.get(inst_id).expect("active instance").node;
+                traffic += self.scenario.prices.traffic_cost_usd(
+                    topology.node(at),
+                    topology.node(node),
+                    chain.traffic_gb,
+                );
+                at = node;
+            }
         }
-        let total: f64 = self
-            .active
-            .values()
-            .map(|flow| {
-                let chain = self.chains.get(flow.request.chain);
-                let assignment = ChainAssignment {
-                    request: flow.request.id,
-                    instances: flow.instances.clone(),
-                };
-                assignment_latency(
-                    &assignment,
-                    chain,
-                    flow.request.source,
-                    &self.pool,
-                    &self.vnfs,
-                    &self.routes,
-                )
-                .map(|b| {
-                    let t = b.total_ms();
-                    if t.is_finite() {
-                        t
-                    } else {
-                        10_000.0
-                    }
-                })
-                .unwrap_or(10_000.0)
-            })
-            .sum();
-        total / self.active.len() as f64
+        let mean_latency = if self.active.is_empty() {
+            0.0
+        } else {
+            latency_sum / self.active.len() as f64
+        };
+        (compute, energy, traffic, mean_latency)
     }
 
-    /// Advances one slot: departures, idle retirement, the slot's arrivals,
-    /// then cost accounting. Returns the slot record.
+    /// Advances one slot: departures, network events (failures evict
+    /// instances and send disrupted flows back through the policy for
+    /// re-placement), idle retirement, the slot's arrivals, then cost
+    /// accounting. Returns the slot record.
     pub fn advance_slot(
         &mut self,
         arrivals: &[Request],
@@ -606,8 +738,32 @@ impl Simulation {
         rng: &mut StdRng,
     ) -> SlotRecord {
         self.process_departures();
-        self.retire_idle_instances();
         self.deployment_cost_this_slot = 0.0;
+
+        // Network events fire after departures (a flow that leaves this
+        // slot cannot be disrupted) and before arrivals (new requests see
+        // the degraded network).
+        let disrupted = self.apply_due_events();
+        let flows_disrupted = disrupted.len() as u32;
+        let mut flows_replaced = 0u32;
+        for flow in disrupted {
+            let remaining = flow.request.departure_slot().saturating_sub(self.slot);
+            if remaining == 0 {
+                continue; // departures already ran; defensive only
+            }
+            // Re-placement rides the exact same policy path as an
+            // admission: same context, masks, rewards and feedback.
+            let retry = Request {
+                arrival_slot: self.slot,
+                duration_slots: remaining as u32,
+                ..flow.request
+            };
+            if let PlacementOutcome::Accepted { .. } = self.place_request(&retry, policy, rng) {
+                flows_replaced += 1;
+            }
+        }
+
+        self.retire_idle_instances();
 
         let mut accepted = 0u32;
         let mut rejected = 0u32;
@@ -624,7 +780,7 @@ impl Simulation {
             }
         }
 
-        let (compute, energy, traffic) = self.slot_costs();
+        let (compute, energy, traffic, mean_latency) = self.slot_costs_and_latency();
         let record = SlotRecord {
             slot: self.slot,
             arrivals: arrivals.len() as u32,
@@ -633,12 +789,15 @@ impl Simulation {
             sla_violations,
             active_flows: self.active.len() as u32,
             live_instances: self.pool.len() as u32,
-            mean_latency_ms: self.mean_active_latency(),
+            mean_latency_ms: mean_latency,
             compute_cost: compute,
             energy_cost: energy,
             traffic_cost: traffic,
             deployment_cost: self.deployment_cost_this_slot,
-            mean_utilization: self.ledger.mean_utilization(),
+            mean_utilization: self.network.ledger().mean_utilization(),
+            flows_disrupted,
+            flows_replaced,
+            nodes_down: self.network.down_node_count() as u32,
         };
         self.metrics.push_slot(record.clone());
         self.slot += 1;
@@ -657,7 +816,7 @@ impl Simulation {
                 .wrapping_add(seed_offset)
                 .wrapping_mul(0x2545_F491),
         );
-        let sites = self.topology.edge_nodes();
+        let sites = self.network.topology().edge_nodes();
         let trace = generate_trace(
             &scenario.workload,
             &sites,
@@ -749,7 +908,7 @@ mod tests {
         let req = request(0, 1, 0, 0, 2);
         s.advance_slot(std::slice::from_ref(&req), &mut policy, &mut rng);
         assert_eq!(s.active_flow_count(), 1);
-        let used_before = s.ledger.total_used_cpu();
+        let used_before = s.ledger().total_used_cpu();
         assert!(used_before > 0.0);
         // Advance past departure + idle grace.
         for _ in 0..10 {
@@ -757,7 +916,7 @@ mod tests {
         }
         assert_eq!(s.active_flow_count(), 0);
         assert_eq!(s.pool.len(), 0, "idle instances retired");
-        assert_eq!(s.ledger.total_used_cpu(), 0.0, "capacity returned");
+        assert_eq!(s.ledger().total_used_cpu(), 0.0, "capacity returned");
     }
 
     #[test]
@@ -787,7 +946,7 @@ mod tests {
         let outcome = s.place_request(&req, &mut policy, &mut rng);
         assert_eq!(outcome, PlacementOutcome::Rejected);
         assert_eq!(s.pool.len(), 0, "spawned instance rolled back");
-        assert_eq!(s.ledger.total_used_cpu(), 0.0, "capacity rolled back");
+        assert_eq!(s.ledger().total_used_cpu(), 0.0, "capacity rolled back");
         assert_eq!(s.active_flow_count(), 0);
     }
 
@@ -840,6 +999,173 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    fn scenario_with_timeline(events: Vec<crate::config::TimedEvent>) -> Scenario {
+        let mut s = Scenario::small_test();
+        s.events = crate::config::EventSchedule::Timeline(events);
+        s
+    }
+
+    fn down_at(slot: u64, node: usize) -> crate::config::TimedEvent {
+        crate::config::TimedEvent {
+            slot,
+            event: NetworkEvent::NodeDown { node: NodeId(node) },
+        }
+    }
+
+    #[test]
+    fn node_failure_evicts_instances_and_replaces_flows() {
+        // First-fit lands every instance on node 0 (lowest id) even for a
+        // request arriving at node 1; killing node 0 must evict them,
+        // disrupt the flow, and re-place it on a surviving node through
+        // the same policy path (the ingress at node 1 stays alive).
+        let scenario = scenario_with_timeline(vec![down_at(1, 0)]);
+        let mut s = Simulation::new(&scenario, RewardConfig::default());
+        let mut policy = FirstFitPolicy;
+        let mut rng = StdRng::seed_from_u64(5);
+        let req = request(0, 1, 1, 0, 30);
+        let r0 = s.advance_slot(std::slice::from_ref(&req), &mut policy, &mut rng);
+        assert_eq!(r0.accepted, 1);
+        assert_eq!(r0.nodes_down, 0);
+        assert!(s.pool.iter().all(|i| i.node == NodeId(0)));
+
+        let r1 = s.advance_slot(&[], &mut policy, &mut rng);
+        assert_eq!(r1.flows_disrupted, 1);
+        assert_eq!(r1.flows_replaced, 1, "3 healthy sites + cloud remain");
+        assert_eq!(r1.nodes_down, 1);
+        assert_eq!(s.active_flow_count(), 1);
+        assert!(
+            s.pool.iter().all(|i| i.node != NodeId(0)),
+            "no instance may survive on the dead node"
+        );
+        assert!(!s.network.node_alive(NodeId(0)));
+        // The re-placed flow still departs on schedule and the world
+        // drains clean afterwards.
+        for _ in 0..40 {
+            s.advance_slot(&[], &mut policy, &mut rng);
+        }
+        assert_eq!(s.active_flow_count(), 0);
+        assert_eq!(s.pool.len(), 0);
+        assert!(s.ledger().total_used_cpu().abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_source_forces_rejection_until_recovery() {
+        // With the request's source down, every candidate is infeasible:
+        // arrivals there must be rejected; after recovery they place again.
+        let scenario = scenario_with_timeline(vec![
+            down_at(0, 0),
+            crate::config::TimedEvent {
+                slot: 2,
+                event: NetworkEvent::NodeUp { node: NodeId(0) },
+            },
+        ]);
+        let mut s = Simulation::new(&scenario, RewardConfig::default());
+        let mut policy = FirstFitPolicy;
+        let mut rng = StdRng::seed_from_u64(6);
+        let r0 = s.advance_slot(&[request(0, 1, 0, 0, 5)], &mut policy, &mut rng);
+        assert_eq!(r0.rejected, 1, "dead ingress cannot be served");
+        let r1 = s.advance_slot(&[request(1, 1, 0, 1, 5)], &mut policy, &mut rng);
+        assert_eq!(r1.rejected, 1, "still down");
+        let r2 = s.advance_slot(&[request(2, 1, 0, 2, 5)], &mut policy, &mut rng);
+        assert_eq!(r2.accepted, 1, "recovered ingress serves again");
+        assert_eq!(r2.nodes_down, 0);
+    }
+
+    #[test]
+    fn replacement_failure_counts_disruption_without_replacement() {
+        // Kill every node except the flow's dead host... impossible to
+        // re-place: capacity shrinks to nothing. Use a cloudless 3-site
+        // ring-free metro and take down two of three sites; the remaining
+        // site cannot be reached from the dead source anyway.
+        let mut scenario =
+            scenario_with_timeline(vec![down_at(1, 0), down_at(1, 1), down_at(1, 2)]);
+        scenario.topology = crate::config::TopologySpec::Metro { sites: 3 };
+        scenario.topology_builder.with_cloud = false;
+        let mut s = Simulation::new(&scenario, RewardConfig::default());
+        let mut policy = FirstFitPolicy;
+        let mut rng = StdRng::seed_from_u64(7);
+        let r0 = s.advance_slot(&[request(0, 1, 0, 0, 20)], &mut policy, &mut rng);
+        assert_eq!(r0.accepted, 1);
+        let r1 = s.advance_slot(&[], &mut policy, &mut rng);
+        assert_eq!(r1.flows_disrupted, 1);
+        assert_eq!(r1.flows_replaced, 0, "nowhere left to go");
+        assert_eq!(r1.nodes_down, 3);
+        assert_eq!(s.active_flow_count(), 0);
+        let summary = s.metrics().summarize();
+        assert_eq!(summary.flows_disrupted, 1);
+        assert_eq!(summary.replacement_success_rate, 0.0);
+    }
+
+    #[test]
+    fn partition_strands_flows_even_when_their_instances_survive() {
+        // Ring of 6, no cloud: first-fit serves a request from node 2 on
+        // node 0. Killing nodes 1 and 3 isolates node 2 — the instances
+        // on node 0 survive but the flow's path is severed, so it must be
+        // disrupted and re-placed (locally, on node 2 itself).
+        let mut scenario = scenario_with_timeline(vec![down_at(1, 1), down_at(1, 3)]);
+        scenario.topology = crate::config::TopologySpec::Ring { sites: 6 };
+        scenario.topology_builder.with_cloud = false;
+        let mut s = Simulation::new(&scenario, RewardConfig::default());
+        let mut policy = FirstFitPolicy;
+        let mut rng = StdRng::seed_from_u64(9);
+        let r0 = s.advance_slot(&[request(0, 1, 2, 0, 20)], &mut policy, &mut rng);
+        assert_eq!(r0.accepted, 1);
+        assert!(s.pool.iter().all(|i| i.node == NodeId(0)));
+
+        let r1 = s.advance_slot(&[], &mut policy, &mut rng);
+        assert_eq!(r1.flows_disrupted, 1, "severed route strands the flow");
+        assert_eq!(r1.flows_replaced, 1, "re-placed on the isolated ingress");
+        assert_eq!(s.active_flow_count(), 1);
+        let hosts: Vec<NodeId> = s
+            .active
+            .values()
+            .flat_map(|f| f.instances.iter().map(|&i| s.pool.get(i).unwrap().node))
+            .collect();
+        assert!(
+            hosts.iter().all(|&n| n == NodeId(2)),
+            "only node 2 is reachable from the isolated ingress, got {hosts:?}"
+        );
+    }
+
+    #[test]
+    fn failed_nodes_draw_no_energy() {
+        // Same scenario twice; in one, a node dies with no load anywhere.
+        let healthy = {
+            let mut s = sim();
+            let mut policy = FirstFitPolicy;
+            let mut rng = StdRng::seed_from_u64(10);
+            s.advance_slot(&[], &mut policy, &mut rng);
+            s.advance_slot(&[], &mut policy, &mut rng).energy_cost
+        };
+        let degraded = {
+            let scenario = scenario_with_timeline(vec![down_at(1, 0)]);
+            let mut s = Simulation::new(&scenario, RewardConfig::default());
+            let mut policy = FirstFitPolicy;
+            let mut rng = StdRng::seed_from_u64(10);
+            s.advance_slot(&[], &mut policy, &mut rng);
+            s.advance_slot(&[], &mut policy, &mut rng).energy_cost
+        };
+        assert!(
+            degraded < healthy,
+            "a powered-off node must stop billing idle energy ({degraded} vs {healthy})"
+        );
+    }
+
+    #[test]
+    fn event_runs_are_deterministic_and_count_downtime() {
+        let scenario = Scenario::small_test().with_failures(0.02, 8.0);
+        let run = || {
+            let mut s = Simulation::new(&scenario, RewardConfig::default());
+            let mut policy = FirstFitPolicy;
+            let mut summary = s.run(&mut policy, 11);
+            summary.mean_decision_time_us = 0.0;
+            summary
+        };
+        let a = run();
+        assert_eq!(a, run(), "event runs must be bit-identical");
+        assert!(a.downtime_slots > 0, "2% over 60 slots should fail a node");
     }
 
     #[test]

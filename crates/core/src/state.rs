@@ -17,10 +17,13 @@
 //! | `+2` | remaining latency budget fraction |
 //! | `+3` | slot-phase sine |
 //! | `+4` | slot-phase cosine |
+//! | `+5` | live-node fraction (network health) |
+//! | `+6` | capacity-loss fraction (network health) |
 
 use crate::policy::CandidateInfo;
 use edgenet::capacity::CapacityLedger;
 use edgenet::node::NodeId;
+use edgenet::view::NetworkHealth;
 use serde::{Deserialize, Serialize};
 use sfc::chain::{ChainCatalog, ChainSpec};
 use sfc::instance::InstancePool;
@@ -80,7 +83,7 @@ impl StateEncoder {
 
     /// Dimension of the encoded vector.
     pub fn dim(&self) -> usize {
-        7 * self.config.node_count + self.config.chain_count + 5
+        7 * self.config.node_count + self.config.chain_count + 7
     }
 
     /// The encoder's configuration.
@@ -96,6 +99,8 @@ impl StateEncoder {
     ///   for position 0).
     /// * `consumed_latency_ms` — latency already accumulated by earlier
     ///   hops of this chain.
+    /// * `health` — aggregate network degradation (live-node and
+    ///   capacity-loss fractions) so policies can condition on failures.
     /// * `candidates` — per-node placement candidates (marginal latency /
     ///   cost features); must have exactly `node_count` entries.
     ///
@@ -115,6 +120,7 @@ impl StateEncoder {
         consumed_latency_ms: f64,
         max_instance_utilization: f64,
         slot: u64,
+        health: NetworkHealth,
         candidates: &[CandidateInfo],
     ) -> Vec<f32> {
         let n = self.config.node_count;
@@ -202,6 +208,10 @@ impl StateEncoder {
             v[base + 3] = angle.sin() as f32;
             v[base + 4] = angle.cos() as f32;
         }
+        // Network health: 1.0 / 0.0 on a fully healthy network, so the
+        // features are inert for static scenarios.
+        v[base + 5] = health.live_node_fraction.clamp(0.0, 1.0) as f32;
+        v[base + 6] = health.capacity_loss_fraction.clamp(0.0, 1.0) as f32;
         v
     }
 
@@ -256,9 +266,9 @@ mod tests {
     #[test]
     fn dimension_formula() {
         let f = fixture();
-        // 7*4 + 4 chains + 5 scalars = 37.
-        assert_eq!(f.encoder.dim(), 37);
-        assert_eq!(f.encoder.zero_state().len(), 37);
+        // 7*4 + 4 chains + 7 scalars = 39.
+        assert_eq!(f.encoder.dim(), 39);
+        assert_eq!(f.encoder.zero_state().len(), 39);
     }
 
     #[test]
@@ -279,6 +289,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         assert!((v[1] - 0.5).abs() < 1e-6, "cpu util of node 1");
@@ -304,6 +315,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         // Latencies 20/40/60/80 ms over a 200 ms scale.
@@ -335,6 +347,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &cands,
         );
         assert_eq!(v[5 * 4 + 2], 1.0);
@@ -358,6 +371,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         assert_eq!(v[2 * 4], 1.0, "fresh instance has headroom");
@@ -375,6 +389,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         assert_eq!(
@@ -402,6 +417,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         let spent = f.encoder.encode(
@@ -415,6 +431,7 @@ mod tests {
             chain.latency_budget_ms * 0.5,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         assert!((fresh[base + 2] - 1.0).abs() < 1e-6);
@@ -437,6 +454,7 @@ mod tests {
             chain.latency_budget_ms * 99.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         assert_eq!(v[base + 2], -1.0);
@@ -458,6 +476,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         let at25 = f.encoder.encode(
@@ -471,11 +490,56 @@ mod tests {
             0.0,
             0.9,
             25,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         assert!((at0[base + 3] - 0.0).abs() < 1e-6);
         assert!((at0[base + 4] - 1.0).abs() < 1e-6);
         assert!((at25[base + 3] - 1.0).abs() < 1e-6, "quarter period sine");
+    }
+
+    #[test]
+    fn health_features_reflect_degradation() {
+        let f = fixture();
+        let chain = f.chains.get(ChainId(0)).clone();
+        let base = 7 * 4 + 4;
+        let degraded = NetworkHealth {
+            live_node_fraction: 0.75,
+            capacity_loss_fraction: 0.4,
+        };
+        let v = f.encoder.encode(
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
+            degraded,
+            &candidates(4),
+        );
+        assert!((v[base + 5] - 0.75).abs() < 1e-6);
+        assert!((v[base + 6] - 0.4).abs() < 1e-6);
+        // Healthy networks encode as the inert (1, 0) pair.
+        let healthy = f.encoder.encode(
+            &f.ledger,
+            &f.pool,
+            &f.vnfs,
+            &chain,
+            0,
+            NodeId(0),
+            NodeId(0),
+            0.0,
+            0.9,
+            0,
+            NetworkHealth::healthy(),
+            &candidates(4),
+        );
+        assert_eq!(healthy[base + 5], 1.0);
+        assert_eq!(healthy[base + 6], 0.0);
     }
 
     #[test]
@@ -496,6 +560,7 @@ mod tests {
             10.0,
             0.9,
             77,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
         for (i, &x) in v.iter().enumerate() {
@@ -519,6 +584,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(4),
         );
     }
@@ -539,6 +605,7 @@ mod tests {
             0.0,
             0.9,
             0,
+            NetworkHealth::healthy(),
             &candidates(2),
         );
     }

@@ -157,6 +157,22 @@ impl CapacityLedger {
         Ok(())
     }
 
+    /// Replaces the tracked capacity of `node` (hardware degradation or a
+    /// recovered node rejoining at full strength). Usage is left
+    /// untouched: it may temporarily exceed the new capacity, in which
+    /// case nothing further fits until flows drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError::UnknownNode`] for out-of-range ids.
+    pub fn set_capacity(&mut self, node: NodeId, capacity: Resources) -> Result<(), CapacityError> {
+        if node.0 >= self.capacity.len() {
+            return Err(CapacityError::UnknownNode(node));
+        }
+        self.capacity[node.0] = capacity;
+        Ok(())
+    }
+
     /// Resets all usage to zero.
     pub fn clear(&mut self) {
         for u in &mut self.used {
@@ -257,6 +273,26 @@ mod tests {
         let mut l = ledger();
         l.allocate(NodeId(0), &Resources::new(4.0, 0.0)).unwrap(); // 50% dominant
         assert!((l.mean_utilization() - 0.25).abs() < 1e-9); // (0.5 + 0) / 2
+    }
+
+    #[test]
+    fn set_capacity_degrades_and_restores() {
+        let mut l = ledger();
+        l.allocate(NodeId(0), &Resources::new(6.0, 6.0)).unwrap();
+        // Degrade below current usage: nothing further fits, utilization
+        // clamps at 1, usage is preserved.
+        l.set_capacity(NodeId(0), Resources::new(4.0, 8.0)).unwrap();
+        assert!(!l.fits(NodeId(0), &Resources::new(0.1, 0.1)).unwrap());
+        assert!((l.utilization_of(NodeId(0)).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(l.used_of(NodeId(0)).unwrap(), Resources::new(6.0, 6.0));
+        // Restore: headroom returns.
+        l.set_capacity(NodeId(0), Resources::new(8.0, 16.0))
+            .unwrap();
+        assert!(l.fits(NodeId(0), &Resources::new(2.0, 4.0)).unwrap());
+        assert!(matches!(
+            l.set_capacity(NodeId(9), Resources::zero()),
+            Err(CapacityError::UnknownNode(_))
+        ));
     }
 
     #[test]

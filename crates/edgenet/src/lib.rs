@@ -5,6 +5,10 @@
 //! locations, links whose latencies derive from great-circle propagation
 //! delay, latency-weighted shortest-path routing, per-node capacity
 //! accounting, and energy/price models for the operator's cost function.
+//! [`view::NetworkView`] wraps topology + routes + capacity into one
+//! versioned API that stays consistent under dynamic [`view::NetworkEvent`]s
+//! (node failure/recovery, link latency shifts, capacity degradation),
+//! maintaining routes incrementally.
 //!
 //! The paper's evaluation is simulation-only; this crate is the faithful
 //! synthetic substitute — the relative latency/cost structure (edge close
@@ -42,6 +46,7 @@ pub mod node;
 pub mod price;
 pub mod routing;
 pub mod topology;
+pub mod view;
 
 /// Convenient glob-import of the common types.
 pub mod prelude {
@@ -51,6 +56,7 @@ pub mod prelude {
     pub use crate::link::Link;
     pub use crate::node::{Node, NodeBuilder, NodeId, NodeKind, Resources};
     pub use crate::price::PriceModel;
-    pub use crate::routing::{dijkstra, Path, RoutingTable};
+    pub use crate::routing::{dijkstra, dijkstra_filtered, Path, RoutingTable};
     pub use crate::topology::{Topology, TopologyBuilder};
+    pub use crate::view::{NetworkEvent, NetworkHealth, NetworkView};
 }

@@ -50,9 +50,33 @@ impl PartialOrd for HeapEntry {
 /// Single-source Dijkstra over link latency. Returns per-node
 /// `(latency, predecessor)`; unreachable nodes have `f64::INFINITY`.
 pub fn dijkstra(topology: &Topology, source: NodeId) -> Vec<(f64, Option<NodeId>)> {
+    let alive = vec![true; topology.node_count()];
+    dijkstra_filtered(topology, source, &alive, &|li| topology.link(li).latency_ms)
+}
+
+/// [`dijkstra`] over a degraded network: nodes with `alive[i] == false`
+/// are skipped entirely (a dead node neither originates, terminates nor
+/// forwards traffic) and each link's effective latency comes from
+/// `link_latency(link_index)` instead of its base value. A dead source
+/// yields an all-`INFINITY` row.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `alive` does not cover the
+/// topology.
+pub fn dijkstra_filtered(
+    topology: &Topology,
+    source: NodeId,
+    alive: &[bool],
+    link_latency: &dyn Fn(usize) -> f64,
+) -> Vec<(f64, Option<NodeId>)> {
     let n = topology.node_count();
     assert!(source.0 < n, "source {source} out of range");
+    assert_eq!(alive.len(), n, "alive mask must cover every node");
     let mut dist: Vec<(f64, Option<NodeId>)> = vec![(f64::INFINITY, None); n];
+    if !alive[source.0] {
+        return dist;
+    }
     dist[source.0] = (0.0, None);
     let mut heap = BinaryHeap::new();
     heap.push(HeapEntry {
@@ -64,7 +88,10 @@ pub fn dijkstra(topology: &Topology, source: NodeId) -> Vec<(f64, Option<NodeId>
             continue; // stale entry
         }
         for &(next, li) in topology.neighbours(node) {
-            let w = topology.link(li).latency_ms;
+            if !alive[next.0] {
+                continue;
+            }
+            let w = link_latency(li);
             let candidate = cost + w;
             if candidate < dist[next.0].0 {
                 dist[next.0] = (candidate, Some(node));
@@ -92,11 +119,27 @@ impl RoutingTable {
     /// Computes all-pairs shortest paths by running Dijkstra from every
     /// node (`O(n · (m + n) log n)` — fine for the topology sizes here).
     pub fn build(topology: &Topology) -> Self {
+        let alive = vec![true; topology.node_count()];
+        Self::build_filtered(topology, &alive, &|li| topology.link(li).latency_ms)
+    }
+
+    /// All-pairs shortest paths over a degraded network: dead nodes are
+    /// excluded (their rows and columns are `INFINITY`) and link latencies
+    /// come from `link_latency(link_index)`. See [`dijkstra_filtered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive` does not cover the topology.
+    pub fn build_filtered(
+        topology: &Topology,
+        alive: &[bool],
+        link_latency: &dyn Fn(usize) -> f64,
+    ) -> Self {
         let n = topology.node_count();
         let mut latency = Vec::with_capacity(n * n);
         let mut predecessor = Vec::with_capacity(n * n);
         for s in 0..n {
-            for (d, pred) in dijkstra(topology, NodeId(s)) {
+            for (d, pred) in dijkstra_filtered(topology, NodeId(s), alive, link_latency) {
                 latency.push(d);
                 predecessor.push(pred);
             }
@@ -127,6 +170,41 @@ impl RoutingTable {
     /// `true` if `d` is reachable from `s`.
     pub fn reachable(&self, s: NodeId, d: NodeId) -> bool {
         self.latency_ms(s, d).is_finite()
+    }
+
+    /// Predecessor of `d` on the shortest path from `s` (`None` at the
+    /// source itself or when unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn predecessor(&self, s: NodeId, d: NodeId) -> Option<NodeId> {
+        assert!(s.0 < self.n && d.0 < self.n, "routing lookup out of range");
+        self.predecessor[s.0 * self.n + d.0]
+    }
+
+    /// Replaces the whole Dijkstra tree rooted at `s` (incremental route
+    /// maintenance after a network event).
+    pub(crate) fn set_row(&mut self, s: NodeId, row: Vec<(f64, Option<NodeId>)>) {
+        assert_eq!(row.len(), self.n, "row must cover every node");
+        for (d, (lat, pred)) in row.into_iter().enumerate() {
+            self.latency[s.0 * self.n + d] = lat;
+            self.predecessor[s.0 * self.n + d] = pred;
+        }
+    }
+
+    /// Patches a single `(s, d)` entry (incremental route maintenance when
+    /// an event provably only changes the path *to* one node).
+    pub(crate) fn set_entry(&mut self, s: NodeId, d: NodeId, latency: f64, pred: Option<NodeId>) {
+        self.latency[s.0 * self.n + d.0] = latency;
+        self.predecessor[s.0 * self.n + d.0] = pred;
+    }
+
+    /// `true` if the undirected link `(a, b)` lies on the shortest-path
+    /// tree rooted at `s` (i.e. some cached path from `s` crosses it).
+    pub(crate) fn tree_uses_link(&self, s: NodeId, a: NodeId, b: NodeId) -> bool {
+        self.predecessor[s.0 * self.n + b.0] == Some(a)
+            || self.predecessor[s.0 * self.n + a.0] == Some(b)
     }
 
     /// Reconstructs the shortest path, or `None` if unreachable.

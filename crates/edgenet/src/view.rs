@@ -1,0 +1,525 @@
+//! A versioned, mutable view of the network: topology + routes + capacity
+//! behind one API, kept consistent under dynamic [`NetworkEvent`]s.
+//!
+//! The simulation engine used to hold `Topology`, `RoutingTable` and
+//! `CapacityLedger` as three loose, frozen fields. [`NetworkView`] owns
+//! all three and is the only place allowed to mutate them, so every
+//! consumer observes the same degraded network: dead nodes vanish from
+//! the routes, degraded links stretch every path crossing them, and
+//! shrunken nodes stop admitting new instances.
+//!
+//! Routes are maintained *incrementally*: an event recomputes only the
+//! single-source Dijkstra trees it can actually have changed (the trees
+//! that used a failed node or a shifted link, or that a revived node
+//! could improve) and patches the rest in O(1) per source. A property
+//! test asserts the result is latency-identical to a from-scratch
+//! [`RoutingTable::build_filtered`] after any event sequence.
+
+use crate::capacity::CapacityLedger;
+use crate::node::{NodeId, NodeKind, Resources};
+use crate::routing::{dijkstra_filtered, RoutingTable};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A dynamic change to the network, applied between slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetworkEvent {
+    /// The node fails: it stops hosting instances and routing traffic.
+    NodeDown {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// The node recovers at full (baseline) capacity.
+    NodeUp {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// The link between `a` and `b` shifts to `factor ×` its *base*
+    /// latency (congestion when `> 1`, an upgrade when `< 1`). Factors do
+    /// not compound: a later shift replaces the earlier one.
+    LinkLatencyShift {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Multiplier on the link's base latency, `> 0`.
+        factor: f64,
+    },
+    /// The node's capacity shrinks to `factor ×` its baseline (partial
+    /// hardware failure). Running instances keep their allocations; the
+    /// node just stops fitting new ones until usage drains or the node
+    /// recovers.
+    CapacityDegrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Multiplier on baseline capacity, in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl NetworkEvent {
+    /// The node this event takes down, if it is a failure.
+    pub fn downed_node(&self) -> Option<NodeId> {
+        match *self {
+            NetworkEvent::NodeDown { node } => Some(node),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate degradation signals for policy observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkHealth {
+    /// Fraction of all nodes currently alive, in `[0, 1]`.
+    pub live_node_fraction: f64,
+    /// Fraction of baseline *edge* CPU capacity currently unavailable
+    /// (down nodes count in full, degraded nodes partially), in `[0, 1]`.
+    pub capacity_loss_fraction: f64,
+}
+
+impl NetworkHealth {
+    /// A fully healthy network: every node up at baseline capacity.
+    pub fn healthy() -> Self {
+        Self {
+            live_node_fraction: 1.0,
+            capacity_loss_fraction: 0.0,
+        }
+    }
+}
+
+/// Topology + routing table + capacity ledger behind one mutable API.
+#[derive(Debug, Clone)]
+pub struct NetworkView {
+    topology: Topology,
+    routes: RoutingTable,
+    ledger: CapacityLedger,
+    alive: Vec<bool>,
+    /// Per-link latency multiplier relative to base latency.
+    link_factor: Vec<f64>,
+    /// Per-node capacity multiplier relative to baseline capacity.
+    capacity_factor: Vec<f64>,
+    /// Baseline (as-built) capacity per node.
+    base_capacity: Vec<Resources>,
+    version: u64,
+}
+
+impl NetworkView {
+    /// Wraps a topology into a fully healthy view: routes built fresh,
+    /// ledger empty, every node alive at baseline capacity.
+    pub fn new(topology: Topology) -> Self {
+        let routes = RoutingTable::build(&topology);
+        let ledger = CapacityLedger::for_topology(&topology);
+        let base_capacity: Vec<Resources> = topology.nodes().iter().map(|n| n.capacity).collect();
+        let alive = vec![true; topology.node_count()];
+        let link_factor = vec![1.0; topology.link_count()];
+        let capacity_factor = vec![1.0; topology.node_count()];
+        Self {
+            topology,
+            routes,
+            ledger,
+            alive,
+            link_factor,
+            capacity_factor,
+            base_capacity,
+            version: 0,
+        }
+    }
+
+    /// The underlying topology (immutable; liveness is tracked here, not
+    /// by removing nodes).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current routes over the live part of the network. Entries touching
+    /// a dead node are `INFINITY`.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// The capacity ledger.
+    pub fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (allocations/releases only — capacity
+    /// itself is event-driven through [`NetworkView::apply`]).
+    pub fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+
+    /// `true` if `node` is currently alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0]
+    }
+
+    /// Number of currently dead nodes.
+    pub fn down_node_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| !a).count()
+    }
+
+    /// Monotonically increasing counter, bumped once per state-changing
+    /// event (consumers use it to invalidate caches keyed on the network).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Effective latency of link `li` (base × current shift factor).
+    pub fn link_latency_ms(&self, li: usize) -> f64 {
+        self.topology.link(li).latency_ms * self.link_factor[li]
+    }
+
+    /// Aggregate health signals for policy observations.
+    pub fn health(&self) -> NetworkHealth {
+        let n = self.topology.node_count();
+        let live = self.alive.iter().filter(|&&a| a).count();
+        let mut base_edge_cpu = 0.0;
+        let mut live_edge_cpu = 0.0;
+        for node in self.topology.nodes() {
+            if node.kind != NodeKind::Edge {
+                continue;
+            }
+            base_edge_cpu += self.base_capacity[node.id.0].cpu;
+            if self.alive[node.id.0] {
+                live_edge_cpu +=
+                    self.base_capacity[node.id.0].cpu * self.capacity_factor[node.id.0];
+            }
+        }
+        NetworkHealth {
+            live_node_fraction: live as f64 / n as f64,
+            capacity_loss_fraction: if base_edge_cpu > 0.0 {
+                (1.0 - live_edge_cpu / base_edge_cpu).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn effective_capacity(&self, node: NodeId) -> Resources {
+        let base = self.base_capacity[node.0];
+        let f = self.capacity_factor[node.0];
+        Resources::new(base.cpu * f, base.mem * f)
+    }
+
+    /// A from-scratch routing table for the current degraded network —
+    /// the reference the incremental maintenance must match exactly.
+    pub fn rebuild_routes(&self) -> RoutingTable {
+        RoutingTable::build_filtered(&self.topology, &self.alive, &|li| self.link_latency_ms(li))
+    }
+
+    fn recompute_row(&mut self, s: NodeId) {
+        let row = dijkstra_filtered(&self.topology, s, &self.alive, &|li| {
+            self.topology.link(li).latency_ms * self.link_factor[li]
+        });
+        self.routes.set_row(s, row);
+    }
+
+    /// Applies one event; returns `true` if it changed any state (a
+    /// `NodeDown` on an already-dead node is a no-op, etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node ids, a `LinkLatencyShift` naming a
+    /// non-existent link, or a non-positive factor.
+    pub fn apply(&mut self, event: &NetworkEvent) -> bool {
+        let n = self.topology.node_count();
+        let changed = match *event {
+            NetworkEvent::NodeDown { node } => {
+                assert!(node.0 < n, "event node {node} out of range");
+                if !self.alive[node.0] {
+                    false
+                } else {
+                    self.alive[node.0] = false;
+                    self.routes_after_node_down(node);
+                    true
+                }
+            }
+            NetworkEvent::NodeUp { node } => {
+                assert!(node.0 < n, "event node {node} out of range");
+                if self.alive[node.0] {
+                    false
+                } else {
+                    self.alive[node.0] = true;
+                    // Recovered hardware rejoins at full baseline capacity.
+                    self.capacity_factor[node.0] = 1.0;
+                    self.ledger
+                        .set_capacity(node, self.base_capacity[node.0])
+                        .expect("ledger covers topology");
+                    self.routes_after_node_up(node);
+                    true
+                }
+            }
+            NetworkEvent::LinkLatencyShift { a, b, factor } => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "latency factor must be positive, got {factor}"
+                );
+                let li = self
+                    .topology
+                    .links()
+                    .iter()
+                    .position(|l| l.connects(a, b))
+                    .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+                if self.link_factor[li] == factor {
+                    false
+                } else {
+                    let old_w = self.link_latency_ms(li);
+                    self.link_factor[li] = factor;
+                    let new_w = self.link_latency_ms(li);
+                    self.routes_after_link_shift(a, b, old_w, new_w);
+                    true
+                }
+            }
+            NetworkEvent::CapacityDegrade { node, factor } => {
+                assert!(node.0 < n, "event node {node} out of range");
+                assert!(
+                    factor.is_finite() && factor > 0.0 && factor <= 1.0,
+                    "capacity factor must be in (0, 1], got {factor}"
+                );
+                if self.capacity_factor[node.0] == factor {
+                    false
+                } else {
+                    self.capacity_factor[node.0] = factor;
+                    self.ledger
+                        .set_capacity(node, self.effective_capacity(node))
+                        .expect("ledger covers topology");
+                    true
+                }
+            }
+        };
+        if changed {
+            self.version += 1;
+        }
+        changed
+    }
+
+    /// After `x` died: only trees that routed *through* `x` change. A tree
+    /// rooted at `s` routes through `x` iff `x` is some node's predecessor
+    /// (interior use); the path *to* `x` itself just becomes unreachable.
+    fn routes_after_node_down(&mut self, x: NodeId) {
+        let n = self.topology.node_count();
+        // The dead node's own tree is gone.
+        self.routes.set_row(x, vec![(f64::INFINITY, None); n]);
+        for s in (0..n).map(NodeId) {
+            if s == x || !self.alive[s.0] {
+                continue;
+            }
+            let used_as_interior = (0..n).any(|d| self.routes.predecessor(s, NodeId(d)) == Some(x));
+            if used_as_interior {
+                self.recompute_row(s);
+            } else {
+                self.routes.set_entry(s, x, f64::INFINITY, None);
+            }
+        }
+    }
+
+    /// After `x` revived: its own tree is rebuilt; another tree changes
+    /// only if a path through `x` beats an existing distance. Any improved
+    /// path enters and leaves `x` through live neighbours, so checking
+    /// `dist(s, nb) + w(nb, x) + w(x, nb')` against `dist(s, nb')` over
+    /// neighbour pairs is exact; when no improvement exists only the
+    /// entry for `x` itself needs patching.
+    fn routes_after_node_up(&mut self, x: NodeId) {
+        self.recompute_row(x);
+        let n = self.topology.node_count();
+        let neighbours: Vec<(NodeId, usize)> = self
+            .topology
+            .neighbours(x)
+            .iter()
+            .copied()
+            .filter(|&(nb, _)| self.alive[nb.0])
+            .collect();
+        for s in (0..n).map(NodeId) {
+            if s == x || !self.alive[s.0] {
+                continue;
+            }
+            // New distance to x: best live neighbour plus its link.
+            let mut best: Option<(f64, NodeId)> = None;
+            for &(nb, li) in &neighbours {
+                let via = self.routes.latency_ms(s, nb) + self.link_latency_ms(li);
+                if via.is_finite() && best.is_none_or(|(b, _)| via < b) {
+                    best = Some((via, nb));
+                }
+            }
+            let Some((dist_x, pred)) = best else {
+                self.routes.set_entry(s, x, f64::INFINITY, None);
+                continue;
+            };
+            let improves_others = neighbours
+                .iter()
+                .any(|&(nb, li)| dist_x + self.link_latency_ms(li) < self.routes.latency_ms(s, nb));
+            if improves_others {
+                self.recompute_row(s);
+            } else {
+                self.routes.set_entry(s, x, dist_x, Some(pred));
+            }
+        }
+    }
+
+    /// After link `(a, b)` shifted from `old_w` to `new_w`: trees that
+    /// cross the link must be recomputed either way; trees that do not
+    /// cross it can only change if the link got *cheaper* and now
+    /// undercuts an existing distance.
+    fn routes_after_link_shift(&mut self, a: NodeId, b: NodeId, old_w: f64, new_w: f64) {
+        if !self.alive[a.0] || !self.alive[b.0] {
+            return; // link unused while an endpoint is down
+        }
+        let n = self.topology.node_count();
+        for s in (0..n).map(NodeId) {
+            if !self.alive[s.0] {
+                continue;
+            }
+            let crosses = self.routes.tree_uses_link(s, a, b);
+            let undercuts = new_w < old_w
+                && (self.routes.latency_ms(s, a) + new_w < self.routes.latency_ms(s, b)
+                    || self.routes.latency_ms(s, b) + new_w < self.routes.latency_ms(s, a));
+            if crosses || undercuts {
+                self.recompute_row(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn view(sites: usize) -> NetworkView {
+        NetworkView::new(TopologyBuilder::default().metro(sites))
+    }
+
+    fn assert_routes_match_rebuild(v: &NetworkView) {
+        let fresh = v.rebuild_routes();
+        let n = v.topology().node_count();
+        for s in 0..n {
+            for d in 0..n {
+                let inc = v.routes().latency_ms(NodeId(s), NodeId(d));
+                let ref_ = fresh.latency_ms(NodeId(s), NodeId(d));
+                assert!(
+                    inc == ref_ || (inc.is_infinite() && ref_.is_infinite()),
+                    "route {s}->{d}: incremental {inc} vs rebuild {ref_}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_view_is_healthy_and_matches_plain_build() {
+        let v = view(5);
+        assert_eq!(v.health(), NetworkHealth::healthy());
+        assert_eq!(v.down_node_count(), 0);
+        assert_eq!(v.version(), 0);
+        assert_routes_match_rebuild(&v);
+    }
+
+    #[test]
+    fn node_down_cuts_routes_and_up_restores_them() {
+        let mut v = view(5);
+        let before = v.routes().latency_ms(NodeId(0), NodeId(1));
+        assert!(v.apply(&NetworkEvent::NodeDown { node: NodeId(1) }));
+        assert!(!v.node_alive(NodeId(1)));
+        assert!(v.routes().latency_ms(NodeId(0), NodeId(1)).is_infinite());
+        assert!(v.routes().latency_ms(NodeId(1), NodeId(0)).is_infinite());
+        assert_routes_match_rebuild(&v);
+        // Idempotent.
+        assert!(!v.apply(&NetworkEvent::NodeDown { node: NodeId(1) }));
+
+        assert!(v.apply(&NetworkEvent::NodeUp { node: NodeId(1) }));
+        assert_eq!(v.routes().latency_ms(NodeId(0), NodeId(1)), before);
+        assert_routes_match_rebuild(&v);
+        assert_eq!(v.version(), 2);
+    }
+
+    #[test]
+    fn ring_failure_forces_the_long_way_round() {
+        // On a ring, killing a neighbour reroutes traffic the other way.
+        let mut v = NetworkView::new(
+            TopologyBuilder {
+                with_cloud: false,
+                ..Default::default()
+            }
+            .ring(6),
+        );
+        let direct = v.routes().latency_ms(NodeId(0), NodeId(2));
+        v.apply(&NetworkEvent::NodeDown { node: NodeId(1) });
+        let detour = v.routes().latency_ms(NodeId(0), NodeId(2));
+        assert!(detour > direct, "path must detour around the dead node");
+        assert_routes_match_rebuild(&v);
+        // Killing node 3 as well splits {2} off from {0, 5, 4}.
+        v.apply(&NetworkEvent::NodeDown { node: NodeId(3) });
+        assert!(v.routes().latency_ms(NodeId(0), NodeId(2)).is_infinite());
+        assert_routes_match_rebuild(&v);
+    }
+
+    #[test]
+    fn link_shift_stretches_and_restores_paths() {
+        let mut v = view(4);
+        let before = v.routes().latency_ms(NodeId(0), NodeId(1));
+        assert!(v.apply(&NetworkEvent::LinkLatencyShift {
+            a: NodeId(0),
+            b: NodeId(1),
+            factor: 10.0,
+        }));
+        let after = v.routes().latency_ms(NodeId(0), NodeId(1));
+        assert!(after > before, "direct link now 10x: path must worsen");
+        assert_routes_match_rebuild(&v);
+        // Factors replace, not compound: back to 1.0 restores exactly.
+        v.apply(&NetworkEvent::LinkLatencyShift {
+            a: NodeId(0),
+            b: NodeId(1),
+            factor: 1.0,
+        });
+        assert_eq!(v.routes().latency_ms(NodeId(0), NodeId(1)), before);
+        assert_routes_match_rebuild(&v);
+    }
+
+    #[test]
+    fn capacity_degrade_shrinks_ledger_and_recovery_restores() {
+        let mut v = view(3);
+        let base = v.ledger().capacity_of(NodeId(0)).unwrap();
+        assert!(v.apply(&NetworkEvent::CapacityDegrade {
+            node: NodeId(0),
+            factor: 0.5,
+        }));
+        let degraded = v.ledger().capacity_of(NodeId(0)).unwrap();
+        assert!((degraded.cpu - base.cpu * 0.5).abs() < 1e-9);
+        assert!(v.health().capacity_loss_fraction > 0.0);
+        // Down-then-up resets the degradation.
+        v.apply(&NetworkEvent::NodeDown { node: NodeId(0) });
+        v.apply(&NetworkEvent::NodeUp { node: NodeId(0) });
+        assert_eq!(v.ledger().capacity_of(NodeId(0)).unwrap(), base);
+        assert_eq!(v.health(), NetworkHealth::healthy());
+    }
+
+    #[test]
+    fn health_tracks_down_nodes() {
+        let mut v = view(4); // 4 edge + cloud = 5 nodes
+        v.apply(&NetworkEvent::NodeDown { node: NodeId(2) });
+        let h = v.health();
+        assert!((h.live_node_fraction - 4.0 / 5.0).abs() < 1e-9);
+        assert!((h.capacity_loss_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link between")]
+    fn shift_on_missing_link_panics() {
+        // Ring: nodes 0 and 2 are not adjacent.
+        let mut v = NetworkView::new(
+            TopologyBuilder {
+                with_cloud: false,
+                ..Default::default()
+            }
+            .ring(5),
+        );
+        v.apply(&NetworkEvent::LinkLatencyShift {
+            a: NodeId(0),
+            b: NodeId(2),
+            factor: 2.0,
+        });
+    }
+}

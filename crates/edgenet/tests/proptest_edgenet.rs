@@ -90,6 +90,58 @@ proptest! {
     }
 
     #[test]
+    fn event_sequences_keep_routes_equal_to_fresh_rebuild(
+        n in 4usize..12,
+        seed in 0u64..5_000,
+        ops in proptest::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..24),
+    ) {
+        // Any fail → recover → degrade sequence must leave the view's
+        // incrementally maintained routes latency-identical to a
+        // from-scratch build over the same degraded network.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TopologyBuilder { with_cloud: seed % 2 == 0, ..Default::default() }
+            .waxman(n, 400.0, 0.7, 0.3, &mut rng);
+        let total = topo.node_count();
+        let links = topo.links().to_vec();
+        let mut view = NetworkView::new(topo);
+        let mut version = view.version();
+        for (kind, i, j) in ops {
+            let node = NodeId(i % total);
+            let event = match kind {
+                0 => NetworkEvent::NodeDown { node },
+                1 => NetworkEvent::NodeUp { node },
+                2 => {
+                    let link = &links[i % links.len()];
+                    // Alternate stretches and shrinks, including repeats
+                    // of the same factor (no-op path).
+                    let factor = [0.5, 1.0, 3.0, 8.0][j % 4];
+                    NetworkEvent::LinkLatencyShift { a: link.a, b: link.b, factor }
+                }
+                _ => NetworkEvent::CapacityDegrade {
+                    node,
+                    factor: [0.25, 0.5, 1.0][j % 3],
+                },
+            };
+            let changed = view.apply(&event);
+            let fresh = view.rebuild_routes();
+            for s in 0..total {
+                for d in 0..total {
+                    let inc = view.routes().latency_ms(NodeId(s), NodeId(d));
+                    let full = fresh.latency_ms(NodeId(s), NodeId(d));
+                    prop_assert!(
+                        inc == full || (inc.is_infinite() && full.is_infinite()),
+                        "after {event:?}: route {s}->{d} incremental {inc} vs rebuild {full}"
+                    );
+                }
+            }
+            // Version bumps exactly on state changes.
+            let expected = if changed { version + 1 } else { version };
+            prop_assert_eq!(view.version(), expected);
+            version = expected;
+        }
+    }
+
+    #[test]
     fn haversine_triangle_inequality(
         (lat1, lon1) in (-80.0f64..80.0, -170.0f64..170.0),
         (lat2, lon2) in (-80.0f64..80.0, -170.0f64..170.0),

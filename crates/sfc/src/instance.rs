@@ -167,6 +167,26 @@ impl InstancePool {
         counts
     }
 
+    /// Ids of every instance hosted at `node` (any type), ordered by id.
+    pub fn instances_on(&self, node: NodeId) -> Vec<InstanceId> {
+        self.instances
+            .values()
+            .filter(|i| i.node == node)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Force-removes every instance hosted at `node` (node failure): the
+    /// instances are destroyed regardless of the flows they serve — the
+    /// caller owns disrupting those flows. Returns the removed instances
+    /// ordered by id.
+    pub fn evict_node(&mut self, node: NodeId) -> Vec<Instance> {
+        let ids = self.instances_on(node);
+        ids.into_iter()
+            .map(|id| self.instances.remove(&id.0).expect("listed instance"))
+            .collect()
+    }
+
     /// Idle instances (zero flows), optionally older than `min_age_slots`.
     pub fn idle_instances(&self, current_slot: u64, min_age_slots: u64) -> Vec<InstanceId> {
         self.instances
@@ -262,6 +282,25 @@ mod tests {
         assert!(idle.contains(&old));
         assert!(!idle.contains(&fresh));
         assert!(!idle.contains(&busy));
+    }
+
+    #[test]
+    fn evict_node_removes_busy_instances_and_spares_others() {
+        let mut pool = InstancePool::new();
+        let dead_busy = pool.spawn(VnfTypeId(0), NodeId(1), 0);
+        let dead_idle = pool.spawn(VnfTypeId(1), NodeId(1), 0);
+        let survivor = pool.spawn(VnfTypeId(0), NodeId(2), 0);
+        pool.add_flow(dead_busy, 3.0).unwrap();
+        pool.add_flow(survivor, 1.0).unwrap();
+        assert_eq!(pool.instances_on(NodeId(1)), vec![dead_busy, dead_idle]);
+        let evicted = pool.evict_node(NodeId(1));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(evicted[0].id, dead_busy);
+        assert_eq!(evicted[0].flows, 1, "eviction ignores live flows");
+        assert_eq!(pool.len(), 1);
+        assert!(pool.get(survivor).is_some());
+        assert!(pool.instances_on(NodeId(1)).is_empty());
+        assert!(pool.evict_node(NodeId(1)).is_empty(), "idempotent");
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn main() {
     scenario.topology = TopologySpec::Metro { sites: 5 };
     let mut sim = Simulation::new(&scenario, RewardConfig::default());
     let names: Vec<String> = sim
-        .topology
+        .topology()
         .nodes()
         .iter()
         .map(|n| n.name.clone())

@@ -19,8 +19,8 @@ fn main() {
     let reward = RewardConfig::default();
     let probe = Simulation::new(&scenario, reward);
     let mut exhaustive = ExhaustivePolicy::new(
-        probe.topology.clone(),
-        probe.routes.clone(),
+        probe.topology().clone(),
+        probe.routes().clone(),
         probe.vnfs.clone(),
         scenario.prices,
         scenario.workload.mean_duration_slots * scenario.slot_seconds,

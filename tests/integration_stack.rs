@@ -45,7 +45,7 @@ fn capacity_is_conserved_through_a_full_run() {
     }
     assert_eq!(sim.active_flow_count(), 0);
     assert_eq!(sim.pool.len(), 0, "all instances retired after drain");
-    assert_eq!(sim.ledger.total_used_cpu(), 0.0, "no leaked capacity");
+    assert_eq!(sim.ledger().total_used_cpu(), 0.0, "no leaked capacity");
 }
 
 #[test]
@@ -155,7 +155,7 @@ fn trace_generation_feeds_engine_consistently() {
     // Arrivals counted by the engine must match the trace.
     let scenario = small_scenario(4.0);
     let sim = Simulation::new(&scenario, RewardConfig::default());
-    let sites = sim.topology.edge_nodes();
+    let sites = sim.topology().edge_nodes();
     let mut rng = StdRng::seed_from_u64(123);
     let trace = generate_trace(&scenario.workload, &sites, scenario.horizon_slots, &mut rng);
     let mut sim = Simulation::new(&scenario, RewardConfig::default());

@@ -70,7 +70,7 @@ proptest! {
         }
         prop_assert_eq!(sim.active_flow_count(), 0);
         prop_assert_eq!(sim.pool.len(), 0);
-        prop_assert!(sim.ledger.total_used_cpu().abs() < 1e-6);
+        prop_assert!(sim.ledger().total_used_cpu().abs() < 1e-6);
     }
 
     #[test]

@@ -38,7 +38,7 @@ bench_smoke() {
   local binaries=(
     fig1_convergence fig2_latency_vs_load fig3_cost_vs_load fig4_acceptance
     fig5_scalability fig6_chain_length fig7_dynamic fig8_optgap fig9_ablation
-    fig10_reward_weights fig11_pg_vs_dqn
+    fig10_reward_weights fig11_pg_vs_dqn fig12_resilience
     table1_params table2_hyperparams table3_summary
   )
   for bin in "${binaries[@]}"; do
@@ -48,8 +48,10 @@ bench_smoke() {
 
   echo "==> artifacts in $RESULTS_DIR:"
   ls -l "$RESULTS_DIR"
-  # The perf trajectory needs at least one machine-readable report.
+  # The perf trajectory needs at least one machine-readable report, and
+  # the resilience sweep must have produced its report.
   ls "$RESULTS_DIR"/BENCH_*.json >/dev/null
+  ls "$RESULTS_DIR"/BENCH_resilience.json >/dev/null
 }
 
 case "${1:-all}" in
