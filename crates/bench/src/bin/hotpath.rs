@@ -1,0 +1,415 @@
+//! hotpath — the tracked decision/train-step throughput benchmark.
+//!
+//! Measures the two rates every training run lives and dies by:
+//!
+//! * **decisions/sec** — greedy action selection (`DqnAgent::act_greedy`)
+//!   over realistic encoder states captured from a live simulation, and
+//! * **train-steps/sec** — full DQN learn steps (`DqnAgent::learn`:
+//!   replay sample, batch assembly, double-DQN targets, forward/backward,
+//!   clipped Adam update).
+//!
+//! Both are measured twice: once through the optimized scratch-buffer
+//! engine, and once through a faithful replica of the pre-optimization
+//! pipeline (allocate-per-call tensors, the naive zero-skip matmul kernels
+//! preserved in [`nn::tensor::reference`], cloned forward caches, cloned
+//! replay batches). The baseline is *recomputed in the same report*, so
+//! `BENCH_hotpath.json` always carries its own before/after evidence and
+//! the speedup is robust to whatever machine CI lands on.
+//!
+//! The report also soft-compares against the previous run's file (log
+//! only, never failing) so regressions are visible in CI output.
+
+use bench::{bench_scenario, dqn_config, out_path, scaled};
+use mano::prelude::*;
+use nn::optimizer::clip_global_norm;
+use nn::prelude::*;
+use nn::tensor::reference;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::dqn::{DqnAgent, DqnConfig};
+use rl::prelude::{masked_argmax, Replay, UniformReplay};
+use rl::qnet::QNetwork;
+use rl::schedule::EpsilonSchedule;
+use rl::transition::Transition;
+use std::time::Instant;
+
+/// Captured decision points: `(encoded_state, mask)` pairs from a live
+/// placement run, so both paths are timed on the states the engine
+/// actually produces (one-hot-heavy, ~half zeros).
+struct CapturePolicy {
+    inner: FirstFitPolicy,
+    contexts: Vec<(Vec<f32>, Vec<bool>)>,
+}
+
+impl PlacementPolicy for CapturePolicy {
+    fn name(&self) -> String {
+        "capture-first-fit".into()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext, rng: &mut StdRng) -> PlacementAction {
+        self.contexts
+            .push((ctx.encoded_state.clone(), ctx.mask.clone()));
+        self.inner.decide(ctx, rng)
+    }
+}
+
+/// The pre-optimization Q-network execution path, replayed against the
+/// *same parameters* as the optimized agent: per-call allocation
+/// everywhere, reference kernels (with their historical `a == 0.0` skip
+/// branch), materialized activation derivatives, cloned forward caches.
+struct BaselineNet {
+    layers: Vec<(Matrix, Matrix, Activation)>,
+}
+
+impl BaselineNet {
+    fn from_qnet(net: &QNetwork) -> Self {
+        match net {
+            QNetwork::Standard(mlp) => Self {
+                layers: mlp
+                    .layers()
+                    .iter()
+                    .map(|l| (l.weights().clone(), l.bias().clone(), l.activation()))
+                    .collect(),
+            },
+            QNetwork::Dueling { .. } => {
+                panic!("hotpath baseline models the standard MLP head (the headline config)")
+            }
+        }
+    }
+
+    /// Pre-optimization batched forward: fresh matrices per layer.
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for (w, b, act) in &self.layers {
+            let z = reference::add_row_broadcast(&reference::matmul(&a, w), b);
+            a = act.apply(&z);
+        }
+        a
+    }
+
+    /// Pre-optimization single-state path: `Matrix::row_vector` staging +
+    /// allocating forward + `to_vec` of the output row.
+    fn q_row(&self, state: &[f32]) -> Vec<f32> {
+        self.forward(&Matrix::row_vector(state)).row(0).to_vec()
+    }
+
+    fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
+        let q = self.q_row(state);
+        masked_argmax(&q, mask).expect("some action valid")
+    }
+
+    /// Pre-optimization training forward: clones the input and keeps the
+    /// pre-activation per layer, exactly like the old `Dense::forward_train`.
+    #[allow(clippy::type_complexity)]
+    fn forward_train(&self, x: &Matrix) -> (Matrix, Vec<(Matrix, Matrix)>) {
+        let mut a = x.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (w, b, act) in &self.layers {
+            let z = reference::add_row_broadcast(&reference::matmul(&a, w), b);
+            let out = act.apply(&z);
+            caches.push((a.clone(), z));
+            a = out;
+        }
+        (a, caches)
+    }
+
+    /// One pre-optimization learn step: cloned replay batch, fresh batch
+    /// matrices, allocating double-DQN targets, materialized derivative +
+    /// hadamard backward, fresh gradient matrices, clip, Adam.
+    fn learn(
+        &mut self,
+        target: &BaselineNet,
+        replay: &mut UniformReplay,
+        optimizer: &mut Optimizer,
+        config: &DqnConfig,
+        action_count: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let batch = replay.sample(config.batch_size, rng);
+        let n = batch.transitions.len();
+        let state_dim = self.layers[0].0.rows();
+
+        let mut states = Matrix::zeros(n, state_dim);
+        let mut next_states = Matrix::zeros(n, state_dim);
+        for (r, t) in batch.transitions.iter().enumerate() {
+            states.row_mut(r).copy_from_slice(&t.state);
+            next_states.row_mut(r).copy_from_slice(&t.next_state);
+        }
+
+        let q_next_target = target.forward(&next_states);
+        let q_next_online = self.forward(&next_states); // double DQN
+        let all_valid = vec![true; action_count];
+        let mut actions = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for (r, t) in batch.transitions.iter().enumerate() {
+            actions.push(t.action);
+            let future = if t.done {
+                0.0
+            } else {
+                let mask = t.next_mask().unwrap_or(&all_valid);
+                match masked_argmax(q_next_online.row(r), mask) {
+                    Some(a_star) => q_next_target.get(r, a_star),
+                    None => 0.0,
+                }
+            };
+            targets.push(t.reward + config.gamma * future);
+        }
+
+        let (pred, caches) = self.forward_train(&states);
+        let (loss, grad_out) = config
+            .loss
+            .evaluate_selected(&pred, &actions, &targets, None);
+
+        // Backward, fresh matrices per layer.
+        let mut grads: Vec<(Matrix, Matrix)> = Vec::with_capacity(self.layers.len());
+        let mut g = grad_out;
+        for ((w, _, act), (input, z)) in self.layers.iter().zip(caches.iter()).rev() {
+            let grad_z = g.hadamard(&act.derivative(z));
+            grads.push((reference::tmatmul(input, &grad_z), grad_z.col_sum()));
+            g = reference::matmul_t(&grad_z, w);
+        }
+        grads.reverse();
+
+        if let Some(limit) = config.max_grad_norm {
+            let mut refs: Vec<&mut Matrix> = Vec::with_capacity(grads.len() * 2);
+            for (gw, gb) in grads.iter_mut() {
+                refs.push(gw);
+                refs.push(gb);
+            }
+            clip_global_norm(&mut refs, limit);
+        }
+        optimizer.begin_step();
+        for (i, ((w, b, _), (gw, gb))) in self.layers.iter_mut().zip(grads.iter()).enumerate() {
+            optimizer.update(2 * i, w, gw);
+            optimizer.update(2 * i + 1, b, gb);
+        }
+        loss
+    }
+}
+
+fn rate(count: usize, secs: f64) -> f64 {
+    count as f64 / secs.max(1e-9)
+}
+
+fn json_rates(decisions_per_sec: f64, train_steps_per_sec: f64) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    m.insert(
+        "decisions_per_sec",
+        serde_json::Value::from(decisions_per_sec),
+    );
+    m.insert(
+        "train_steps_per_sec",
+        serde_json::Value::from(train_steps_per_sec),
+    );
+    serde_json::Value::Object(m)
+}
+
+fn main() {
+    let started = Instant::now();
+
+    // ---- Capture realistic decision contexts from a live simulation.
+    let mut scenario = bench_scenario(6.0);
+    scenario.horizon_slots = 10;
+    let mut sim = Simulation::new(&scenario, RewardConfig::default());
+    let state_dim = sim.encoder.dim();
+    let action_count = sim.action_space.len();
+    let mut capture = CapturePolicy {
+        inner: FirstFitPolicy,
+        contexts: Vec::new(),
+    };
+    sim.run(&mut capture, 0);
+    let contexts = capture.contexts;
+    assert!(
+        contexts.len() >= 16,
+        "capture run produced only {} decision contexts",
+        contexts.len()
+    );
+    eprintln!(
+        "[hotpath] captured {} contexts (state_dim={state_dim}, actions={action_count})",
+        contexts.len()
+    );
+
+    // ---- Agent under test: the evaluation's reference DQN (Table 2).
+    let config = DqnConfig {
+        learn_start: 1,
+        epsilon: EpsilonSchedule::Constant(0.0),
+        ..dqn_config()
+    };
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    let mut agent = DqnAgent::new(config.clone(), state_dim, action_count, &mut rng);
+
+    // Fill replay with transitions stitched from consecutive contexts.
+    let replay_fill = 2_048.min(config.replay_capacity);
+    let mut baseline_replay = UniformReplay::new(config.replay_capacity);
+    for i in 0..replay_fill {
+        let (s, m) = &contexts[i % contexts.len()];
+        let (s2, m2) = &contexts[(i + 1) % contexts.len()];
+        let action = m.iter().position(|&ok| ok).expect("some action valid");
+        let t = Transition::with_mask(
+            s.clone(),
+            action,
+            0.25 * (i % 5) as f32 - 0.5,
+            s2.clone(),
+            i % 9 == 0,
+            m2.clone(),
+        );
+        baseline_replay.push(t.clone());
+        agent.observe(t, &mut rng);
+    }
+
+    // ---- Baseline replica on the agent's exact parameters.
+    let baseline_net = BaselineNet::from_qnet(agent.online_network());
+
+    // Sanity: the two paths must agree decision-for-decision before any
+    // timing is trusted.
+    for (s, m) in &contexts {
+        assert_eq!(
+            agent.act_greedy(s, m),
+            baseline_net.act_greedy(s, m),
+            "optimized and baseline paths disagree — timing would be meaningless"
+        );
+    }
+
+    // ---- decisions/sec.
+    let decision_rounds = scaled(2_000, 200);
+    let total_decisions = decision_rounds * contexts.len();
+
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..decision_rounds {
+        for (s, m) in &contexts {
+            sink = sink.wrapping_add(agent.act_greedy(s, m));
+        }
+    }
+    let optimized_decisions = rate(total_decisions, t0.elapsed().as_secs_f64());
+
+    let t0 = Instant::now();
+    for _ in 0..decision_rounds {
+        for (s, m) in &contexts {
+            sink = sink.wrapping_add(baseline_net.act_greedy(s, m));
+        }
+    }
+    let baseline_decisions = rate(total_decisions, t0.elapsed().as_secs_f64());
+    std::hint::black_box(sink);
+
+    // ---- train-steps/sec.
+    let train_steps = scaled(600, 60);
+    let mut train_rng = StdRng::seed_from_u64(0xD1CE);
+    let t0 = Instant::now();
+    for _ in 0..train_steps {
+        std::hint::black_box(agent.learn(&mut train_rng));
+    }
+    let optimized_train = rate(train_steps, t0.elapsed().as_secs_f64());
+
+    let mut baseline_train_net = BaselineNet::from_qnet(agent.online_network());
+    let mut baseline_target_net = BaselineNet::from_qnet(agent.online_network());
+    let mut baseline_opt = config.optimizer.build();
+    let mut train_rng = StdRng::seed_from_u64(0xD1CE);
+    let t0 = Instant::now();
+    for step in 0..train_steps {
+        std::hint::black_box(baseline_train_net.learn(
+            &baseline_target_net,
+            &mut baseline_replay,
+            &mut baseline_opt,
+            &config,
+            action_count,
+            &mut train_rng,
+        ));
+        // Periodic hard target sync, exactly as the pre-optimization learn
+        // performed it (a full parameter clone every target_sync_every
+        // learn steps) — the optimized agent does the same internally.
+        if config.target_sync_every > 0
+            && (step as u64 + 1).is_multiple_of(config.target_sync_every)
+        {
+            baseline_target_net.layers = baseline_train_net.layers.clone();
+        }
+    }
+    let baseline_train = rate(train_steps, t0.elapsed().as_secs_f64());
+
+    let decision_speedup = optimized_decisions / baseline_decisions.max(1e-9);
+    let train_speedup = optimized_train / baseline_train.max(1e-9);
+    eprintln!(
+        "[hotpath] decisions/sec: {optimized_decisions:.0} vs baseline {baseline_decisions:.0} ({decision_speedup:.2}x)"
+    );
+    eprintln!(
+        "[hotpath] train-steps/sec: {optimized_train:.1} vs baseline {baseline_train:.1} ({train_speedup:.2}x)"
+    );
+
+    // ---- Soft comparison against the previous run (log-only: machine
+    // noise must never fail CI, it just has to be visible there).
+    let report_path = out_path("BENCH_hotpath.json");
+    if let Ok(text) = std::fs::read_to_string(&report_path) {
+        if let Ok(prev) = serde_json::from_str(&text) {
+            let prev: serde_json::Value = prev;
+            if let Some(prev_rate) = prev
+                .get("optimized")
+                .and_then(|o| o.get("decisions_per_sec"))
+                .and_then(serde_json::Value::as_f64)
+            {
+                let ratio = optimized_decisions / prev_rate.max(1e-9);
+                let verdict = if ratio < 0.9 {
+                    "REGRESSION (>10% slower — investigate)"
+                } else if ratio > 1.1 {
+                    "improvement"
+                } else {
+                    "steady"
+                };
+                eprintln!(
+                    "[hotpath] vs previous run: {ratio:.2}x decisions/sec ({verdict}; previous {prev_rate:.0}/s)"
+                );
+            }
+        }
+    } else {
+        eprintln!("[hotpath] no previous BENCH_hotpath.json — starting the trajectory");
+    }
+
+    // ---- Emit the report.
+    let mut cfg = serde_json::Map::new();
+    cfg.insert("state_dim", serde_json::Value::from(state_dim as u64));
+    cfg.insert("action_count", serde_json::Value::from(action_count as u64));
+    cfg.insert(
+        "batch_size",
+        serde_json::Value::from(config.batch_size as u64),
+    );
+    cfg.insert("contexts", serde_json::Value::from(contexts.len() as u64));
+    cfg.insert(
+        "decisions_timed",
+        serde_json::Value::from(total_decisions as u64),
+    );
+    cfg.insert(
+        "train_steps_timed",
+        serde_json::Value::from(train_steps as u64),
+    );
+
+    let mut speedup = serde_json::Map::new();
+    speedup.insert("decisions", serde_json::Value::from(decision_speedup));
+    speedup.insert("train_steps", serde_json::Value::from(train_speedup));
+
+    let mut doc = serde_json::Map::new();
+    doc.insert("schema_version", serde_json::Value::from(1u64));
+    doc.insert("name", serde_json::Value::from("hotpath"));
+    doc.insert("config", serde_json::Value::Object(cfg));
+    doc.insert("baseline", json_rates(baseline_decisions, baseline_train));
+    doc.insert(
+        "optimized",
+        json_rates(optimized_decisions, optimized_train),
+    );
+    doc.insert("speedup", serde_json::Value::Object(speedup));
+    doc.insert(
+        "wall_clock_secs",
+        serde_json::Value::from(started.elapsed().as_secs_f64()),
+    );
+
+    write_lines(
+        &report_path,
+        &[serde_json::to_string_pretty(&serde_json::Value::Object(
+            doc,
+        ))],
+    )
+    .expect("write BENCH_hotpath.json");
+    eprintln!(
+        "[hotpath] wrote {} ({:.2}s wall)",
+        report_path.display(),
+        started.elapsed().as_secs_f64()
+    );
+}

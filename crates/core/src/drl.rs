@@ -108,20 +108,22 @@ impl PlacementPolicy for DrlPolicy {
         }
     }
 
-    fn observe(&mut self, feedback: DecisionFeedback, rng: &mut StdRng) {
+    fn observe(&mut self, feedback: DecisionFeedback<'_>, rng: &mut StdRng) {
         self.current_episode_return += feedback.reward;
         if feedback.done {
             self.episode_returns.push(self.current_episode_return);
             self.current_episode_return = 0.0;
         }
         if self.training {
+            // The feedback borrows engine scratch; clone exactly what the
+            // replay buffer stores (evaluation mode copies nothing).
             let transition = Transition::with_mask(
-                feedback.state,
+                feedback.state.to_vec(),
                 feedback.action_index,
                 feedback.reward,
-                feedback.next_state,
+                feedback.next_state.to_vec(),
                 feedback.done,
-                feedback.next_mask,
+                feedback.next_mask.to_vec(),
             );
             self.agent.observe(transition, rng);
         }
@@ -159,25 +161,30 @@ mod tests {
         (p, rng)
     }
 
-    fn feedback(reward: f32, done: bool, actions: usize) -> DecisionFeedback {
-        DecisionFeedback {
-            state: vec![0.0; 4],
-            mask: vec![true; actions],
-            action_index: 0,
-            reward,
-            next_state: vec![0.0; 4],
-            next_mask: vec![true; actions],
-            done,
-        }
+    fn send_feedback(p: &mut DrlPolicy, rng: &mut StdRng, reward: f32, done: bool, actions: usize) {
+        let state = vec![0.0; 4];
+        let mask = vec![true; actions];
+        p.observe(
+            DecisionFeedback {
+                state: &state,
+                mask: &mask,
+                action_index: 0,
+                reward,
+                next_state: &state,
+                next_mask: &mask,
+                done,
+            },
+            rng,
+        );
     }
 
     #[test]
     fn episode_returns_accumulate_until_done() {
         let (mut p, mut rng) = policy(3);
-        p.observe(feedback(-1.0, false, 3), &mut rng);
-        p.observe(feedback(-0.5, false, 3), &mut rng);
-        p.observe(feedback(2.0, true, 3), &mut rng);
-        p.observe(feedback(1.0, true, 3), &mut rng);
+        send_feedback(&mut p, &mut rng, -1.0, false, 3);
+        send_feedback(&mut p, &mut rng, -0.5, false, 3);
+        send_feedback(&mut p, &mut rng, 2.0, true, 3);
+        send_feedback(&mut p, &mut rng, 1.0, true, 3);
         let returns = p.take_episode_returns();
         assert_eq!(returns.len(), 2);
         assert!((returns[0] - 0.5).abs() < 1e-6);
@@ -191,7 +198,7 @@ mod tests {
         p.set_training(false);
         assert!(!p.is_learning());
         for _ in 0..20 {
-            p.observe(feedback(0.0, true, 3), &mut rng);
+            send_feedback(&mut p, &mut rng, 0.0, true, 3);
         }
         assert_eq!(
             p.agent().replay_len(),
@@ -204,7 +211,7 @@ mod tests {
     fn training_mode_fills_replay() {
         let (mut p, mut rng) = policy(3);
         for _ in 0..10 {
-            p.observe(feedback(0.0, true, 3), &mut rng);
+            send_feedback(&mut p, &mut rng, 0.0, true, 3);
         }
         assert_eq!(p.agent().replay_len(), 10);
     }

@@ -97,11 +97,13 @@ impl PlacementPolicy for PgPolicy {
         }
     }
 
-    fn observe(&mut self, feedback: DecisionFeedback, _rng: &mut StdRng) {
+    fn observe(&mut self, feedback: DecisionFeedback<'_>, _rng: &mut StdRng) {
         if self.training {
+            // The feedback borrows engine scratch; clone what the episode
+            // record stores (evaluation mode copies nothing).
             self.agent.record_step(
-                feedback.state,
-                feedback.mask,
+                feedback.state.to_vec(),
+                feedback.mask.to_vec(),
                 feedback.action_index,
                 feedback.reward,
             );
@@ -236,14 +238,16 @@ mod tests {
         let mut policy = PgPolicy::new(fast_pg(), 8, 3, &mut rng);
         policy.set_training(false);
         assert!(!policy.is_learning());
+        let state = vec![0.0; 8];
+        let mask = vec![true; 3];
         policy.observe(
             DecisionFeedback {
-                state: vec![0.0; 8],
-                mask: vec![true; 3],
+                state: &state,
+                mask: &mask,
                 action_index: 0,
                 reward: 1.0,
-                next_state: vec![0.0; 8],
-                next_mask: vec![true; 3],
+                next_state: &state,
+                next_mask: &mask,
                 done: true,
             },
             &mut rng,

@@ -70,20 +70,25 @@ impl DecisionContext {
 }
 
 /// Learning signal delivered to a policy after a decision it made.
+///
+/// Feedback *borrows* the engine-owned observation buffers: the engine
+/// reuses them across decisions, so delivering feedback allocates nothing.
+/// A policy that stores experience (DRL replay) clones what it keeps —
+/// heuristics and frozen evaluation runs copy nothing at all.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DecisionFeedback {
+pub struct DecisionFeedback<'a> {
     /// Observation the decision was made from.
-    pub state: Vec<f32>,
+    pub state: &'a [f32],
     /// Valid-action mask the decision was made under.
-    pub mask: Vec<bool>,
+    pub mask: &'a [bool],
     /// Encoded action index taken.
     pub action_index: usize,
     /// Shaped reward.
     pub reward: f32,
     /// Observation at the next decision point (zeros when `done`).
-    pub next_state: Vec<f32>,
+    pub next_state: &'a [f32],
     /// Valid-action mask at the next decision point.
-    pub next_mask: Vec<bool>,
+    pub next_mask: &'a [bool],
     /// Whether this decision ended the request's placement episode.
     pub done: bool,
 }
@@ -104,7 +109,7 @@ pub trait PlacementPolicy {
 
     /// Receives the learning signal for a past decision. Heuristics ignore
     /// this.
-    fn observe(&mut self, feedback: DecisionFeedback, rng: &mut StdRng) {
+    fn observe(&mut self, feedback: DecisionFeedback<'_>, rng: &mut StdRng) {
         let _ = (feedback, rng);
     }
 

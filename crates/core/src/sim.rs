@@ -58,6 +58,31 @@ struct ActiveFlow {
     latency_ms: f64,
 }
 
+/// Engine-owned hot-path buffers, reused across every placement decision.
+///
+/// One decision used to allocate a candidate vector, an action mask, an
+/// encoded state, and (for terminal feedback) a fresh all-true mask plus a
+/// fresh zero state. All of those now live here: the recycled
+/// [`DecisionContext`] carries the working buffers, `prev_state`/`prev_mask`
+/// hold the previous decision's observation while its feedback is
+/// delivered, and the terminal mask/state are computed once. Policies
+/// receive borrowed views ([`DecisionFeedback`]) and clone only what they
+/// store.
+struct SimScratch {
+    /// Recycled decision context (its vectors keep their allocations
+    /// between episodes; the request/chain fields are refreshed per
+    /// episode).
+    ctx: Option<DecisionContext>,
+    /// Previous decision's encoded state, swapped out before refilling.
+    prev_state: Vec<f32>,
+    /// Previous decision's action mask, swapped out before refilling.
+    prev_mask: Vec<bool>,
+    /// Cached all-true mask (terminal next-state filler).
+    all_true: Vec<bool>,
+    /// Cached zero state (terminal next-state filler).
+    zero_state: Vec<f32>,
+}
+
 /// The simulation: all mutable world state plus immutable catalogs.
 pub struct Simulation {
     /// The network: topology + routes + capacity behind one versioned,
@@ -83,6 +108,7 @@ pub struct Simulation {
     slot: u64,
     deployment_cost_this_slot: f64,
     metrics: MetricsCollector,
+    scratch: SimScratch,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -148,6 +174,13 @@ impl Simulation {
                 _ => 0,
             },
         );
+        let scratch = SimScratch {
+            ctx: None,
+            prev_state: Vec::new(),
+            prev_mask: Vec::new(),
+            all_true: vec![true; action_space.len()],
+            zero_state: encoder.zero_state(),
+        };
         Self {
             network,
             pool: InstancePool::new(),
@@ -163,6 +196,7 @@ impl Simulation {
             slot: 0,
             deployment_cost_this_slot: 0.0,
             metrics: MetricsCollector::new(),
+            scratch,
         }
     }
 
@@ -205,85 +239,96 @@ impl Simulation {
         position: usize,
         at_node: NodeId,
     ) -> Vec<CandidateInfo> {
+        let mut out = Vec::new();
+        self.candidates_into(chain, position, at_node, &mut out);
+        out
+    }
+
+    /// [`Simulation::candidates`] into a caller-owned vector (cleared
+    /// first) — the allocation-free decision-loop form.
+    pub fn candidates_into(
+        &self,
+        chain: &ChainSpec,
+        position: usize,
+        at_node: NodeId,
+        out: &mut Vec<CandidateInfo>,
+    ) {
         let vnf = self.vnfs.get(chain.vnfs[position]);
         let slot_s = self.scenario.slot_seconds;
         let topology = self.network.topology();
         let routes = self.network.routes();
-        (0..topology.node_count())
-            .map(|i| {
-                let node_id = NodeId(i);
-                let node = topology.node(node_id);
-                // A dead node can neither host nor be routed to; a dead
-                // *source* leaves every candidate infeasible (the request
-                // can only be rejected until the site recovers).
-                let alive = self.network.node_alive(node_id) && self.network.node_alive(at_node);
-                let reachable = alive && (at_node == node_id || routes.reachable(at_node, node_id));
-                // Reuse: any instance of the type with queueing headroom.
-                let reusable = self
-                    .pool
-                    .instances_of(vnf.id, node_id)
-                    .into_iter()
-                    .filter(|inst| {
-                        admits_load(
-                            vnf.service_rate_rps,
-                            inst.lambda_rps,
-                            chain.arrival_rate_rps,
-                            self.scenario.max_instance_utilization,
-                        )
-                    })
-                    .min_by(|a, b| a.lambda_rps.partial_cmp(&b.lambda_rps).unwrap());
-                let can_spawn = self
-                    .network
-                    .ledger()
-                    .fits(node_id, &vnf.demand)
-                    .unwrap_or(false);
-                let feasible = reachable && (reusable.is_some() || can_spawn);
+        out.clear();
+        out.extend((0..topology.node_count()).map(|i| {
+            let node_id = NodeId(i);
+            let node = topology.node(node_id);
+            // A dead node can neither host nor be routed to; a dead
+            // *source* leaves every candidate infeasible (the request
+            // can only be rejected until the site recovers).
+            let alive = self.network.node_alive(node_id) && self.network.node_alive(at_node);
+            let reachable = alive && (at_node == node_id || routes.reachable(at_node, node_id));
+            // Reuse: any instance of the type with queueing headroom.
+            let reusable = self
+                .pool
+                .instances_of(vnf.id, node_id)
+                .into_iter()
+                .filter(|inst| {
+                    admits_load(
+                        vnf.service_rate_rps,
+                        inst.lambda_rps,
+                        chain.arrival_rate_rps,
+                        self.scenario.max_instance_utilization,
+                    )
+                })
+                .min_by(|a, b| a.lambda_rps.partial_cmp(&b.lambda_rps).unwrap());
+            let can_spawn = self
+                .network
+                .ledger()
+                .fits(node_id, &vnf.demand)
+                .unwrap_or(false);
+            let feasible = reachable && (reusable.is_some() || can_spawn);
 
-                // Marginal latency: hop + fixed processing + queueing at the
-                // post-admission arrival rate.
-                let hop = if at_node == node_id {
-                    0.0
-                } else {
-                    routes.latency_ms(at_node, node_id)
-                };
-                let lambda_after = reusable
-                    .map(|inst| inst.lambda_rps + chain.arrival_rate_rps)
-                    .unwrap_or(chain.arrival_rate_rps);
-                let marginal_latency = hop
-                    + vnf.base_processing_ms
-                    + mm1_sojourn_ms(vnf.service_rate_rps, lambda_after);
+            // Marginal latency: hop + fixed processing + queueing at the
+            // post-admission arrival rate.
+            let hop = if at_node == node_id {
+                0.0
+            } else {
+                routes.latency_ms(at_node, node_id)
+            };
+            let lambda_after = reusable
+                .map(|inst| inst.lambda_rps + chain.arrival_rate_rps)
+                .unwrap_or(chain.arrival_rate_rps);
+            let marginal_latency =
+                hop + vnf.base_processing_ms + mm1_sojourn_ms(vnf.service_rate_rps, lambda_after);
 
-                // Marginal cost: deployment + compute over the mean flow
-                // lifetime (only when a new instance is needed) + hop
-                // traffic over the lifetime.
-                let mean_duration_s = self.scenario.workload.mean_duration_slots * slot_s;
-                let mut cost = 0.0;
-                if reusable.is_none() {
-                    cost += self.scenario.prices.deployment_cost;
-                    cost += self.scenario.prices.compute_cost_usd(
-                        node,
-                        vnf.demand.cpu,
-                        mean_duration_s,
-                    );
-                }
-                let gb_lifetime = chain.traffic_gb * self.scenario.workload.mean_duration_slots;
-                cost += self.scenario.prices.traffic_cost_usd(
-                    topology.node(at_node),
-                    node,
-                    if at_node == node_id { 0.0 } else { gb_lifetime },
-                );
+            // Marginal cost: deployment + compute over the mean flow
+            // lifetime (only when a new instance is needed) + hop
+            // traffic over the lifetime.
+            let mean_duration_s = self.scenario.workload.mean_duration_slots * slot_s;
+            let mut cost = 0.0;
+            if reusable.is_none() {
+                cost += self.scenario.prices.deployment_cost;
+                cost +=
+                    self.scenario
+                        .prices
+                        .compute_cost_usd(node, vnf.demand.cpu, mean_duration_s);
+            }
+            let gb_lifetime = chain.traffic_gb * self.scenario.workload.mean_duration_slots;
+            cost += self.scenario.prices.traffic_cost_usd(
+                topology.node(at_node),
+                node,
+                if at_node == node_id { 0.0 } else { gb_lifetime },
+            );
 
-                CandidateInfo {
-                    node: node_id,
-                    feasible,
-                    reuse_available: reusable.is_some(),
-                    marginal_latency_ms: marginal_latency,
-                    marginal_cost_usd: cost,
-                    utilization: self.network.ledger().utilization_of(node_id).unwrap_or(1.0),
-                    is_cloud: node.is_cloud(),
-                }
-            })
-            .collect()
+            CandidateInfo {
+                node: node_id,
+                feasible,
+                reuse_available: reusable.is_some(),
+                marginal_latency_ms: marginal_latency,
+                marginal_cost_usd: cost,
+                utilization: self.network.ledger().utilization_of(node_id).unwrap_or(1.0),
+                is_cloud: node.is_cloud(),
+            }
+        }));
     }
 
     /// Builds the full decision context for one placement decision.
@@ -295,33 +340,80 @@ impl Simulation {
         at_node: NodeId,
         consumed_latency_ms: f64,
     ) -> DecisionContext {
-        let candidates = self.candidates(chain, position, at_node);
-        let mut mask: Vec<bool> = candidates.iter().map(|c| c.feasible).collect();
-        mask.push(true); // reject always valid
-        let encoded_state = self.encoder.encode(
-            self.network.ledger(),
-            &self.pool,
-            &self.vnfs,
-            chain,
-            position,
-            request.source,
-            at_node,
-            consumed_latency_ms,
-            self.scenario.max_instance_utilization,
-            self.slot,
-            self.network.health(),
-            &candidates,
-        );
-        DecisionContext {
-            encoded_state,
-            mask,
+        let mut ctx = DecisionContext {
+            encoded_state: Vec::new(),
+            mask: Vec::new(),
             request: request.clone(),
             chain: chain.clone(),
             position,
             at_node,
             consumed_latency_ms,
-            candidates,
+            candidates: Vec::new(),
             slot: self.slot,
+        };
+        self.fill_context(&mut ctx, chain, position, at_node, consumed_latency_ms);
+        ctx
+    }
+
+    /// Refills a decision context's per-decision fields in place: the
+    /// candidate list, the action mask, and the encoded state all land in
+    /// the context's reusable buffers (identical values to a freshly built
+    /// [`Simulation::decision_context`]). The episode-scoped fields
+    /// (`request`, `chain`) are the caller's responsibility.
+    fn fill_context(
+        &self,
+        ctx: &mut DecisionContext,
+        chain: &ChainSpec,
+        position: usize,
+        at_node: NodeId,
+        consumed_latency_ms: f64,
+    ) {
+        self.candidates_into(chain, position, at_node, &mut ctx.candidates);
+        ctx.mask.clear();
+        ctx.mask.extend(ctx.candidates.iter().map(|c| c.feasible));
+        ctx.mask.push(true); // reject always valid
+        self.encoder.encode_into(
+            self.network.ledger(),
+            &self.pool,
+            &self.vnfs,
+            chain,
+            position,
+            ctx.request.source,
+            at_node,
+            consumed_latency_ms,
+            self.scenario.max_instance_utilization,
+            self.slot,
+            self.network.health(),
+            &ctx.candidates,
+            &mut ctx.encoded_state,
+        );
+        ctx.position = position;
+        ctx.at_node = at_node;
+        ctx.consumed_latency_ms = consumed_latency_ms;
+        ctx.slot = self.slot;
+    }
+
+    /// Takes the recycled decision context (or builds a fresh one) and
+    /// re-targets it at `request`/`chain`. `clone_from` reuses the chain
+    /// buffers held from the previous episode.
+    fn take_ctx(&mut self, request: &Request, chain: &ChainSpec) -> DecisionContext {
+        match self.scratch.ctx.take() {
+            Some(mut ctx) => {
+                ctx.request = request.clone();
+                ctx.chain.clone_from(chain);
+                ctx
+            }
+            None => DecisionContext {
+                encoded_state: Vec::new(),
+                mask: Vec::new(),
+                request: request.clone(),
+                chain: chain.clone(),
+                position: 0,
+                at_node: request.source,
+                consumed_latency_ms: 0.0,
+                candidates: Vec::new(),
+                slot: self.slot,
+            },
         }
     }
 
@@ -392,6 +484,11 @@ impl Simulation {
     }
 
     /// Runs one request's placement episode under `policy`.
+    ///
+    /// The decision loop is allocation-free at steady state: the decision
+    /// context is recycled across episodes, its buffers are refilled in
+    /// place per decision, and feedback borrows engine-owned buffers
+    /// (policies clone only transitions they store).
     pub fn place_request(
         &mut self,
         request: &Request,
@@ -399,24 +496,32 @@ impl Simulation {
         rng: &mut StdRng,
     ) -> PlacementOutcome {
         let chain = self.chains.get(request.chain).clone();
+        let mut ctx = self.take_ctx(request, &chain);
         let mut placed: Vec<(InstanceId, bool)> = Vec::with_capacity(chain.len());
         let mut at_node = request.source;
         let mut consumed = 0.0f64;
         let mut deployment_cost = 0.0f64;
         // Feedback for the previous decision, waiting for its next-state.
-        let mut pending: Option<(Vec<f32>, Vec<bool>, usize, f32)> = None;
+        // The previous observation itself parks in `scratch.prev_*`.
+        let mut pending: Option<(usize, f32)> = None;
 
         for position in 0..chain.len() {
-            let ctx = self.decision_context(request, &chain, position, at_node, consumed);
-            if let Some((state, mask, action_index, reward)) = pending.take() {
+            if pending.is_some() {
+                // Keep the previous observation alive while the context
+                // buffers are refilled for the new decision.
+                std::mem::swap(&mut self.scratch.prev_state, &mut ctx.encoded_state);
+                std::mem::swap(&mut self.scratch.prev_mask, &mut ctx.mask);
+            }
+            self.fill_context(&mut ctx, &chain, position, at_node, consumed);
+            if let Some((action_index, reward)) = pending.take() {
                 policy.observe(
                     DecisionFeedback {
-                        state,
-                        mask,
+                        state: &self.scratch.prev_state,
+                        mask: &self.scratch.prev_mask,
                         action_index,
                         reward,
-                        next_state: ctx.encoded_state.clone(),
-                        next_mask: ctx.mask.clone(),
+                        next_state: &ctx.encoded_state,
+                        next_mask: &ctx.mask,
                         done: false,
                     },
                     rng,
@@ -438,27 +543,28 @@ impl Simulation {
                     self.rollback(&chain, &placed);
                     policy.observe(
                         DecisionFeedback {
-                            state: ctx.encoded_state,
-                            mask: ctx.mask,
+                            state: &ctx.encoded_state,
+                            mask: &ctx.mask,
                             action_index,
                             reward: self.reward_config.reject_reward(),
-                            next_state: self.encoder.zero_state(),
-                            next_mask: vec![true; self.action_space.len()],
+                            next_state: &self.scratch.zero_state,
+                            next_mask: &self.scratch.all_true,
                             done: true,
                         },
                         rng,
                     );
+                    self.scratch.ctx = Some(ctx);
                     return PlacementOutcome::Rejected;
                 }
                 PlacementAction::Place(node) => {
                     let info = &ctx.candidates[node.0];
-                    let (instance, spawned, dep_cost) = self.commit_step(&chain, position, node);
-                    deployment_cost += dep_cost;
-                    placed.push((instance, spawned));
                     let reward = self
                         .reward_config
                         .step_reward(info.marginal_latency_ms, info.marginal_cost_usd);
                     consumed += info.marginal_latency_ms;
+                    let (instance, spawned, dep_cost) = self.commit_step(&chain, position, node);
+                    deployment_cost += dep_cost;
+                    placed.push((instance, spawned));
                     at_node = node;
 
                     if position + 1 == chain.len() {
@@ -482,12 +588,12 @@ impl Simulation {
                             reward + self.reward_config.completion_reward(sla_violated);
                         policy.observe(
                             DecisionFeedback {
-                                state: ctx.encoded_state,
-                                mask: ctx.mask,
+                                state: &ctx.encoded_state,
+                                mask: &ctx.mask,
                                 action_index,
                                 reward: terminal_reward,
-                                next_state: self.encoder.zero_state(),
-                                next_mask: vec![true; self.action_space.len()],
+                                next_state: &self.scratch.zero_state,
+                                next_mask: &self.scratch.all_true,
                                 done: true,
                             },
                             rng,
@@ -511,12 +617,13 @@ impl Simulation {
                             .or_default()
                             .push(request.id);
                         self.metrics.push_admission_latency(latency_ms);
+                        self.scratch.ctx = Some(ctx);
                         return PlacementOutcome::Accepted {
                             latency_ms,
                             sla_violated,
                         };
                     }
-                    pending = Some((ctx.encoded_state, ctx.mask, action_index, reward));
+                    pending = Some((action_index, reward));
                 }
             }
         }

@@ -123,6 +123,50 @@ impl StateEncoder {
         health: NetworkHealth,
         candidates: &[CandidateInfo],
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.encode_into(
+            ledger,
+            pool,
+            vnfs,
+            chain,
+            position,
+            source,
+            at_node,
+            consumed_latency_ms,
+            max_instance_utilization,
+            slot,
+            health,
+            candidates,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`StateEncoder::encode`] into a caller-owned buffer: the vector is
+    /// cleared and zero-filled to [`StateEncoder::dim`], so a warm buffer
+    /// makes every encoding allocation-free. Identical writes in identical
+    /// order — the result matches [`StateEncoder::encode`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range for the configured sizes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_into(
+        &self,
+        ledger: &CapacityLedger,
+        pool: &InstancePool,
+        vnfs: &VnfCatalog,
+        chain: &ChainSpec,
+        position: usize,
+        source: NodeId,
+        at_node: NodeId,
+        consumed_latency_ms: f64,
+        max_instance_utilization: f64,
+        slot: u64,
+        health: NetworkHealth,
+        candidates: &[CandidateInfo],
+        out: &mut Vec<f32>,
+    ) {
         let n = self.config.node_count;
         assert!(
             source.0 < n && at_node.0 < n,
@@ -139,7 +183,9 @@ impl StateEncoder {
         );
         assert_eq!(candidates.len(), n, "candidate list must cover every node");
 
-        let mut v = vec![0.0f32; self.dim()];
+        let v = out;
+        v.clear();
+        v.resize(self.dim(), 0.0);
         // Per-node utilizations.
         for i in 0..n {
             let cap = ledger
@@ -212,7 +258,6 @@ impl StateEncoder {
         // features are inert for static scenarios.
         v[base + 5] = health.live_node_fraction.clamp(0.0, 1.0) as f32;
         v[base + 6] = health.capacity_loss_fraction.clamp(0.0, 1.0) as f32;
-        v
     }
 
     /// A zero vector of the right dimension (terminal next-state filler).

@@ -34,6 +34,101 @@ impl Activation {
         }
     }
 
+    /// Applies the activation element-wise in place (no allocation).
+    pub fn apply_assign(self, z: &mut Matrix) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => z.map_assign(|v| if v > 0.0 { v } else { 0.0 }),
+            Activation::LeakyRelu(alpha) => {
+                z.map_assign(move |v| if v > 0.0 { v } else { alpha * v })
+            }
+            Activation::Tanh => z.map_assign(f32::tanh),
+            Activation::Sigmoid => z.map_assign(sigmoid),
+        }
+    }
+
+    /// Applies the activation into `out`, reusing `out`'s allocation and
+    /// leaving the pre-activation `z` intact (the training forward pass
+    /// needs both). Fused single pass: `f(z)` writes straight into `out`
+    /// instead of copy-then-transform.
+    pub fn apply_into(self, z: &Matrix, out: &mut Matrix) {
+        out.reset_for_overwrite(z.rows(), z.cols());
+        let zs = z.as_slice();
+        let os = out.as_mut_slice();
+        match self {
+            Activation::Identity => os.copy_from_slice(zs),
+            Activation::Relu => {
+                for (o, &v) in os.iter_mut().zip(zs.iter()) {
+                    *o = if v > 0.0 { v } else { 0.0 };
+                }
+            }
+            Activation::LeakyRelu(alpha) => {
+                for (o, &v) in os.iter_mut().zip(zs.iter()) {
+                    *o = if v > 0.0 { v } else { alpha * v };
+                }
+            }
+            Activation::Tanh => {
+                for (o, &v) in os.iter_mut().zip(zs.iter()) {
+                    *o = v.tanh();
+                }
+            }
+            Activation::Sigmoid => {
+                for (o, &v) in os.iter_mut().zip(zs.iter()) {
+                    *o = sigmoid(v);
+                }
+            }
+        }
+    }
+
+    /// Writes `upstream ⊙ f'(z)` into `out` — the fused first step of the
+    /// backward pass, replacing the old materialize-derivative-then-hadamard
+    /// pair. Each element computes the identical `upstream * f'(z)` product,
+    /// so results are bit-identical to the two-step form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` and `upstream` shapes differ.
+    pub fn derivative_mul_into(self, z: &Matrix, upstream: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            z.shape(),
+            upstream.shape(),
+            "derivative_mul_into shape mismatch"
+        );
+        out.reset_for_overwrite(z.rows(), z.cols());
+        let zs = z.as_slice();
+        let us = upstream.as_slice();
+        let os = out.as_mut_slice();
+        match self {
+            Activation::Identity => {
+                for (o, &u) in os.iter_mut().zip(us.iter()) {
+                    *o = u * 1.0;
+                }
+            }
+            Activation::Relu => {
+                for ((o, &u), &zv) in os.iter_mut().zip(us.iter()).zip(zs.iter()) {
+                    *o = u * if zv > 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+            Activation::LeakyRelu(alpha) => {
+                for ((o, &u), &zv) in os.iter_mut().zip(us.iter()).zip(zs.iter()) {
+                    *o = u * if zv > 0.0 { 1.0 } else { alpha };
+                }
+            }
+            Activation::Tanh => {
+                for ((o, &u), &zv) in os.iter_mut().zip(us.iter()).zip(zs.iter()) {
+                    let t = zv.tanh();
+                    *o = u * (1.0 - t * t);
+                }
+            }
+            Activation::Sigmoid => {
+                for ((o, &u), &zv) in os.iter_mut().zip(us.iter()).zip(zs.iter()) {
+                    let s = sigmoid(zv);
+                    *o = u * (s * (1.0 - s));
+                }
+            }
+        }
+    }
+
     /// Derivative `f'(z)` element-wise, given the pre-activation `z`.
     pub fn derivative(self, z: &Matrix) -> Matrix {
         match self {

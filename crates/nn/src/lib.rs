@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::init::Init;
     pub use crate::linear::Dense;
     pub use crate::loss::Loss;
-    pub use crate::mlp::{Mlp, MlpConfig, TrainableMlp};
+    pub use crate::mlp::{Mlp, MlpConfig, TrainableMlp, Workspace};
     pub use crate::optimizer::{Optimizer, OptimizerConfig};
     pub use crate::tensor::Matrix;
 }

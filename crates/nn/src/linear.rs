@@ -10,25 +10,52 @@ use serde::{Deserialize, Serialize};
 ///
 /// `W` is `in_dim x out_dim`, `b` is `1 x out_dim`, and inputs are batched
 /// row-wise (`batch x in_dim`).
+///
+/// All per-call tensors of the training loop — the forward cache, the
+/// gradient accumulators, and the backward intermediates — live in
+/// long-lived buffers owned by the layer, so a steady-state
+/// forward/backward/update cycle performs no heap allocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     weights: Matrix,
     bias: Matrix,
     activation: Activation,
-    /// Gradient accumulators, same shape as the parameters.
+    /// Gradient accumulators, same shape as the parameters. Allocated once
+    /// at construction and zero-filled (never dropped) when cleared.
     #[serde(skip)]
-    grad_weights: Option<Matrix>,
+    grad_weights: Matrix,
     #[serde(skip)]
-    grad_bias: Option<Matrix>,
-    /// Cached forward tensors (input and pre-activation).
+    grad_bias: Matrix,
+    /// Whether the accumulators hold gradients from a backward pass.
     #[serde(skip)]
-    cache: Option<ForwardCache>,
+    has_grads: bool,
+    /// Persistent forward tensors (input and pre-activation), overwritten
+    /// in place by every [`Dense::forward_train_into`].
+    #[serde(skip)]
+    cache: ForwardCache,
+    /// Whether `cache` holds tensors a backward pass may consume.
+    #[serde(skip)]
+    cache_armed: bool,
+    /// Backward-pass intermediates, reused across calls.
+    #[serde(skip)]
+    scratch: BackwardScratch,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct ForwardCache {
     input: Matrix,
     pre_activation: Matrix,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BackwardScratch {
+    grad_z: Matrix,
+    grad_w: Matrix,
+    grad_b: Matrix,
+    /// Transposed weights, re-materialized per backward pass: `grad · Wᵀ`
+    /// through the row-streaming matmul kernel beats the dot-product form
+    /// by far, and the accumulation order (ascending `k`) is unchanged.
+    w_t: Matrix,
 }
 
 impl Dense {
@@ -44,14 +71,11 @@ impl Dense {
         init: Init,
         rng: &mut R,
     ) -> Self {
-        Self {
-            weights: init.weights(in_dim, out_dim, rng),
-            bias: init.bias(out_dim),
+        Self::from_parameters(
+            init.weights(in_dim, out_dim, rng),
+            init.bias(out_dim),
             activation,
-            grad_weights: None,
-            grad_bias: None,
-            cache: None,
-        }
+        )
     }
 
     /// Creates a layer from explicit parameters (used by tests and loaders).
@@ -66,13 +90,18 @@ impl Dense {
             weights.cols(),
             "bias width must match weight columns"
         );
+        let grad_weights = Matrix::zeros(weights.rows(), weights.cols());
+        let grad_bias = Matrix::zeros(1, bias.cols());
         Self {
             weights,
             bias,
             activation,
-            grad_weights: None,
-            grad_bias: None,
-            cache: None,
+            grad_weights,
+            grad_bias,
+            has_grads: false,
+            cache: ForwardCache::default(),
+            cache_armed: false,
+            scratch: BackwardScratch::default(),
         }
     }
 
@@ -112,20 +141,42 @@ impl Dense {
     ///
     /// Panics if `input.cols() != in_dim`.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        let z = input.matmul(&self.weights).add_row_broadcast(&self.bias);
-        self.activation.apply(&z)
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Inference forward pass into a caller-owned buffer: matmul, bias
+    /// broadcast, and activation all land in `out` with no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != in_dim`.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, out);
+        out.add_row_broadcast_assign(&self.bias);
+        self.activation.apply_assign(out);
     }
 
     /// Training forward pass: caches the input and pre-activation so a
     /// subsequent [`Dense::backward`] can compute gradients.
     pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
-        let z = input.matmul(&self.weights).add_row_broadcast(&self.bias);
-        let out = self.activation.apply(&z);
-        self.cache = Some(ForwardCache {
-            input: input.clone(),
-            pre_activation: z,
-        });
+        let mut out = Matrix::default();
+        self.forward_train_into(input, &mut out);
         out
+    }
+
+    /// Training forward pass into a caller-owned buffer. The input and
+    /// pre-activation are copied into the layer's persistent cache, so the
+    /// whole call is allocation-free at steady state.
+    pub fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        self.cache.input.copy_from(input);
+        input.matmul_into(&self.weights, &mut self.cache.pre_activation);
+        self.cache
+            .pre_activation
+            .add_row_broadcast_assign(&self.bias);
+        self.activation.apply_into(&self.cache.pre_activation, out);
+        self.cache_armed = true;
     }
 
     /// Backward pass. `grad_output` is dL/da for this layer's output;
@@ -136,48 +187,132 @@ impl Dense {
     ///
     /// Panics if called without a preceding [`Dense::forward_train`].
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self
-            .cache
-            .take()
-            .expect("Dense::backward called without a cached forward_train pass");
-        // dL/dz = dL/da ⊙ f'(z)
-        let grad_z = grad_output.hadamard(&self.activation.derivative(&cache.pre_activation));
-        // dL/dW = xᵀ · dL/dz ; dL/db = column-sum(dL/dz) ; dL/dx = dL/dz · Wᵀ
-        let gw = cache.input.tmatmul(&grad_z);
-        let gb = grad_z.col_sum();
-        match (&mut self.grad_weights, &mut self.grad_bias) {
-            (Some(acc_w), Some(acc_b)) => {
-                acc_w.add_scaled_assign(&gw, 1.0);
-                acc_b.add_scaled_assign(&gb, 1.0);
-            }
-            _ => {
-                self.grad_weights = Some(gw);
-                self.grad_bias = Some(gb);
-            }
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    /// Backward pass writing dL/dx into a caller-owned buffer. Every
+    /// intermediate (dL/dz, dW, db) lives in the layer's reusable scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`Dense::forward_train`].
+    pub fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        self.backward_params(grad_output);
+        // dL/dx = dL/dz · Wᵀ, via a materialized transpose so the product
+        // runs on the vectorized row-streaming kernel (same ascending-`k`
+        // accumulation as the dot-product form — bit-identical).
+        let BackwardScratch { grad_z, w_t, .. } = &mut self.scratch;
+        self.weights.transpose_into(w_t);
+        grad_z.matmul_into(w_t, grad_input);
+    }
+
+    /// Backward pass that accumulates parameter gradients but skips
+    /// dL/dx entirely — for the network's first layer, whose input
+    /// gradient no caller consumes (it saves the largest matmul of the
+    /// backward chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`Dense::forward_train`].
+    pub fn backward_params_only(&mut self, grad_output: &Matrix) {
+        self.backward_params(grad_output);
+    }
+
+    /// Shared core: dL/dz, dL/dW, dL/db into scratch + accumulators.
+    fn backward_params(&mut self, grad_output: &Matrix) {
+        assert!(
+            self.cache_armed,
+            "Dense::backward called without a cached forward_train pass"
+        );
+        self.cache_armed = false;
+        let BackwardScratch {
+            grad_z,
+            grad_w,
+            grad_b,
+            ..
+        } = &mut self.scratch;
+        // dL/dz = dL/da ⊙ f'(z), fused.
+        self.activation
+            .derivative_mul_into(&self.cache.pre_activation, grad_output, grad_z);
+        // dL/dW = xᵀ · dL/dz ; dL/db = column-sum(dL/dz)
+        self.cache.input.tmatmul_into(grad_z, grad_w);
+        grad_z.col_sum_into(grad_b);
+        if self.has_grads {
+            self.grad_weights.add_scaled_assign(grad_w, 1.0);
+            self.grad_bias.add_scaled_assign(grad_b, 1.0);
+        } else {
+            self.grad_weights.copy_from(grad_w);
+            self.grad_bias.copy_from(grad_b);
+            self.has_grads = true;
         }
-        grad_z.matmul_t(&self.weights)
     }
 
     /// Removes and returns accumulated `(dW, db)` gradients, resetting the
     /// accumulators. Returns zero matrices if no backward pass happened.
     pub fn take_gradients(&mut self) -> (Matrix, Matrix) {
-        let gw = self
-            .grad_weights
-            .take()
-            .unwrap_or_else(|| Matrix::zeros(self.weights.rows(), self.weights.cols()));
-        let gb = self
-            .grad_bias
-            .take()
-            .unwrap_or_else(|| Matrix::zeros(1, self.bias.cols()));
-        (gw, gb)
+        if self.has_grads {
+            self.has_grads = false;
+            let gw = self.grad_weights.clone();
+            let gb = self.grad_bias.clone();
+            self.grad_weights.fill(0.0);
+            self.grad_bias.fill(0.0);
+            (gw, gb)
+        } else {
+            (
+                Matrix::zeros(self.weights.rows(), self.weights.cols()),
+                Matrix::zeros(1, self.bias.cols()),
+            )
+        }
     }
 
     /// Peeks at accumulated gradients without clearing them.
     pub fn gradients(&self) -> Option<(&Matrix, &Matrix)> {
-        match (&self.grad_weights, &self.grad_bias) {
-            (Some(w), Some(b)) => Some((w, b)),
-            _ => None,
+        if self.has_grads {
+            Some((&self.grad_weights, &self.grad_bias))
+        } else {
+            None
         }
+    }
+
+    /// Keeps the accumulators shaped like the parameters (they start empty
+    /// after deserialization, whose skip-fields default to `0 x 0`).
+    fn ensure_grad_shapes(&mut self) {
+        if self.grad_weights.shape() != self.weights.shape() {
+            self.grad_weights
+                .reset_zeroed(self.weights.rows(), self.weights.cols());
+        }
+        if self.grad_bias.shape() != self.bias.shape() {
+            self.grad_bias.reset_zeroed(1, self.bias.cols());
+        }
+    }
+
+    /// Mutable access to both accumulators (shape-ensured) for in-place
+    /// gradient clipping.
+    pub(crate) fn grads_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        self.ensure_grad_shapes();
+        (&mut self.grad_weights, &mut self.grad_bias)
+    }
+
+    /// Parameters and accumulated gradients together, for in-place
+    /// optimizer updates: `(weights, bias, grad_weights, grad_bias)`.
+    pub(crate) fn params_grads(&mut self) -> (&mut Matrix, &mut Matrix, &Matrix, &Matrix) {
+        self.ensure_grad_shapes();
+        (
+            &mut self.weights,
+            &mut self.bias,
+            &self.grad_weights,
+            &self.grad_bias,
+        )
+    }
+
+    /// Zero-fills the accumulators in place (the allocation-free sibling of
+    /// [`Dense::take_gradients`]).
+    pub(crate) fn clear_grads(&mut self) {
+        self.has_grads = false;
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
     }
 
     /// Applies a parameter delta in place: `W += dw`, `b += db`.

@@ -72,6 +72,26 @@ impl Loss {
         targets: &[f32],
         weights: Option<&[f32]>,
     ) -> (f32, Matrix) {
+        let mut grad = Matrix::default();
+        let l = self.evaluate_selected_into(prediction, selected, targets, weights, &mut grad);
+        (l, grad)
+    }
+
+    /// [`Loss::evaluate_selected`] writing the gradient into a caller-owned
+    /// buffer (allocation-free once the buffer is warm). Returns the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the batch size, a column index is out
+    /// of range, or the batch is empty.
+    pub fn evaluate_selected_into(
+        self,
+        prediction: &Matrix,
+        selected: &[usize],
+        targets: &[f32],
+        weights: Option<&[f32]>,
+        grad: &mut Matrix,
+    ) -> f32 {
         let n = prediction.rows();
         assert!(n > 0, "loss on empty batch");
         assert_eq!(selected.len(), n, "selected length must equal batch size");
@@ -80,7 +100,7 @@ impl Loss {
             assert_eq!(w.len(), n, "weights length must equal batch size");
         }
         let mut total = 0.0f64;
-        let mut grad = Matrix::zeros(n, prediction.cols());
+        grad.reset_zeroed(n, prediction.cols());
         for r in 0..n {
             let c = selected[r];
             assert!(
@@ -93,7 +113,7 @@ impl Loss {
             total += (w * l) as f64;
             grad.set(r, c, w * g / n as f32);
         }
-        ((total / n as f64) as f32, grad)
+        (total / n as f64) as f32
     }
 
     /// Per-element loss value and dL/de for error `e = pred - target`.

@@ -91,11 +91,49 @@ impl MlpConfig {
     }
 }
 
+/// Reusable inference buffers for [`Mlp::forward_into`] /
+/// [`Mlp::forward_one_into`].
+///
+/// The network ping-pongs layer outputs between two matrices (plus a
+/// staging row for single-state inference), so a workspace that has seen
+/// its steady-state shapes makes every subsequent forward pass
+/// allocation-free. Workspaces are owned by callers (agents own one per
+/// network they evaluate) because inference takes `&self` — e.g. a DQN's
+/// online and target networks are borrowed simultaneously during a learn
+/// step and cannot own their own mutable scratch.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    input: Matrix,
+    a: Matrix,
+    b: Matrix,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers take shape on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Training-pass scratch owned by the network (forward/backward ping-pong
+/// buffers and the loss gradient), reused across steps.
+#[derive(Debug, Clone, Default)]
+struct TrainScratch {
+    fwd_a: Matrix,
+    fwd_b: Matrix,
+    grad_a: Matrix,
+    grad_b: Matrix,
+    loss_grad: Matrix,
+}
+
 /// A feed-forward network of dense layers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
     config: MlpConfig,
+    /// Reusable training buffers (not part of the model's state).
+    #[serde(skip)]
+    scratch: TrainScratch,
 }
 
 impl Mlp {
@@ -119,6 +157,7 @@ impl Mlp {
         Self {
             layers,
             config: config.clone(),
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -158,12 +197,27 @@ impl Mlp {
     ///
     /// Panics if `input.cols() != input_dim`.
     pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut ws = Workspace::new();
+        self.forward_into(input, &mut ws).clone()
+    }
+
+    /// Inference forward pass through a caller-owned [`Workspace`]; returns
+    /// a reference into the workspace, valid until its next use. With a
+    /// warm workspace the whole pass is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != input_dim`.
+    pub fn forward_into<'w>(&self, input: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
         assert_eq!(input.cols(), self.config.input_dim, "input width mismatch");
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.forward(&x);
+        let Workspace { a, b, .. } = ws;
+        let (first, rest) = self.layers.split_first().expect("mlp has layers");
+        first.forward_into(input, a);
+        for layer in rest {
+            layer.forward_into(&*a, b);
+            std::mem::swap(a, b);
         }
-        x
+        &*a
     }
 
     /// Inference on a single state vector; returns the output row.
@@ -172,14 +226,44 @@ impl Mlp {
         out.row(0).to_vec()
     }
 
+    /// Single-state inference through a caller-owned [`Workspace`]; the
+    /// decision hot path. Returns the output row, valid until the
+    /// workspace's next use.
+    pub fn forward_one_into<'w>(&self, input: &[f32], ws: &'w mut Workspace) -> &'w [f32] {
+        ws.input.set_row_vector(input);
+        let Workspace { input, a, b } = ws;
+        assert_eq!(input.cols(), self.config.input_dim, "input width mismatch");
+        let (first, rest) = self.layers.split_first().expect("mlp has layers");
+        first.forward_into(&*input, a);
+        for layer in rest {
+            layer.forward_into(&*a, b);
+            std::mem::swap(a, b);
+        }
+        a.row(0)
+    }
+
     /// Training forward pass, caching per-layer tensors for backprop.
     pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        self.forward_train_scratch(input).clone()
+    }
+
+    /// Training forward pass through the network-owned scratch; returns a
+    /// reference to the output, valid until the next training call.
+    /// Per-layer caches land in each layer's persistent buffers, so a warm
+    /// network performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != input_dim`.
+    pub fn forward_train_scratch(&mut self, input: &Matrix) -> &Matrix {
         assert_eq!(input.cols(), self.config.input_dim, "input width mismatch");
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward_train(&x);
+        let TrainScratch { fwd_a, fwd_b, .. } = &mut self.scratch;
+        fwd_a.copy_from(input);
+        for layer in self.layers.iter_mut() {
+            layer.forward_train_into(&*fwd_a, fwd_b);
+            std::mem::swap(fwd_a, fwd_b);
         }
-        x
+        &*fwd_a
     }
 
     /// Backpropagates `grad_output` (dL/d output) through the network,
@@ -189,15 +273,39 @@ impl Mlp {
     ///
     /// Panics if no [`Mlp::forward_train`] preceded this call.
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut g = grad_output.clone();
+        let TrainScratch { grad_a, grad_b, .. } = &mut self.scratch;
+        grad_a.copy_from(grad_output);
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            layer.backward_into(&*grad_a, grad_b);
+            std::mem::swap(grad_a, grad_b);
         }
-        g
+        grad_a.clone()
+    }
+
+    /// Backpropagates through the network-owned scratch, accumulating
+    /// parameter gradients without materializing dL/d input for the caller
+    /// (the input gradient is discarded — no placement agent consumes it,
+    /// so the first layer skips that matmul entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`Mlp::forward_train`] preceded this call.
+    pub fn backward_scratch(&mut self, grad_output: &Matrix) {
+        let TrainScratch { grad_a, grad_b, .. } = &mut self.scratch;
+        grad_a.copy_from(grad_output);
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            if idx == 0 {
+                layer.backward_params_only(&*grad_a);
+            } else {
+                layer.backward_into(&*grad_a, grad_b);
+                std::mem::swap(grad_a, grad_b);
+            }
+        }
     }
 
     /// Applies accumulated gradients via `optimizer`, optionally clipping
-    /// the global gradient norm first. Clears the accumulators.
+    /// the global gradient norm first. Clears the accumulators in place
+    /// (their allocations are retained for the next step).
     ///
     /// Returns the pre-clip global gradient norm.
     pub fn apply_gradients(
@@ -205,11 +313,10 @@ impl Mlp {
         optimizer: &mut Optimizer,
         max_grad_norm: Option<f32>,
     ) -> f32 {
-        let mut grads: Vec<(Matrix, Matrix)> =
-            self.layers.iter_mut().map(Dense::take_gradients).collect();
         let norm = {
-            let mut refs: Vec<&mut Matrix> = Vec::with_capacity(grads.len() * 2);
-            for (gw, gb) in grads.iter_mut() {
+            let mut refs: Vec<&mut Matrix> = Vec::with_capacity(self.layers.len() * 2);
+            for layer in self.layers.iter_mut() {
+                let (gw, gb) = layer.grads_mut();
                 refs.push(gw);
                 refs.push(gb);
             }
@@ -223,10 +330,13 @@ impl Mlp {
             }
         };
         optimizer.begin_step();
-        for (i, (layer, (gw, gb))) in self.layers.iter_mut().zip(grads.iter()).enumerate() {
-            let (w, b) = layer.parameters_mut();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (w, b, gw, gb) = layer.params_grads();
             optimizer.update(2 * i, w, gw);
             optimizer.update(2 * i + 1, b, gb);
+        }
+        for layer in self.layers.iter_mut() {
+            layer.clear_grads();
         }
         norm
     }
@@ -264,15 +374,49 @@ impl Mlp {
         optimizer: &mut Optimizer,
         max_grad_norm: Option<f32>,
     ) -> (f32, Vec<f32>) {
-        let pred = self.forward_train(input);
-        let td: Vec<f32> = selected
-            .iter()
-            .zip(targets.iter())
-            .enumerate()
-            .map(|(r, (&c, &t))| pred.get(r, c) - t)
-            .collect();
-        let (l, grad) = loss.evaluate_selected(&pred, selected, targets, weights);
-        self.backward(&grad);
+        assert_eq!(input.cols(), self.config.input_dim, "input width mismatch");
+        // Forward, TD errors, and the loss gradient all run inside the
+        // network-owned scratch; only the returned TD vector allocates.
+        let (l, td) = {
+            let TrainScratch {
+                fwd_a,
+                fwd_b,
+                loss_grad,
+                ..
+            } = &mut self.scratch;
+            fwd_a.copy_from(input);
+            for layer in self.layers.iter_mut() {
+                layer.forward_train_into(&*fwd_a, fwd_b);
+                std::mem::swap(fwd_a, fwd_b);
+            }
+            let pred = &*fwd_a;
+            let td: Vec<f32> = selected
+                .iter()
+                .zip(targets.iter())
+                .enumerate()
+                .map(|(r, (&c, &t))| pred.get(r, c) - t)
+                .collect();
+            let l = loss.evaluate_selected_into(pred, selected, targets, weights, loss_grad);
+            (l, td)
+        };
+        {
+            let TrainScratch {
+                grad_a,
+                grad_b,
+                loss_grad,
+                ..
+            } = &mut self.scratch;
+            grad_a.copy_from(&*loss_grad);
+            for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+                if idx == 0 {
+                    // No caller consumes dL/dinput; skip its matmul.
+                    layer.backward_params_only(&*grad_a);
+                } else {
+                    layer.backward_into(&*grad_a, grad_b);
+                    std::mem::swap(grad_a, grad_b);
+                }
+            }
+        }
         self.apply_gradients(optimizer, max_grad_norm);
         (l, td)
     }

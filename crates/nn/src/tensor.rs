@@ -4,8 +4,48 @@
 //! (or input dimension for weights), `cols` = feature dimension. Keeping a
 //! single concrete shape keeps every operation allocation-explicit and easy
 //! to audit, which matters more here than n-d generality.
+//!
+//! Every product has two forms: an allocating method (`matmul`) and an
+//! `*_into` variant writing into a caller-owned buffer whose allocation is
+//! reused across calls. Both run the same blocked, branch-free kernels with
+//! unrolled [`slice::chunks_exact`] accumulators that auto-vectorize; the
+//! per-output-element accumulation order is identical to the historical
+//! naive loops (kept in [`reference`]), so results are bit-identical.
 
 use serde::{Deserialize, Serialize};
+
+/// Number of `k` (contraction) indices processed per block in
+/// [`Matrix::matmul_into`] / [`Matrix::tmatmul_into`]: keeps the streamed
+/// panel of the right-hand operand hot in L1 across output rows while
+/// preserving ascending-`k` accumulation per output element.
+const K_BLOCK: usize = 64;
+
+/// `out[j] += a * b[j]` over two equal-length slices, eight lanes per
+/// iteration. Each output lane is independent, so the unroll reassociates
+/// nothing — results are bit-identical to the scalar loop.
+#[inline]
+fn axpy(out: &mut [f32], b: &[f32], a: f32) {
+    debug_assert_eq!(out.len(), b.len());
+    let mut o_chunks = out.chunks_exact_mut(8);
+    let mut b_chunks = b.chunks_exact(8);
+    for (o, bv) in o_chunks.by_ref().zip(b_chunks.by_ref()) {
+        o[0] += a * bv[0];
+        o[1] += a * bv[1];
+        o[2] += a * bv[2];
+        o[3] += a * bv[3];
+        o[4] += a * bv[4];
+        o[5] += a * bv[5];
+        o[6] += a * bv[6];
+        o[7] += a * bv[7];
+    }
+    for (o, &bv) in o_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(b_chunks.remainder())
+    {
+        *o += a * bv;
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -22,6 +62,18 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural initial state for reusable
+    /// scratch buffers, which take their shape on first write.
+    fn default() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
 }
 
 impl Matrix {
@@ -150,6 +202,76 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes to `rows x cols` and zero-fills, reusing the existing
+    /// allocation whenever capacity allows. The workhorse of the
+    /// accumulating `*_into` kernels: a long-lived scratch matrix never
+    /// reallocates once it has seen its steady-state shape.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Reshapes to `rows x cols` for a kernel that overwrites **every**
+    /// element: when the element count already matches (the steady state)
+    /// the stale contents are kept as-is, skipping `reset_zeroed`'s dead
+    /// memset; on a size change it zero-extends like `reset_zeroed`.
+    pub fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        if self.data.len() != len {
+            self.data.clear();
+            self.data.resize(len, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Overwrites every element with `value` (shape unchanged).
+    pub fn fill(&mut self, value: f32) {
+        for v in &mut self.data {
+            *v = value;
+        }
+    }
+
+    /// Becomes a copy of `other`, reusing the existing allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+        self.rows = other.rows;
+        self.cols = other.cols;
+    }
+
+    /// Becomes the `1 x n` row vector `values`, reusing the allocation.
+    pub fn set_row_vector(&mut self, values: &[f32]) {
+        self.data.clear();
+        self.data.extend_from_slice(values);
+        self.rows = 1;
+        self.cols = values.len();
+    }
+
+    /// Clears to `0 x cols`, reserving room for `rows` rows of upcoming
+    /// [`Matrix::push_row`] calls. Row-append assembly avoids the dead
+    /// zero-fill of `reset_zeroed` when every row is about to be written
+    /// (the replay minibatch gather).
+    pub fn begin_rows(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.reserve(rows * cols);
+        self.rows = 0;
+        self.cols = cols;
+    }
+
+    /// Appends one row (started with [`Matrix::begin_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "push_row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Element at `(r, c)`.
     ///
     /// # Panics
@@ -216,11 +338,25 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &r) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r));
-        }
+        let mut out = Matrix::default();
+        self.gather_rows_into(indices, &mut out);
         out
+    }
+
+    /// Copies the rows at `indices` into `out` (gather), reusing `out`'s
+    /// allocation — the batch-assembly primitive of the replay hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &r in indices {
+            out.data.extend_from_slice(self.row(r));
+        }
+        out.rows = indices.len();
+        out.cols = self.cols;
     }
 
     /// Matrix product `self * other`.
@@ -229,27 +365,53 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self * other` written into `out` (allocation-free
+    /// once `out` has capacity).
+    ///
+    /// Blocked i-k-j kernel: `k` is tiled so the touched panel of `other`
+    /// stays in L1 across output rows, and the inner `j` loop is the
+    /// unrolled branch-free [`axpy`]. Zero `a` scalars skip their whole
+    /// `axpy` — one predictable scalar branch per `k`, hoisted entirely
+    /// outside the vector loop. The hotpath microbench keeps this: encoder
+    /// states are one-hot-heavy (~half zeros) and ReLU activations zero
+    /// another half, so the skip roughly halves the work on real inputs
+    /// (skipping is bit-safe: adding `0·b` changes no finite accumulator;
+    /// `0·±inf`/`0·NaN` terms are skipped rather than propagated, matching
+    /// the historical kernel's own skip). Per output element the surviving
+    /// `k` terms accumulate in ascending order, so on finite inputs the
+    /// result is bit-identical to [`reference::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` rows, cache friendly.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.reset_zeroed(m, n);
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + K_BLOCK).min(k);
+            let b_block = &other.data[k0 * n..k1 * n];
+            for i in 0..m {
+                let a_block = &self.data[i * k + k0..i * k + k1];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (b_row, &a) in b_block.chunks_exact(n.max(1)).zip(a_block.iter()) {
+                    if a != 0.0 {
+                        axpy(out_row, b_row, a);
+                    }
                 }
             }
+            k0 = k1;
         }
-        out
     }
 
     /// Matrix product `selfᵀ * other` without materializing the transpose.
@@ -258,26 +420,44 @@ impl Matrix {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn tmatmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.tmatmul_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ * other` written into `out`. The contraction runs over
+    /// `self`'s rows in blocks (ascending within and across blocks —
+    /// bit-identical accumulation to [`reference::tmatmul`]) with the
+    /// unrolled [`axpy`] inner loop. Zero `a` scalars skip their `axpy`
+    /// (see [`Matrix::matmul_into`]): in the backward pass `self` is the
+    /// layer input, whose ReLU zeros make the skip a measured win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn tmatmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "tmatmul shape mismatch: ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        let (r_total, c1, c2) = (self.rows, self.cols, other.cols);
+        out.reset_zeroed(c1, c2);
+        let mut r0 = 0;
+        while r0 < r_total {
+            let r1 = (r0 + K_BLOCK).min(r_total);
+            for r in r0..r1 {
+                let a_row = &self.data[r * c1..(r + 1) * c1];
+                let b_row = &other.data[r * c2..(r + 1) * c2];
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a != 0.0 {
+                        let out_row = &mut out.data[i * c2..(i + 1) * c2];
+                        axpy(out_row, b_row, a);
+                    }
                 }
             }
+            r0 = r1;
         }
-        out
     }
 
     /// Matrix product `self * otherᵀ` without materializing the transpose.
@@ -286,35 +466,92 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `self * otherᵀ` written into `out`. Register-blocked over four
+    /// output columns: four rows of `other` are dotted against one row of
+    /// `self` simultaneously, giving four independent dependency chains.
+    /// Zero `a` terms are skipped (one branch feeding four lanes; in the
+    /// backward pass `self` is dL/dz, which the selected-action loss and
+    /// ReLU derivatives leave mostly zero — a measured win on the hotpath
+    /// microbench, and bit-safe since `0·b` changes no finite accumulator).
+    /// Each dot product keeps a single accumulator over ascending `k`, so
+    /// on finite inputs every output element is bit-identical to
+    /// [`reference::matmul_t`]; as with the other kernels, `0·±inf`/`0·NaN`
+    /// terms are skipped rather than propagated (a diverged network is
+    /// caught by the `has_non_finite` tripwires, not by kernel NaN flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        out.reset_for_overwrite(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &other.data[j * k..(j + 1) * k];
+                let b1 = &other.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &other.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &other.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a != 0.0 {
+                        s0 += a * b0[kk];
+                        s1 += a * b1[kk];
+                        s2 += a * b2[kk];
+                        s3 += a * b3[kk];
+                    }
                 }
-                out.data[i * other.rows + j] = acc;
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    if a != 0.0 {
+                        acc += a * b;
+                    }
+                }
+                out_row[j] = acc;
+                j += 1;
             }
         }
-        out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-owned buffer (allocation-free once warm).
+    /// Materializing a weight transpose turns the backward pass's
+    /// `grad · Wᵀ` into a vectorizable row-streaming matmul — a few
+    /// microseconds of copying that unlocks the fast kernel.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_for_overwrite(self.cols, self.rows);
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
             }
         }
-        out
     }
 
     /// Element-wise sum `self + other`.
@@ -378,30 +615,53 @@ impl Matrix {
     ///
     /// Panics if `bias` is not `1 x self.cols`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// In-place bias broadcast: adds a `1 x cols` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "broadcast bias must be a row vector");
         assert_eq!(
             bias.cols, self.cols,
             "broadcast bias has {} cols, expected {}",
             bias.cols, self.cols
         );
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for c in 0..out.cols {
-                out.data[r * out.cols + c] += bias.data[c];
+        if self.cols == 0 {
+            return;
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *v += b;
             }
         }
-        out
     }
 
     /// Sums every row into a `1 x cols` vector.
     pub fn col_sum(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c] += self.data[r * self.cols + c];
+        let mut out = Matrix::default();
+        self.col_sum_into(&mut out);
+        out
+    }
+
+    /// Sums every row into `out` as a `1 x cols` vector, reusing `out`'s
+    /// allocation. Rows accumulate in ascending order (bit-identical to
+    /// [`Matrix::col_sum`]).
+    pub fn col_sum_into(&self, out: &mut Matrix) {
+        out.reset_zeroed(1, self.cols);
+        if self.cols == 0 {
+            return;
+        }
+        for row in self.data.chunks_exact(self.cols) {
+            for (o, &v) in out.data.iter_mut().zip(row.iter()) {
+                *o += v;
             }
         }
-        out
     }
 
     /// Mean of all elements; `0.0` for an empty matrix.
@@ -487,6 +747,102 @@ impl Matrix {
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         }
+    }
+}
+
+/// The pre-optimization kernels, preserved verbatim as the bit-exactness
+/// oracle for the blocked kernels above.
+///
+/// Golden-equality tests and the `hotpath` benchmark's baseline both build
+/// on these: the tests assert the optimized kernels reproduce them bit for
+/// bit, and the benchmark measures how much faster the optimized path is
+/// against the same arithmetic performed the old allocate-per-call way
+/// (naive i-k-j loops with the dense-hostile `a == 0.0` skip branch).
+pub mod reference {
+    use super::Matrix;
+
+    /// Naive `a * b` with the historical zero-skip branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for (k, &av) in a.row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k).to_vec();
+                for (o, &bv) in out.row_mut(i).iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive `aᵀ * b` with the historical zero-skip branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows() != b.rows()`.
+    pub fn tmatmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "tmatmul shape mismatch");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for r in 0..a.rows() {
+            let a_row = a.row(r).to_vec();
+            let b_row = b.row(r).to_vec();
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out.row_mut(i).iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive `a * bᵀ` as a row-by-row dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.cols()`.
+    pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a.row(i).iter().zip(b.row(j).iter()) {
+                    acc += av * bv;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Allocating bias broadcast, as the pre-optimization forward pass
+    /// performed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x a.cols()`.
+    pub fn add_row_broadcast(a: &Matrix, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows(), 1, "broadcast bias must be a row vector");
+        assert_eq!(bias.cols(), a.cols(), "broadcast bias width mismatch");
+        let mut out = a.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + bias.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        out
     }
 }
 

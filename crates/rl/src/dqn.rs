@@ -4,8 +4,8 @@
 //! independently switchable for the ablation experiments.
 
 use crate::env::{masked_argmax, masked_max};
-use crate::qnet::{QNetwork, QNetworkConfig};
-use crate::replay::{PerConfig, PrioritizedReplay, Replay, SampleBatch, UniformReplay};
+use crate::qnet::{QNetWorkspace, QNetwork, QNetworkConfig};
+use crate::replay::{PerConfig, PrioritizedReplay, Replay, UniformReplay};
 use crate::schedule::EpsilonSchedule;
 use crate::transition::Transition;
 use nn::prelude::*;
@@ -116,10 +116,23 @@ impl ReplayStore {
         }
     }
 
-    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
+    fn sample_into<R: Rng + ?Sized>(
+        &mut self,
+        batch: usize,
+        rng: &mut R,
+        indices: &mut Vec<u64>,
+        weights: &mut Vec<f32>,
+    ) {
         match self {
-            ReplayStore::Uniform(b) => b.sample(batch, rng),
-            ReplayStore::Prioritized(b) => b.sample(batch, rng),
+            ReplayStore::Uniform(b) => b.sample_into(batch, rng, indices, weights),
+            ReplayStore::Prioritized(b) => b.sample_into(batch, rng, indices, weights),
+        }
+    }
+
+    fn get_ref(&self, id: u64) -> &Transition {
+        match self {
+            ReplayStore::Uniform(b) => b.get_ref(id),
+            ReplayStore::Prioritized(b) => b.get_ref(id),
         }
     }
 
@@ -142,6 +155,32 @@ pub struct LearnStats {
     pub epsilon: f32,
 }
 
+/// Long-lived buffers for the agent's decision and learn hot paths:
+/// per-network inference workspaces, the two gathered minibatch matrices,
+/// and every per-step vector the old code rebuilt on each call.
+#[derive(Clone, Default)]
+struct DqnScratch {
+    /// Online-network inference workspace (actions and Double-DQN
+    /// selection).
+    online_ws: QNetWorkspace,
+    /// Bootstrap-network inference workspace (target evaluation).
+    target_ws: QNetWorkspace,
+    /// Gathered minibatch of states (`batch x state_dim`).
+    states: Matrix,
+    /// Gathered minibatch of next states (`batch x state_dim`).
+    next_states: Matrix,
+    /// Sampled replay ids.
+    indices: Vec<u64>,
+    /// Importance-sampling weights for the sampled batch.
+    weights: Vec<f32>,
+    /// Actions taken in the sampled transitions.
+    actions: Vec<usize>,
+    /// Bootstrapped regression targets.
+    targets: Vec<f32>,
+    /// Cached all-valid action mask (for transitions without one).
+    all_valid: Vec<bool>,
+}
+
 /// A DQN agent over vectorized states and discrete (maskable) actions.
 #[derive(Clone)]
 pub struct DqnAgent {
@@ -154,6 +193,8 @@ pub struct DqnAgent {
     env_steps: u64,
     /// Learn steps performed (drives target syncs).
     learn_steps: u64,
+    /// Reusable hot-path buffers (no behavioral state).
+    scratch: DqnScratch,
 }
 
 impl std::fmt::Debug for DqnAgent {
@@ -197,6 +238,10 @@ impl DqnAgent {
             None => ReplayStore::Uniform(UniformReplay::new(config.replay_capacity)),
         };
         let optimizer = config.optimizer.build();
+        let scratch = DqnScratch {
+            all_valid: vec![true; action_count],
+            ..DqnScratch::default()
+        };
         Self {
             config,
             online,
@@ -205,6 +250,7 @@ impl DqnAgent {
             replay,
             env_steps: 0,
             learn_steps: 0,
+            scratch,
         }
     }
 
@@ -240,19 +286,26 @@ impl DqnAgent {
 
     /// ε-greedy action for `state` under `mask`.
     ///
+    /// Takes `&mut self` to route inference through the agent-owned
+    /// workspace; the decision itself is a pure function of the network.
+    ///
     /// # Panics
     ///
     /// Panics if every action is masked.
-    pub fn act<R: Rng + ?Sized>(&self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
+    pub fn act<R: Rng + ?Sized>(&mut self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
         let eps = self.epsilon();
         if rng.gen::<f32>() < eps {
-            let valid: Vec<usize> = mask
-                .iter()
+            // Uniform draw over valid actions without materializing them:
+            // count, draw the same `gen_range(0..count)` the old collected
+            // form drew, then walk to the chosen one.
+            let valid_count = mask.iter().filter(|&&ok| ok).count();
+            assert!(valid_count > 0, "act called with fully-masked action set");
+            let pick = rng.gen_range(0..valid_count);
+            mask.iter()
                 .enumerate()
                 .filter_map(|(i, &ok)| ok.then_some(i))
-                .collect();
-            assert!(!valid.is_empty(), "act called with fully-masked action set");
-            valid[rng.gen_range(0..valid.len())]
+                .nth(pick)
+                .expect("pick is within the valid count")
         } else {
             self.act_greedy(state, mask)
         }
@@ -260,12 +313,18 @@ impl DqnAgent {
 
     /// Greedy (evaluation) action for `state` under `mask`.
     ///
+    /// Takes `&mut self` to route inference through the agent-owned
+    /// workspace (allocation-free); the decision itself is a pure function
+    /// of the network.
+    ///
     /// # Panics
     ///
     /// Panics if every action is masked.
-    pub fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
-        let q = self.online.q_values(state);
-        masked_argmax(&q, mask).expect("act_greedy called with fully-masked action set")
+    pub fn act_greedy(&mut self, state: &[f32], mask: &[bool]) -> usize {
+        let q = self
+            .online
+            .q_values_into(state, &mut self.scratch.online_ws);
+        masked_argmax(q, mask).expect("act_greedy called with fully-masked action set")
     }
 
     /// Stores a transition and, if due, performs a learn step.
@@ -296,65 +355,99 @@ impl DqnAgent {
     ///
     /// Panics if the buffer holds fewer than `batch_size` transitions.
     pub fn learn<R: Rng + ?Sized>(&mut self, rng: &mut R) -> LearnStats {
-        let batch = self.replay.sample(self.config.batch_size, rng);
-        let n = batch.transitions.len();
+        let n = self.config.batch_size;
         let state_dim = self.online.state_dim();
 
-        let mut states = Matrix::zeros(n, state_dim);
-        let mut next_states = Matrix::zeros(n, state_dim);
-        for (r, t) in batch.transitions.iter().enumerate() {
-            states.row_mut(r).copy_from_slice(&t.state);
-            next_states.row_mut(r).copy_from_slice(&t.next_state);
+        // Sample ids, then assemble the minibatch by gathering transition
+        // rows straight out of the buffer into two long-lived matrices —
+        // no per-step transition clones, no fresh matrices.
+        {
+            let DqnScratch {
+                indices, weights, ..
+            } = &mut self.scratch;
+            self.replay.sample_into(n, rng, indices, weights);
+        }
+        {
+            let DqnScratch {
+                indices,
+                states,
+                next_states,
+                actions,
+                ..
+            } = &mut self.scratch;
+            states.begin_rows(n, state_dim);
+            next_states.begin_rows(n, state_dim);
+            actions.clear();
+            for &id in indices.iter() {
+                let t = self.replay.get_ref(id);
+                states.push_row(&t.state);
+                next_states.push_row(&t.next_state);
+                actions.push(t.action);
+            }
         }
 
-        // Bootstrapped targets.
-        let bootstrap_net = self.target.as_ref().unwrap_or(&self.online);
-        let q_next_target = bootstrap_net.forward(&next_states);
-        let q_next_online = if self.config.double {
-            Some(self.online.forward(&next_states))
-        } else {
-            None
-        };
-
-        let all_valid = vec![true; self.online.action_count()];
-        let mut actions = Vec::with_capacity(n);
-        let mut targets = Vec::with_capacity(n);
-        for (r, t) in batch.transitions.iter().enumerate() {
-            actions.push(t.action);
-            let future = if t.done {
-                0.0
+        // Bootstrapped targets, evaluated through the per-network
+        // workspaces.
+        {
+            let DqnScratch {
+                online_ws,
+                target_ws,
+                next_states,
+                indices,
+                targets,
+                all_valid,
+                ..
+            } = &mut self.scratch;
+            let bootstrap_net = self.target.as_ref().unwrap_or(&self.online);
+            let q_next_target = bootstrap_net.forward_into(&*next_states, target_ws);
+            let q_next_online = if self.config.double {
+                Some(self.online.forward_into(&*next_states, online_ws))
             } else {
-                let mask = t.next_mask().unwrap_or(&all_valid);
-                match &q_next_online {
-                    Some(online_next) => {
-                        // Double DQN: select with online net, evaluate with
-                        // target net.
-                        match masked_argmax(online_next.row(r), mask) {
-                            Some(a_star) => q_next_target.get(r, a_star),
-                            None => 0.0, // terminal-by-masking
-                        }
-                    }
-                    None => masked_max(q_next_target.row(r), mask).unwrap_or(0.0),
-                }
+                None
             };
-            targets.push(t.reward + self.config.gamma * future);
+            targets.clear();
+            for (r, &id) in indices.iter().enumerate() {
+                let t = self.replay.get_ref(id);
+                let future = if t.done {
+                    0.0
+                } else {
+                    let mask = t.next_mask().unwrap_or(all_valid.as_slice());
+                    match &q_next_online {
+                        Some(online_next) => {
+                            // Double DQN: select with online net, evaluate
+                            // with target net.
+                            match masked_argmax(online_next.row(r), mask) {
+                                Some(a_star) => q_next_target.get(r, a_star),
+                                None => 0.0, // terminal-by-masking
+                            }
+                        }
+                        None => masked_max(q_next_target.row(r), mask).unwrap_or(0.0),
+                    }
+                };
+                targets.push(t.reward + self.config.gamma * future);
+            }
         }
 
-        let weights = if matches!(self.replay, ReplayStore::Prioritized(_)) {
-            Some(batch.weights.as_slice())
-        } else {
-            None
+        let prioritized = matches!(self.replay, ReplayStore::Prioritized(_));
+        let (loss, td) = {
+            let DqnScratch {
+                states,
+                actions,
+                targets,
+                weights,
+                ..
+            } = &mut self.scratch;
+            self.online.train_selected(
+                &*states,
+                actions,
+                targets,
+                prioritized.then_some(weights.as_slice()),
+                self.config.loss,
+                &mut self.optimizer,
+                self.config.max_grad_norm,
+            )
         };
-        let (loss, td) = self.online.train_selected(
-            &states,
-            &actions,
-            &targets,
-            weights,
-            self.config.loss,
-            &mut self.optimizer,
-            self.config.max_grad_norm,
-        );
-        self.replay.update_priorities(&batch.indices, &td);
+        self.replay.update_priorities(&self.scratch.indices, &td);
         self.learn_steps += 1;
 
         // Target maintenance.
@@ -424,7 +517,7 @@ mod tests {
             epsilon: EpsilonSchedule::Constant(1.0),
             ..tiny_config()
         };
-        let agent = DqnAgent::new(config, 2, 4, &mut rng);
+        let mut agent = DqnAgent::new(config, 2, 4, &mut rng);
         let mask = [false, true, false, false];
         for _ in 0..50 {
             assert_eq!(agent.act(&[0.0, 0.0], &mask, &mut rng), 1);
@@ -557,7 +650,7 @@ mod tests {
     #[should_panic(expected = "fully-masked")]
     fn fully_masked_act_panics() {
         let mut rng = StdRng::seed_from_u64(9);
-        let agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
+        let mut agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
         let _ = agent.act_greedy(&[0.0, 0.0], &[false, false]);
     }
 }

@@ -31,7 +31,7 @@
 //! };
 //! let mut agent = DqnAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
 //! train_dqn(&mut agent, &mut env, 50, 40, &mut rng);
-//! let mean_return = evaluate_dqn(&agent, &mut env, 5, 40, &mut rng);
+//! let mean_return = evaluate_dqn(&mut agent, &mut env, 5, 40, &mut rng);
 //! assert!(mean_return.is_finite());
 //! ```
 
@@ -55,9 +55,11 @@ pub mod prelude {
     pub use crate::env::{
         masked_argmax, masked_max, DiscreteStateEnvironment, Environment, StepOutcome,
     };
-    pub use crate::qnet::{QNetwork, QNetworkConfig};
+    pub use crate::qnet::{QNetWorkspace, QNetwork, QNetworkConfig};
     pub use crate::qtable::{QTableAgent, QTableConfig};
-    pub use crate::reinforce::{masked_softmax, ReinforceAgent, ReinforceConfig};
+    pub use crate::reinforce::{
+        masked_softmax, masked_softmax_into, ReinforceAgent, ReinforceConfig,
+    };
     pub use crate::replay::{PerConfig, PrioritizedReplay, Replay, SampleBatch, UniformReplay};
     pub use crate::schedule::EpsilonSchedule;
     pub use crate::trainer::{evaluate_dqn, train_dqn, EpisodeStats, TrainingHistory};

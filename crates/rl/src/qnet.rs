@@ -31,7 +31,33 @@ impl Default for QNetworkConfig {
     }
 }
 
+/// Reusable inference buffers for a [`QNetwork`]: one MLP [`Workspace`]
+/// per sub-network plus staging/combine matrices for the dueling head.
+/// Owned by callers (the DQN agent keeps one per network it evaluates), so
+/// a warm workspace makes batched and single-state inference
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct QNetWorkspace {
+    input: Matrix,
+    trunk: Workspace,
+    value: Workspace,
+    advantage: Workspace,
+    q: Matrix,
+}
+
+impl QNetWorkspace {
+    /// An empty workspace; buffers take shape on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A trainable state-action value function `Q(s, ·)` over discrete actions.
+// The dueling variant inlines three MLPs (each carrying its own training
+// scratch); boxing them would put an indirection on the hottest forward
+// path for no measurable memory win — agents hold exactly one or two
+// QNetworks.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum QNetwork {
     /// Plain MLP variant.
@@ -120,17 +146,44 @@ impl QNetwork {
 
     /// Inference: batched Q-values (`batch x action_count`).
     pub fn forward(&self, states: &Matrix) -> Matrix {
+        let mut ws = QNetWorkspace::new();
+        self.forward_into(states, &mut ws).clone()
+    }
+
+    /// Batched inference through a caller-owned workspace; returns a
+    /// reference into the workspace, valid until its next use.
+    /// Allocation-free once the workspace is warm.
+    pub fn forward_into<'w>(&self, states: &Matrix, ws: &'w mut QNetWorkspace) -> &'w Matrix {
+        let QNetWorkspace {
+            trunk,
+            value,
+            advantage,
+            q,
+            ..
+        } = ws;
+        self.forward_parts(states, trunk, value, advantage, q)
+    }
+
+    fn forward_parts<'w>(
+        &self,
+        states: &Matrix,
+        trunk_ws: &'w mut Workspace,
+        value_ws: &'w mut Workspace,
+        advantage_ws: &'w mut Workspace,
+        q: &'w mut Matrix,
+    ) -> &'w Matrix {
         match self {
-            QNetwork::Standard(net) => net.forward(states),
+            QNetwork::Standard(net) => net.forward_into(states, trunk_ws),
             QNetwork::Dueling {
                 trunk,
                 value,
                 advantage,
             } => {
-                let t = trunk.forward(states);
-                let v = value.forward(&t);
-                let a = advantage.forward(&t);
-                combine_dueling(&v, &a)
+                let t = trunk.forward_into(states, trunk_ws);
+                let v = value.forward_into(t, value_ws);
+                let a = advantage.forward_into(t, advantage_ws);
+                combine_dueling_into(v, a, q);
+                &*q
             }
         }
     }
@@ -138,6 +191,22 @@ impl QNetwork {
     /// Inference on a single state.
     pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
         self.forward(&Matrix::row_vector(state)).row(0).to_vec()
+    }
+
+    /// Single-state inference through a caller-owned workspace; the action
+    /// hot path. Returns the Q-value row, valid until the workspace's next
+    /// use.
+    pub fn q_values_into<'w>(&self, state: &[f32], ws: &'w mut QNetWorkspace) -> &'w [f32] {
+        ws.input.set_row_vector(state);
+        let QNetWorkspace {
+            input,
+            trunk,
+            value,
+            advantage,
+            q,
+        } = ws;
+        self.forward_parts(&*input, trunk, value, advantage, q)
+            .row(0)
     }
 
     /// Training step regressing `Q(s, selected)` toward `targets`.
@@ -287,13 +356,26 @@ impl QNetwork {
 
 /// `Q = V + A - mean(A)` with mean subtracted per row (identifiability).
 fn combine_dueling(v: &Matrix, a: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    combine_dueling_into(v, a, &mut out);
+    out
+}
+
+/// [`combine_dueling`] into a reusable buffer. The per-row mean is computed
+/// once (bit-identical to recomputing it per column, as the allocating form
+/// historically did — the summation order is unchanged).
+fn combine_dueling_into(v: &Matrix, a: &Matrix, out: &mut Matrix) {
     assert_eq!(v.rows(), a.rows(), "dueling heads batch mismatch");
     assert_eq!(v.cols(), 1, "value head must have one output");
     let k = a.cols() as f32;
-    Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+    out.reset_for_overwrite(a.rows(), a.cols());
+    for r in 0..a.rows() {
         let mean: f32 = a.row(r).iter().sum::<f32>() / k;
-        v.get(r, 0) + a.get(r, c) - mean
-    })
+        let vr = v.get(r, 0);
+        for (o, &av) in out.row_mut(r).iter_mut().zip(a.row(r).iter()) {
+            *o = vr + av - mean;
+        }
+    }
 }
 
 fn apply_subnet(

@@ -75,6 +75,17 @@ struct EpisodeStep {
     reward: f32,
 }
 
+/// Reusable hot-path buffers: the inference workspace, the per-decision
+/// probability vector, and the episode-update tensors.
+#[derive(Clone, Default)]
+struct PgScratch {
+    ws: Workspace,
+    probs: Vec<f32>,
+    returns: Vec<f32>,
+    states: Matrix,
+    grad: Matrix,
+}
+
 /// A REINFORCE agent over vectorized states and masked discrete actions.
 #[derive(Clone)]
 pub struct ReinforceAgent {
@@ -86,6 +97,8 @@ pub struct ReinforceAgent {
     baseline: f32,
     baseline_initialized: bool,
     episodes_trained: u64,
+    /// Reusable hot-path buffers (no behavioral state).
+    scratch: PgScratch,
 }
 
 impl std::fmt::Debug for ReinforceAgent {
@@ -123,6 +136,7 @@ impl ReinforceAgent {
             baseline: 0.0,
             baseline_initialized: false,
             episodes_trained: 0,
+            scratch: PgScratch::default(),
         }
     }
 
@@ -133,12 +147,23 @@ impl ReinforceAgent {
 
     /// Masked action probabilities for a state.
     ///
+    /// Takes `&mut self` to route inference through the agent-owned
+    /// workspace; the result is a pure function of the network.
+    ///
     /// # Panics
     ///
     /// Panics if every action is masked or lengths mismatch.
-    pub fn action_probabilities(&self, state: &[f32], mask: &[bool]) -> Vec<f32> {
-        let logits = self.net.forward_one(state);
-        masked_softmax(&logits, mask)
+    pub fn action_probabilities(&mut self, state: &[f32], mask: &[bool]) -> Vec<f32> {
+        self.probabilities_scratch(state, mask);
+        self.scratch.probs.clone()
+    }
+
+    /// Fills `self.scratch.probs` with the masked policy for `state`
+    /// without allocating.
+    fn probabilities_scratch(&mut self, state: &[f32], mask: &[bool]) {
+        let PgScratch { ws, probs, .. } = &mut self.scratch;
+        let logits = self.net.forward_one_into(state, ws);
+        masked_softmax_into(logits, mask, probs);
     }
 
     /// Samples an action from the current policy.
@@ -146,8 +171,9 @@ impl ReinforceAgent {
     /// # Panics
     ///
     /// Panics if every action is masked.
-    pub fn act<R: Rng + ?Sized>(&self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
-        let probs = self.action_probabilities(state, mask);
+    pub fn act<R: Rng + ?Sized>(&mut self, state: &[f32], mask: &[bool], rng: &mut R) -> usize {
+        self.probabilities_scratch(state, mask);
+        let probs = &self.scratch.probs;
         let mut u: f32 = rng.gen();
         for (i, &p) in probs.iter().enumerate() {
             if u < p {
@@ -156,7 +182,7 @@ impl ReinforceAgent {
             u -= p;
         }
         // Numerical fallback: the most probable valid action.
-        masked_argmax(&probs, mask).expect("act called with fully-masked action set")
+        masked_argmax(probs, mask).expect("act called with fully-masked action set")
     }
 
     /// The policy mode (most probable action) for evaluation.
@@ -164,9 +190,10 @@ impl ReinforceAgent {
     /// # Panics
     ///
     /// Panics if every action is masked.
-    pub fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
-        let probs = self.action_probabilities(state, mask);
-        masked_argmax(&probs, mask).expect("act_greedy called with fully-masked action set")
+    pub fn act_greedy(&mut self, state: &[f32], mask: &[bool]) -> usize {
+        self.probabilities_scratch(state, mask);
+        masked_argmax(&self.scratch.probs, mask)
+            .expect("act_greedy called with fully-masked action set")
     }
 
     /// Records one step of the in-flight episode.
@@ -189,8 +216,10 @@ impl ReinforceAgent {
         let steps = std::mem::take(&mut self.episode);
         let n = steps.len();
 
-        // Discounted return-to-go per step.
-        let mut returns = vec![0.0f32; n];
+        // Discounted return-to-go per step (into the reusable buffer).
+        let returns = &mut self.scratch.returns;
+        returns.clear();
+        returns.resize(n, 0.0);
         let mut acc = 0.0f32;
         for i in (0..n).rev() {
             acc = steps[i].reward + self.config.gamma * acc;
@@ -210,41 +239,53 @@ impl ReinforceAgent {
 
         // Batched forward over the episode, manual ∇ log π gradient:
         // dL/dlogits_i = A · (π_i − 1{i = a}) / n for the chosen action a.
+        // Everything runs in reusable buffers: the episode states gather
+        // into one long-lived matrix, logits live in the network's training
+        // scratch, and the gradient/probability buffers are agent-owned.
         let state_dim = self.net.input_dim();
-        let mut states = Matrix::zeros(n, state_dim);
-        for (r, s) in steps.iter().enumerate() {
-            states.row_mut(r).copy_from_slice(&s.state);
-        }
-        let logits = self.net.forward_train(&states);
-        let mut grad = Matrix::zeros(n, logits.cols());
-        for (r, step) in steps.iter().enumerate() {
-            let advantage = returns[r]
-                - if self.baseline_initialized {
-                    self.baseline
-                } else {
-                    0.0
-                };
-            let probs = masked_softmax(logits.row(r), &step.mask);
-            // Entropy of the masked policy at this state (for the bonus).
-            let entropy: f32 = probs
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| -p * p.ln())
-                .sum();
-            for (c, &p) in probs.iter().enumerate() {
-                let indicator = if c == step.action { 1.0 } else { 0.0 };
-                // Policy-gradient term plus entropy-bonus term
-                // (dH/dlogit_c = p_c·(−ln p_c − H); we *ascend* entropy).
-                let pg = advantage * (p - indicator);
-                let ent = if p > 0.0 {
-                    -self.config.entropy_coef * p * (-p.ln() - entropy)
-                } else {
-                    0.0
-                };
-                grad.set(r, c, (pg + ent) / n as f32);
+        {
+            let PgScratch {
+                returns,
+                states,
+                grad,
+                probs,
+                ..
+            } = &mut self.scratch;
+            states.begin_rows(n, state_dim);
+            for s in steps.iter() {
+                states.push_row(&s.state);
+            }
+            let logits = self.net.forward_train_scratch(&*states);
+            grad.reset_for_overwrite(n, logits.cols());
+            for (r, step) in steps.iter().enumerate() {
+                let advantage = returns[r]
+                    - if self.baseline_initialized {
+                        self.baseline
+                    } else {
+                        0.0
+                    };
+                masked_softmax_into(logits.row(r), &step.mask, probs);
+                // Entropy of the masked policy at this state (for the bonus).
+                let entropy: f32 = probs
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| -p * p.ln())
+                    .sum();
+                for (c, &p) in probs.iter().enumerate() {
+                    let indicator = if c == step.action { 1.0 } else { 0.0 };
+                    // Policy-gradient term plus entropy-bonus term
+                    // (dH/dlogit_c = p_c·(−ln p_c − H); we *ascend* entropy).
+                    let pg = advantage * (p - indicator);
+                    let ent = if p > 0.0 {
+                        -self.config.entropy_coef * p * (-p.ln() - entropy)
+                    } else {
+                        0.0
+                    };
+                    grad.set(r, c, (pg + ent) / n as f32);
+                }
             }
         }
-        self.net.backward(&grad);
+        self.net.backward_scratch(&self.scratch.grad);
         self.net
             .apply_gradients(&mut self.optimizer, self.config.max_grad_norm);
         self.episodes_trained += 1;
@@ -263,20 +304,39 @@ impl ReinforceAgent {
 ///
 /// Panics if lengths differ or every action is masked.
 pub fn masked_softmax(logits: &[f32], mask: &[bool]) -> Vec<f32> {
+    let mut out = Vec::new();
+    masked_softmax_into(logits, mask, &mut out);
+    out
+}
+
+/// [`masked_softmax`] into a caller-owned buffer (cleared first) — the
+/// allocation-free decision-loop form. Identical arithmetic in identical
+/// order, so results match [`masked_softmax`] bit for bit.
+///
+/// # Panics
+///
+/// Panics if lengths differ or every action is masked.
+pub fn masked_softmax_into(logits: &[f32], mask: &[bool], out: &mut Vec<f32>) {
     assert_eq!(logits.len(), mask.len(), "logits/mask length mismatch");
     assert!(
         mask.iter().any(|&m| m),
         "masked_softmax with fully-masked action set"
     );
-    let masked: Vec<f32> = logits
-        .iter()
-        .zip(mask.iter())
-        .map(|(&l, &ok)| if ok { l } else { MASKED_LOGIT })
-        .collect();
-    let max = masked.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = masked.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(
+        logits
+            .iter()
+            .zip(mask.iter())
+            .map(|(&l, &ok)| if ok { l } else { MASKED_LOGIT }),
+    );
+    let max = out.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for v in out.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum: f32 = out.iter().sum();
+    for v in out.iter_mut() {
+        *v /= sum;
+    }
 }
 
 #[cfg(test)]
@@ -331,7 +391,7 @@ mod tests {
     }
 
     fn greedy_return(
-        agent: &ReinforceAgent,
+        agent: &mut ReinforceAgent,
         env: &mut impl Environment,
         episodes: usize,
         rng: &mut StdRng,
@@ -364,7 +424,7 @@ mod tests {
         };
         let mut agent = ReinforceAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
         run_episodes(&mut agent, &mut env, 1_500, &mut rng);
-        let mean = greedy_return(&agent, &mut env, 200, &mut rng);
+        let mean = greedy_return(&mut agent, &mut env, 200, &mut rng);
         assert!(mean > 0.95, "bandit mean reward {mean}");
     }
 
@@ -379,7 +439,7 @@ mod tests {
         };
         let mut agent = ReinforceAgent::new(config, env.state_dim(), env.action_count(), &mut rng);
         run_episodes(&mut agent, &mut env, 600, &mut rng);
-        let mean = greedy_return(&agent, &mut env, 20, &mut rng);
+        let mean = greedy_return(&mut agent, &mut env, 20, &mut rng);
         // Optimal: 4 steps right → 1 − 0.04 = 0.96.
         assert!(mean > 0.85, "chain mean return {mean}");
     }
@@ -395,7 +455,7 @@ mod tests {
     #[test]
     fn act_respects_mask() {
         let mut rng = StdRng::seed_from_u64(1);
-        let agent = ReinforceAgent::new(ReinforceConfig::default(), 2, 3, &mut rng);
+        let mut agent = ReinforceAgent::new(ReinforceConfig::default(), 2, 3, &mut rng);
         for _ in 0..50 {
             let a = agent.act(&[0.1, 0.2], &[false, true, false], &mut rng);
             assert_eq!(a, 1);

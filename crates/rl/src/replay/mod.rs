@@ -34,6 +34,33 @@ pub trait Replay {
     /// Maximum capacity.
     fn capacity(&self) -> usize;
 
+    /// Samples `batch` transition ids into caller-owned buffers (cleared
+    /// first), with their importance-sampling weights (all `1.0` for
+    /// uniform replay). The allocation-free core of [`Replay::sample`]:
+    /// callers read the sampled transitions in place via
+    /// [`Replay::get_ref`] instead of cloning them out.
+    ///
+    /// Consumes the RNG identically to [`Replay::sample`], so both paths
+    /// draw the same batch from the same generator state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or `batch == 0`.
+    fn sample_into<R: Rng + ?Sized>(
+        &mut self,
+        batch: usize,
+        rng: &mut R,
+        indices: &mut Vec<u64>,
+        weights: &mut Vec<f32>,
+    );
+
+    /// Borrow of the transition behind a sampled id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to an occupied slot.
+    fn get_ref(&self, id: u64) -> &Transition;
+
     /// Samples `batch` transitions. Returns indices (buffer-internal ids),
     /// cloned transitions, and importance-sampling weights (all `1.0` for
     /// uniform replay).
@@ -41,7 +68,17 @@ pub trait Replay {
     /// # Panics
     ///
     /// Panics if the buffer is empty or `batch == 0`.
-    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch;
+    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
+        let mut indices = Vec::with_capacity(batch);
+        let mut weights = Vec::with_capacity(batch);
+        self.sample_into(batch, rng, &mut indices, &mut weights);
+        let transitions = indices.iter().map(|&i| self.get_ref(i).clone()).collect();
+        SampleBatch {
+            indices,
+            transitions,
+            weights,
+        }
+    }
 
     /// Reports new TD-error magnitudes for previously sampled indices
     /// (no-op for uniform replay).

@@ -1,7 +1,7 @@
 //! Proportional prioritized experience replay (Schaul et al., 2016).
 
 use super::sumtree::SumTree;
-use super::{Replay, SampleBatch};
+use super::Replay;
 use crate::transition::Transition;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -114,15 +114,20 @@ impl Replay for PrioritizedReplay {
         self.capacity
     }
 
-    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
+    fn sample_into<R: Rng + ?Sized>(
+        &mut self,
+        batch: usize,
+        rng: &mut R,
+        indices: &mut Vec<u64>,
+        weights: &mut Vec<f32>,
+    ) {
         assert!(batch > 0, "batch size must be positive");
         assert!(self.len > 0, "cannot sample from an empty replay buffer");
         self.sample_calls += 1;
         let beta = self.beta();
         let total = self.tree.total();
-        let mut indices = Vec::with_capacity(batch);
-        let mut transitions = Vec::with_capacity(batch);
-        let mut weights = Vec::with_capacity(batch);
+        indices.clear();
+        weights.clear();
 
         // Stratified sampling: one draw per equal-mass segment.
         let segment = total / batch as f64;
@@ -138,22 +143,22 @@ impl Replay for PrioritizedReplay {
             indices.push(idx as u64);
             weights.push(w);
             max_w = max_w.max(w);
-            transitions.push(
-                self.storage[idx]
-                    .clone()
-                    .expect("sum-tree sampled an empty slot — priority/storage desync"),
+            debug_assert!(
+                self.storage[idx].is_some(),
+                "sum-tree sampled an empty slot — priority/storage desync"
             );
         }
         if max_w > 0.0 {
-            for w in &mut weights {
+            for w in weights.iter_mut() {
                 *w /= max_w;
             }
         }
-        SampleBatch {
-            indices,
-            transitions,
-            weights,
-        }
+    }
+
+    fn get_ref(&self, id: u64) -> &Transition {
+        self.storage[id as usize]
+            .as_ref()
+            .expect("sum-tree sampled an empty slot — priority/storage desync")
     }
 
     fn update_priorities(&mut self, indices: &[u64], td_errors: &[f32]) {

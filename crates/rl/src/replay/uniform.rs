@@ -1,6 +1,6 @@
 //! Uniform-sampling ring-buffer replay (the classic DQN buffer).
 
-use super::{Replay, SampleBatch};
+use super::Replay;
 use crate::transition::Transition;
 use rand::Rng;
 
@@ -78,24 +78,28 @@ impl Replay for UniformReplay {
         self.capacity
     }
 
-    fn sample<R: Rng + ?Sized>(&mut self, batch: usize, rng: &mut R) -> SampleBatch {
+    fn sample_into<R: Rng + ?Sized>(
+        &mut self,
+        batch: usize,
+        rng: &mut R,
+        indices: &mut Vec<u64>,
+        weights: &mut Vec<f32>,
+    ) {
         assert!(batch > 0, "batch size must be positive");
         assert!(
             !self.storage.is_empty(),
             "cannot sample from an empty replay buffer"
         );
-        let mut indices = Vec::with_capacity(batch);
-        let mut transitions = Vec::with_capacity(batch);
+        indices.clear();
         for _ in 0..batch {
-            let i = rng.gen_range(0..self.storage.len());
-            indices.push(i as u64);
-            transitions.push(self.storage[i].clone());
+            indices.push(rng.gen_range(0..self.storage.len()) as u64);
         }
-        SampleBatch {
-            indices,
-            transitions,
-            weights: vec![1.0; batch],
-        }
+        weights.clear();
+        weights.resize(batch, 1.0);
+    }
+
+    fn get_ref(&self, id: u64) -> &Transition {
+        &self.storage[id as usize]
     }
 
     fn update_priorities(&mut self, _indices: &[u64], _td_errors: &[f32]) {

@@ -102,9 +102,10 @@ pub fn train_dqn<E: Environment, R: Rng>(
 }
 
 /// Greedy-policy evaluation: runs `episodes` episodes without exploration
-/// or learning; returns the mean undiscounted return.
+/// or learning; returns the mean undiscounted return. Takes `&mut` only to
+/// reuse the agent's inference workspace — no learning happens.
 pub fn evaluate_dqn<E: Environment, R: Rng>(
-    agent: &DqnAgent,
+    agent: &mut DqnAgent,
     env: &mut E,
     episodes: usize,
     fallback_step_cap: usize,
@@ -164,7 +165,7 @@ mod tests {
         let mut env = BanditEnv::new(3, 3);
         let mut agent = DqnAgent::new(fast_config(), env.state_dim(), env.action_count(), &mut rng);
         train_dqn(&mut agent, &mut env, 1_500, 1, &mut rng);
-        let mean = evaluate_dqn(&agent, &mut env, 200, 1, &mut rng);
+        let mean = evaluate_dqn(&mut agent, &mut env, 200, 1, &mut rng);
         assert!(mean > 0.95, "bandit mean reward {mean}");
     }
 
@@ -174,7 +175,7 @@ mod tests {
         let mut env = ChainEnv::new(6, 0.01);
         let mut agent = DqnAgent::new(fast_config(), env.state_dim(), env.action_count(), &mut rng);
         train_dqn(&mut agent, &mut env, 250, 60, &mut rng);
-        let mean = evaluate_dqn(&agent, &mut env, 20, 60, &mut rng);
+        let mean = evaluate_dqn(&mut agent, &mut env, 20, 60, &mut rng);
         // Optimal: 5 steps right → 1 - 0.05 = 0.95.
         assert!(mean > 0.9, "chain mean return {mean}");
     }
@@ -185,7 +186,7 @@ mod tests {
         let mut env = GridWorld::new(4);
         let mut agent = DqnAgent::new(fast_config(), env.state_dim(), env.action_count(), &mut rng);
         train_dqn(&mut agent, &mut env, 400, 64, &mut rng);
-        let mean = evaluate_dqn(&agent, &mut env, 10, 64, &mut rng);
+        let mean = evaluate_dqn(&mut agent, &mut env, 10, 64, &mut rng);
         let optimal = env.optimal_return().unwrap();
         assert!(
             mean > optimal - 0.1,

@@ -40,6 +40,7 @@ bench_smoke() {
     fig5_scalability fig6_chain_length fig7_dynamic fig8_optgap fig9_ablation
     fig10_reward_weights fig11_pg_vs_dqn fig12_resilience
     table1_params table2_hyperparams table3_summary
+    hotpath
   )
   for bin in "${binaries[@]}"; do
     echo "==> $bin (FAST=1 -> $RESULTS_DIR)"
@@ -48,10 +49,14 @@ bench_smoke() {
 
   echo "==> artifacts in $RESULTS_DIR:"
   ls -l "$RESULTS_DIR"
-  # The perf trajectory needs at least one machine-readable report, and
-  # the resilience sweep must have produced its report.
+  # The perf trajectory needs at least one machine-readable report, the
+  # resilience sweep must have produced its report, and the hotpath
+  # throughput tracker (decisions/sec + train-steps/sec, with its in-report
+  # pre-optimization baseline and soft previous-run comparison) must have
+  # emitted its report.
   ls "$RESULTS_DIR"/BENCH_*.json >/dev/null
   ls "$RESULTS_DIR"/BENCH_resilience.json >/dev/null
+  ls "$RESULTS_DIR"/BENCH_hotpath.json >/dev/null
 }
 
 case "${1:-all}" in
