@@ -3,16 +3,23 @@
 //! (the DRL observation width depends on N, so each size trains its own
 //! manager), merged into a single report.
 //!
+//! The DRL manager appears twice: `drl` evaluates through the engine's
+//! batched-inference path (per-slot batched forwards, `parallel_eval`
+//! fan-out with one warm workspace per worker), `drl-seq` is the same
+//! trained network forced onto per-decision forwards — the figure's
+//! µs/decision column is the batched win, and both columns' quality
+//! metrics are bit-identical by construction.
+//!
 //! Decision time is deliberately *kept* in this figure's cells (the whole
 //! point is timing), so unlike the other figures its CSV is not covered
 //! by the byte-identical determinism guarantee.
 
 use bench::{
-    comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds,
-    factory_of, scaled,
+    comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds, scaled,
 };
 use exper::prelude::*;
 use mano::prelude::*;
+use std::time::Instant;
 
 fn size_scenario(n: usize) -> Scenario {
     let mut scenario = Scenario::default_metro().with_arrival_rate(6.0);
@@ -43,18 +50,43 @@ fn main() {
         (n, t)
     });
 
-    // One evaluation sub-grid per size (its own DRL + shared baselines).
+    // One evaluation report per size: the heuristic baselines run through
+    // the grid; both DRL variants fan out through `parallel_eval`, one
+    // warm policy clone per worker thread.
     let reports: Vec<BenchReport> = trained
         .into_iter()
         .map(|(n, t)| {
-            ExperimentGrid::new(format!("fig5_n{n}"))
-                .scenario(format!("sites={n}"), n as f64, size_scenario(n))
+            let scenario = size_scenario(n);
+            let label = format!("sites={n}");
+            let baseline_grid = ExperimentGrid::new(format!("fig5_n{n}"))
+                .scenario(label.clone(), n as f64, scenario.clone())
                 .reward(reward)
                 .seeds(&eval_seeds())
                 .keep_decision_time()
-                .policy_boxed("drl", factory_of(t.policy))
                 .policies(comparison_factories())
-                .run()
+                .run();
+
+            let cells = cells_for_seeds(&label, n as f64, &scenario, &eval_seeds());
+            let batched = t.policy;
+            let mut sequential = batched.clone();
+            sequential.set_batched_inference(false);
+            let started = Instant::now();
+            let mut drl_cells = parallel_eval(&batched, "drl", reward, &cells, None, true);
+            drl_cells.extend(parallel_eval(
+                &sequential,
+                "drl-seq",
+                reward,
+                &cells,
+                None,
+                true,
+            ));
+            let drl_report = report_from_cells(
+                format!("fig5_n{n}_drl"),
+                thread_count(),
+                started.elapsed().as_secs_f64(),
+                drl_cells,
+            );
+            merge_reports(format!("fig5_n{n}"), vec![drl_report, baseline_grid])
         })
         .collect();
     let report = merge_reports("fig5_scalability", reports);

@@ -3,18 +3,25 @@
 //! Measures the two rates every training run lives and dies by:
 //!
 //! * **decisions/sec** — greedy action selection (`DqnAgent::act_greedy`)
-//!   over realistic encoder states captured from a live simulation, and
+//!   over realistic encoder states captured from a live simulation,
+//! * **batched decisions/sec** — the same decisions answered through
+//!   `DqnAgent::act_greedy_batch`: all captured states as rows of one
+//!   matrix, ONE forward per round, mask-aware per-row argmax
+//!   (action-parity with the per-decision loop asserted before timing),
+//!   and
 //! * **train-steps/sec** — full DQN learn steps (`DqnAgent::learn`:
 //!   replay sample, batch assembly, double-DQN targets, forward/backward,
 //!   clipped Adam update).
 //!
-//! Both are measured twice: once through the optimized scratch-buffer
-//! engine, and once through a faithful replica of the pre-optimization
-//! pipeline (allocate-per-call tensors, the naive zero-skip matmul kernels
-//! preserved in [`nn::tensor::reference`], cloned forward caches, cloned
-//! replay batches). The baseline is *recomputed in the same report*, so
-//! `BENCH_hotpath.json` always carries its own before/after evidence and
-//! the speedup is robust to whatever machine CI lands on.
+//! Decisions and train steps are measured twice: once through the
+//! optimized scratch-buffer engine, and once through a faithful replica
+//! of the pre-optimization pipeline (allocate-per-call tensors, the naive
+//! zero-skip matmul kernels preserved in [`nn::tensor::reference`],
+//! cloned forward caches, cloned replay batches); the batched series is
+//! compared against the optimized per-decision path. The baseline is
+//! *recomputed in the same report*, so `BENCH_hotpath.json` always
+//! carries its own before/after evidence and the speedups are robust to
+//! whatever machine CI lands on.
 //!
 //! The report also soft-compares against the previous run's file (log
 //! only, never failing) so regressions are visible in CI output.
@@ -271,65 +278,126 @@ fn main() {
     }
 
     // ---- decisions/sec.
-    let decision_rounds = scaled(2_000, 200);
+    let timing_reps = 8;
+    let decision_rounds = scaled(500, 100);
     let total_decisions = decision_rounds * contexts.len();
 
-    let t0 = Instant::now();
-    let mut sink = 0usize;
-    for _ in 0..decision_rounds {
-        for (s, m) in &contexts {
-            sink = sink.wrapping_add(agent.act_greedy(s, m));
-        }
+    // The batched series: all captured contexts as the rows of one
+    // matrix, answered by `act_greedy_batch`'s single forward per round.
+    // Parity is asserted before timing — the batched selection must be
+    // bit-identical to the per-decision loop (rows are independent under
+    // the kernels).
+    let mut batch_states = Matrix::default();
+    batch_states.begin_rows(contexts.len(), state_dim);
+    let mut batch_masks: Vec<bool> = Vec::with_capacity(contexts.len() * action_count);
+    for (s, m) in &contexts {
+        batch_states.push_row(s);
+        batch_masks.extend_from_slice(m);
     }
-    let optimized_decisions = rate(total_decisions, t0.elapsed().as_secs_f64());
+    let mut batch_actions = Vec::new();
+    agent.act_greedy_batch(&batch_states, &batch_masks, &mut batch_actions);
+    for (i, (s, m)) in contexts.iter().enumerate() {
+        assert_eq!(
+            batch_actions[i],
+            agent.act_greedy(s, m),
+            "batched and per-decision selection disagree — timing would be meaningless"
+        );
+    }
 
-    let t0 = Instant::now();
-    for _ in 0..decision_rounds {
-        for (s, m) in &contexts {
-            sink = sink.wrapping_add(baseline_net.act_greedy(s, m));
+    // The three decision series are timed as best-of-N *interleaved*
+    // repetitions: the container shares its core, so contention arrives
+    // in bursts longer than one measurement; interleaving puts every
+    // series inside each burst-free window, and the per-series max is the
+    // standard low-noise estimator. The trend gate downstream needs
+    // stable rates (and above all a stable batched/per-decision ratio),
+    // not averaged-in neighbor noise.
+    let mut sink = 0usize;
+    let mut optimized_decisions = 0.0f64;
+    let mut baseline_decisions = 0.0f64;
+    let mut batched_decisions = 0.0f64;
+    for _ in 0..timing_reps {
+        let t0 = Instant::now();
+        for _ in 0..decision_rounds {
+            for (s, m) in &contexts {
+                sink = sink.wrapping_add(agent.act_greedy(s, m));
+            }
         }
+        optimized_decisions =
+            optimized_decisions.max(rate(total_decisions, t0.elapsed().as_secs_f64()));
+
+        let t0 = Instant::now();
+        for _ in 0..decision_rounds {
+            for (s, m) in &contexts {
+                sink = sink.wrapping_add(baseline_net.act_greedy(s, m));
+            }
+        }
+        baseline_decisions =
+            baseline_decisions.max(rate(total_decisions, t0.elapsed().as_secs_f64()));
+
+        let t0 = Instant::now();
+        for _ in 0..decision_rounds {
+            agent.act_greedy_batch(&batch_states, &batch_masks, &mut batch_actions);
+            sink = sink.wrapping_add(batch_actions[0]);
+        }
+        batched_decisions =
+            batched_decisions.max(rate(total_decisions, t0.elapsed().as_secs_f64()));
     }
-    let baseline_decisions = rate(total_decisions, t0.elapsed().as_secs_f64());
     std::hint::black_box(sink);
 
-    // ---- train-steps/sec.
-    let train_steps = scaled(600, 60);
+    // ---- train-steps/sec: best-of-N interleaved like the decision
+    // series — this series is CI-gated too, so it gets the same noise
+    // treatment. Training keeps learning across repetitions (the agents'
+    // per-step cost does not depend on training progress), and the
+    // baseline's target-sync cadence runs on its global step count.
+    let train_steps = scaled(200, 20);
+    let total_train_steps = timing_reps * train_steps;
     let mut train_rng = StdRng::seed_from_u64(0xD1CE);
-    let t0 = Instant::now();
-    for _ in 0..train_steps {
-        std::hint::black_box(agent.learn(&mut train_rng));
-    }
-    let optimized_train = rate(train_steps, t0.elapsed().as_secs_f64());
-
     let mut baseline_train_net = BaselineNet::from_qnet(agent.online_network());
     let mut baseline_target_net = BaselineNet::from_qnet(agent.online_network());
     let mut baseline_opt = config.optimizer.build();
-    let mut train_rng = StdRng::seed_from_u64(0xD1CE);
-    let t0 = Instant::now();
-    for step in 0..train_steps {
-        std::hint::black_box(baseline_train_net.learn(
-            &baseline_target_net,
-            &mut baseline_replay,
-            &mut baseline_opt,
-            &config,
-            action_count,
-            &mut train_rng,
-        ));
-        // Periodic hard target sync, exactly as the pre-optimization learn
-        // performed it (a full parameter clone every target_sync_every
-        // learn steps) — the optimized agent does the same internally.
-        if config.target_sync_every > 0
-            && (step as u64 + 1).is_multiple_of(config.target_sync_every)
-        {
-            baseline_target_net.layers = baseline_train_net.layers.clone();
+    let mut baseline_train_rng = StdRng::seed_from_u64(0xD1CE);
+    let mut baseline_step = 0u64;
+    let mut optimized_train = 0.0f64;
+    let mut baseline_train = 0.0f64;
+    for _ in 0..timing_reps {
+        let t0 = Instant::now();
+        for _ in 0..train_steps {
+            std::hint::black_box(agent.learn(&mut train_rng));
         }
+        optimized_train = optimized_train.max(rate(train_steps, t0.elapsed().as_secs_f64()));
+
+        let t0 = Instant::now();
+        for _ in 0..train_steps {
+            std::hint::black_box(baseline_train_net.learn(
+                &baseline_target_net,
+                &mut baseline_replay,
+                &mut baseline_opt,
+                &config,
+                action_count,
+                &mut baseline_train_rng,
+            ));
+            // Periodic hard target sync, exactly as the pre-optimization
+            // learn performed it (a full parameter clone every
+            // target_sync_every learn steps) — the optimized agent does
+            // the same internally.
+            baseline_step += 1;
+            if config.target_sync_every > 0
+                && baseline_step.is_multiple_of(config.target_sync_every)
+            {
+                baseline_target_net.layers = baseline_train_net.layers.clone();
+            }
+        }
+        baseline_train = baseline_train.max(rate(train_steps, t0.elapsed().as_secs_f64()));
     }
-    let baseline_train = rate(train_steps, t0.elapsed().as_secs_f64());
 
     let decision_speedup = optimized_decisions / baseline_decisions.max(1e-9);
+    let batched_speedup = batched_decisions / optimized_decisions.max(1e-9);
     let train_speedup = optimized_train / baseline_train.max(1e-9);
     eprintln!(
         "[hotpath] decisions/sec: {optimized_decisions:.0} vs baseline {baseline_decisions:.0} ({decision_speedup:.2}x)"
+    );
+    eprintln!(
+        "[hotpath] batched decisions/sec: {batched_decisions:.0} ({batched_speedup:.2}x over the per-decision path)"
     );
     eprintln!(
         "[hotpath] train-steps/sec: {optimized_train:.1} vs baseline {baseline_train:.1} ({train_speedup:.2}x)"
@@ -376,13 +444,18 @@ fn main() {
         "decisions_timed",
         serde_json::Value::from(total_decisions as u64),
     );
+    cfg.insert("batch_rows", serde_json::Value::from(contexts.len() as u64));
     cfg.insert(
         "train_steps_timed",
-        serde_json::Value::from(train_steps as u64),
+        serde_json::Value::from(total_train_steps as u64),
     );
 
     let mut speedup = serde_json::Map::new();
     speedup.insert("decisions", serde_json::Value::from(decision_speedup));
+    speedup.insert(
+        "batched_decisions",
+        serde_json::Value::from(batched_speedup),
+    );
     speedup.insert("train_steps", serde_json::Value::from(train_speedup));
 
     let mut doc = serde_json::Map::new();
@@ -390,10 +463,18 @@ fn main() {
     doc.insert("name", serde_json::Value::from("hotpath"));
     doc.insert("config", serde_json::Value::Object(cfg));
     doc.insert("baseline", json_rates(baseline_decisions, baseline_train));
-    doc.insert(
-        "optimized",
-        json_rates(optimized_decisions, optimized_train),
-    );
+    let optimized = {
+        let mut m = match json_rates(optimized_decisions, optimized_train) {
+            serde_json::Value::Object(m) => m,
+            _ => unreachable!("json_rates builds an object"),
+        };
+        m.insert(
+            "batched_decisions_per_sec",
+            serde_json::Value::from(batched_decisions),
+        );
+        serde_json::Value::Object(m)
+    };
+    doc.insert("optimized", optimized);
     doc.insert("speedup", serde_json::Value::Object(speedup));
     doc.insert(
         "wall_clock_secs",

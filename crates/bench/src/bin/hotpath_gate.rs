@@ -1,0 +1,92 @@
+//! hotpath_gate — the CI trend gate over `BENCH_hotpath.json`.
+//!
+//! Reads the current hotpath report, feeds each tracked throughput series
+//! (per-decision decisions/sec, batched decisions/sec, train-steps/sec)
+//! through the persistent trend state (`hotpath_trend.json`, restored
+//! across CI runs via `actions/cache`), rewrites the state, and exits
+//! non-zero only on a *sustained* regression: two consecutive runs more
+//! than 20% below the accepted baseline. A single slow run is logged as
+//! soft noise and never fails the job.
+//!
+//! Environment:
+//! * `RESULTS_DIR` — where `BENCH_hotpath.json` lives (default `results`).
+//! * `HOTPATH_TREND_FILE` — trend-state path (default
+//!   `<RESULTS_DIR>/hotpath_trend.json`).
+
+use bench::out_path;
+use bench::trend::{TrendFile, TrendVerdict};
+use std::path::PathBuf;
+
+/// The tracked series: JSON key in the report's `optimized` object. The
+/// batched series is optional for reports predating it.
+const SERIES: &[(&str, bool)] = &[
+    ("decisions_per_sec", true),
+    ("batched_decisions_per_sec", false),
+    ("train_steps_per_sec", true),
+];
+
+fn trend_path() -> PathBuf {
+    std::env::var_os("HOTPATH_TREND_FILE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| out_path("hotpath_trend.json"))
+}
+
+fn main() {
+    let report_path = out_path("BENCH_hotpath.json");
+    let text = std::fs::read_to_string(&report_path).unwrap_or_else(|e| {
+        panic!(
+            "hotpath_gate needs {} (run the hotpath benchmark first): {e}",
+            report_path.display()
+        )
+    });
+    let report: serde_json::Value =
+        serde_json::from_str(&text).expect("BENCH_hotpath.json is valid JSON");
+
+    let trend_file_path = trend_path();
+    let mut trend = TrendFile::load(&trend_file_path);
+    let mut failed = false;
+    for &(series, required) in SERIES {
+        let rate = report
+            .get("optimized")
+            .and_then(|o| o.get(series))
+            .and_then(serde_json::Value::as_f64);
+        let Some(rate) = rate else {
+            assert!(
+                !required,
+                "BENCH_hotpath.json is missing required series optimized.{series}"
+            );
+            continue;
+        };
+        let verdict = trend.gate(series, rate);
+        match verdict {
+            TrendVerdict::FirstRun => {
+                eprintln!("[hotpath-gate] {series}: {rate:.1}/s (first run — baseline set)");
+            }
+            TrendVerdict::Ok { ratio } => {
+                eprintln!("[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — ok)");
+            }
+            TrendVerdict::SoftRegression { ratio, streak } => {
+                eprintln!(
+                    "[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — SOFT \
+                     regression, run {streak} of 2; one more consecutive slow run fails CI)"
+                );
+            }
+            TrendVerdict::SustainedRegression { ratio, streak } => {
+                eprintln!(
+                    "[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — SUSTAINED \
+                     regression over {streak} consecutive runs, failing the job)"
+                );
+                failed = true;
+            }
+        }
+    }
+    trend.save(&trend_file_path);
+    eprintln!(
+        "[hotpath-gate] trend state written to {} (restore it across runs to keep the series)",
+        trend_file_path.display()
+    );
+    if failed {
+        eprintln!("[hotpath-gate] FAIL: sustained >20% hotpath regression");
+        std::process::exit(1);
+    }
+}

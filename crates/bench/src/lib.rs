@@ -10,6 +10,9 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod summary;
+pub mod trend;
+
 use exper::prelude::*;
 use mano::prelude::*;
 use rl::dqn::DqnConfig;

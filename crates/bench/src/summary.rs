@@ -1,0 +1,182 @@
+//! Markdown digest of the `BENCH_*.json` artifacts: the table CI appends
+//! to `$GITHUB_STEP_SUMMARY` so headline rates are readable per run
+//! without downloading the results artifact.
+
+use std::path::Path;
+
+/// One engine report's headline numbers.
+#[derive(Debug, Clone, PartialEq)]
+struct ReportLine {
+    name: String,
+    cells: usize,
+    threads: u64,
+    wall_clock_secs: f64,
+    slots_per_sec: f64,
+}
+
+/// Renders the markdown digest of every `BENCH_*.json` in `dir`: a
+/// headline table for the grid reports (cells, threads, wall clock,
+/// slots/s) and, when present, a dedicated table for the hotpath
+/// tracker's rates and speedups. Reports are listed in file-name order so
+/// the output is stable; unparseable files are skipped with a note rather
+/// than failing the summary.
+pub fn results_markdown(dir: &Path) -> String {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+
+    let mut grid_lines: Vec<ReportLine> = Vec::new();
+    let mut hotpath: Option<serde_json::Value> = None;
+    let mut skipped: Vec<String> = Vec::new();
+    for name in &names {
+        let Ok(text) = std::fs::read_to_string(dir.join(name)) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        let Ok(doc) = serde_json::from_str(&text) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        let doc: serde_json::Value = doc;
+        if name == "BENCH_hotpath.json" {
+            hotpath = Some(doc);
+            continue;
+        }
+        let cells = doc
+            .get("cells")
+            .and_then(serde_json::Value::as_array)
+            .map(|a| a.len())
+            .unwrap_or(0);
+        grid_lines.push(ReportLine {
+            name: name.clone(),
+            cells,
+            threads: doc
+                .get("threads")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0),
+            wall_clock_secs: doc
+                .get("wall_clock_secs")
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0),
+            slots_per_sec: doc
+                .get("throughput_slots_per_sec")
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0),
+        });
+    }
+
+    let mut out = String::from("## Bench results\n\n");
+    if grid_lines.is_empty() && hotpath.is_none() {
+        out.push_str("_no BENCH_*.json reports found_\n");
+        return out;
+    }
+    if !grid_lines.is_empty() {
+        out.push_str("| report | cells | threads | wall (s) | slots/s |\n");
+        out.push_str("|---|---:|---:|---:|---:|\n");
+        for line in &grid_lines {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.2} | {:.0} |\n",
+                line.name, line.cells, line.threads, line.wall_clock_secs, line.slots_per_sec
+            ));
+        }
+    }
+    if let Some(doc) = &hotpath {
+        let rate = |section: &str, key: &str| -> f64 {
+            doc.get(section)
+                .and_then(|s| s.get(key))
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        out.push_str("\n### Hotpath tracker (BENCH_hotpath.json)\n\n");
+        out.push_str("| series | rate/s | vs pre-opt baseline |\n");
+        out.push_str("|---|---:|---:|\n");
+        out.push_str(&format!(
+            "| decisions (per-decision) | {:.0} | {:.2}x |\n",
+            rate("optimized", "decisions_per_sec"),
+            rate("speedup", "decisions"),
+        ));
+        let batched = rate("optimized", "batched_decisions_per_sec");
+        if batched > 0.0 {
+            out.push_str(&format!(
+                "| decisions (batched) | {batched:.0} | {:.2}x |\n",
+                rate("speedup", "batched_decisions"),
+            ));
+        }
+        out.push_str(&format!(
+            "| train steps | {:.1} | {:.2}x |\n",
+            rate("optimized", "train_steps_per_sec"),
+            rate("speedup", "train_steps"),
+        ));
+    }
+    if !skipped.is_empty() {
+        out.push_str(&format!(
+            "\n_skipped unparseable: {}_\n",
+            skipped.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bench_summary_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn empty_dir_notes_absence() {
+        let dir = temp_dir("empty");
+        let md = results_markdown(&dir);
+        assert!(md.contains("no BENCH_*.json"));
+    }
+
+    #[test]
+    fn grid_and_hotpath_tables_render() {
+        let dir = temp_dir("full");
+        std::fs::write(
+            dir.join("BENCH_alpha.json"),
+            r#"{"name":"alpha","threads":4,"wall_clock_secs":1.5,"slots_simulated":600,
+                "throughput_slots_per_sec":400.0,"cells":[{"a":1},{"a":2}],"aggregates":[]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_hotpath.json"),
+            r#"{"name":"hotpath",
+                "optimized":{"decisions_per_sec":50000.0,"batched_decisions_per_sec":90000.0,
+                             "train_steps_per_sec":800.0},
+                "speedup":{"decisions":2.3,"batched_decisions":1.8,"train_steps":2.4}}"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("BENCH_broken.json"), "{oops").unwrap();
+        let md = results_markdown(&dir);
+        assert!(
+            md.contains("| BENCH_alpha.json | 2 | 4 | 1.50 | 400 |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| decisions (per-decision) | 50000 | 2.30x |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| decisions (batched) | 90000 | 1.80x |"),
+            "{md}"
+        );
+        assert!(md.contains("| train steps | 800.0 | 2.40x |"), "{md}");
+        assert!(
+            md.contains("skipped unparseable: BENCH_broken.json"),
+            "{md}"
+        );
+    }
+}

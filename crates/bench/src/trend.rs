@@ -1,0 +1,345 @@
+//! The hotpath trend gate: turns the soft previous-run comparison into a
+//! CI-enforceable series.
+//!
+//! Each tracked throughput series (decisions/sec, batched decisions/sec,
+//! train-steps/sec) carries a tiny state across runs — the last accepted
+//! *baseline* rate plus the current *regression streak*. A single run
+//! below the threshold is machine noise and must never fail CI (soft-log
+//! only); the gate fails only when the regression *sustains*, i.e. the
+//! configured number of consecutive runs all land below the baseline.
+//! Any run at or above the threshold re-baselines to the *decayed
+//! maximum* of its rate and the old baseline (see [`BASELINE_DECAY`]), so
+//! the gate tracks genuine improvements without letting either a lucky
+//! spike pin the baseline high forever or a staircase of tolerated dips
+//! ratchet it down.
+//!
+//! The state round-trips through a small JSON document that CI restores
+//! from the previous run via `actions/cache` (per-branch key with a
+//! fallback) and re-saves after the gate runs.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Ratio under which a run counts as regressed (`current / baseline`):
+/// 0.8 = "more than 20% slower".
+pub const DEFAULT_REGRESSION_RATIO: f64 = 0.8;
+
+/// Consecutive regressed runs needed before the gate fails the job.
+pub const DEFAULT_FAIL_AFTER: u32 = 2;
+
+/// Per-run decay of the accepted baseline on an OK run: the new baseline
+/// is `max(current, baseline * DECAY)`, a *decayed maximum*. Taking the
+/// plain max would let one lucky noise spike pin the baseline high
+/// forever; taking `current` would let a staircase of (say) 15% losses
+/// ratchet the baseline down without ever tripping the threshold. The
+/// decayed max resists both: spikes fade at 5% per run, while the
+/// baseline falls far slower than any compounding real regression, whose
+/// cumulative ratio therefore still crosses the threshold.
+pub const BASELINE_DECAY: f64 = 0.95;
+
+/// Per-series state carried between runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendState {
+    /// Last accepted rate: the reference the next run is compared to.
+    pub baseline: f64,
+    /// Consecutive runs below the threshold so far.
+    pub streak: u32,
+}
+
+/// Outcome of feeding one run's rate into the gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrendVerdict {
+    /// No prior state — this run starts the series.
+    FirstRun,
+    /// At or above the threshold; the baseline advanced to this run.
+    Ok {
+        /// `current / previous baseline`.
+        ratio: f64,
+    },
+    /// Below the threshold but not yet sustained: soft-log only.
+    SoftRegression {
+        /// `current / baseline`.
+        ratio: f64,
+        /// Regressed runs so far (including this one).
+        streak: u32,
+    },
+    /// Below the threshold for `streak` consecutive runs: fail the job.
+    SustainedRegression {
+        /// `current / baseline`.
+        ratio: f64,
+        /// Regressed runs so far (including this one).
+        streak: u32,
+    },
+}
+
+impl TrendVerdict {
+    /// `true` when the gate should fail the job.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, TrendVerdict::SustainedRegression { .. })
+    }
+}
+
+/// Feeds one run's `current` rate into the gate for a series whose prior
+/// state is `state` (`None` = first run of the series). Returns the next
+/// state to persist plus the verdict.
+///
+/// Rules, in order:
+/// * no prior state → [`TrendVerdict::FirstRun`], baseline = current;
+/// * `current / baseline >= regression_ratio` → [`TrendVerdict::Ok`],
+///   baseline = `max(current, baseline * `[`BASELINE_DECAY`]`)` (the
+///   decayed maximum: improvements re-baseline instantly, mild dips only
+///   lower the baseline 5% per run so compounding staircase regressions
+///   still accumulate against it), streak reset;
+/// * otherwise the streak grows while the baseline holds: soft until
+///   `fail_after` consecutive regressed runs, sustained from then on.
+///
+/// # Panics
+///
+/// Panics unless `0 < regression_ratio <= 1` and `fail_after >= 1`.
+pub fn advance_trend(
+    state: Option<TrendState>,
+    current: f64,
+    regression_ratio: f64,
+    fail_after: u32,
+) -> (TrendState, TrendVerdict) {
+    assert!(
+        regression_ratio > 0.0 && regression_ratio <= 1.0,
+        "regression ratio must be in (0, 1]"
+    );
+    assert!(fail_after >= 1, "fail_after must be at least 1");
+    let Some(prev) = state else {
+        return (
+            TrendState {
+                baseline: current,
+                streak: 0,
+            },
+            TrendVerdict::FirstRun,
+        );
+    };
+    let ratio = current / prev.baseline.max(1e-9);
+    if ratio >= regression_ratio {
+        (
+            TrendState {
+                baseline: current.max(prev.baseline * BASELINE_DECAY),
+                streak: 0,
+            },
+            TrendVerdict::Ok { ratio },
+        )
+    } else {
+        let streak = prev.streak + 1;
+        let verdict = if streak >= fail_after {
+            TrendVerdict::SustainedRegression { ratio, streak }
+        } else {
+            TrendVerdict::SoftRegression { ratio, streak }
+        };
+        (
+            TrendState {
+                baseline: prev.baseline,
+                streak,
+            },
+            verdict,
+        )
+    }
+}
+
+/// The persisted gate document: per-series state keyed by series name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrendFile {
+    /// Per-series gate state.
+    pub series: BTreeMap<String, TrendState>,
+}
+
+impl TrendFile {
+    /// Parses a trend file's JSON text; `None` on any shape mismatch (a
+    /// corrupt cache entry must reset the series, never fail the job).
+    pub fn parse(text: &str) -> Option<Self> {
+        let doc: serde_json::Value = serde_json::from_str(text).ok()?;
+        let series_obj = doc.get("series")?.as_object()?;
+        let mut series = BTreeMap::new();
+        for (name, entry) in series_obj.iter() {
+            let baseline = entry.get("baseline")?.as_f64()?;
+            let streak = entry.get("streak")?.as_f64()? as u32;
+            series.insert(name.clone(), TrendState { baseline, streak });
+        }
+        Some(Self { series })
+    }
+
+    /// Loads the trend file at `path`; missing/corrupt files start fresh.
+    pub fn load(path: &Path) -> Self {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| Self::parse(&text))
+            .unwrap_or_default()
+    }
+
+    /// Serializes the document (stable key order — BTreeMap).
+    pub fn to_json(&self) -> String {
+        let mut series = serde_json::Map::new();
+        for (name, state) in &self.series {
+            let mut entry = serde_json::Map::new();
+            entry.insert("baseline", serde_json::Value::from(state.baseline));
+            entry.insert("streak", serde_json::Value::from(state.streak as u64));
+            series.insert(name.as_str(), serde_json::Value::Object(entry));
+        }
+        let mut doc = serde_json::Map::new();
+        doc.insert("schema_version", serde_json::Value::from(1u64));
+        doc.insert("series", serde_json::Value::Object(series));
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+    }
+
+    /// Writes the document to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn save(&self, path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, self.to_json() + "\n").expect("write trend file");
+    }
+
+    /// Feeds one series through [`advance_trend`] with the default
+    /// threshold/streak policy, updating the stored state in place.
+    pub fn gate(&mut self, name: &str, current: f64) -> TrendVerdict {
+        let (next, verdict) = advance_trend(
+            self.series.get(name).copied(),
+            current,
+            DEFAULT_REGRESSION_RATIO,
+            DEFAULT_FAIL_AFTER,
+        );
+        self.series.insert(name.to_string(), next);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(state: Option<TrendState>, rate: f64) -> (TrendState, TrendVerdict) {
+        advance_trend(state, rate, DEFAULT_REGRESSION_RATIO, DEFAULT_FAIL_AFTER)
+    }
+
+    #[test]
+    fn first_run_baselines_without_judgement() {
+        let (state, verdict) = step(None, 1000.0);
+        assert_eq!(verdict, TrendVerdict::FirstRun);
+        assert_eq!(state.baseline, 1000.0);
+        assert_eq!(state.streak, 0);
+    }
+
+    #[test]
+    fn single_run_noise_is_soft_and_recovery_rebaselines() {
+        let (state, _) = step(None, 1000.0);
+        // One 30%-slower run: soft, never failing.
+        let (state, verdict) = step(Some(state), 700.0);
+        assert_eq!(
+            verdict,
+            TrendVerdict::SoftRegression {
+                ratio: 0.7,
+                streak: 1
+            }
+        );
+        assert!(!verdict.is_failure());
+        assert_eq!(state.baseline, 1000.0, "baseline holds through the dip");
+        // Recovery clears the streak and re-baselines.
+        let (state, verdict) = step(Some(state), 980.0);
+        assert!(matches!(verdict, TrendVerdict::Ok { .. }));
+        assert_eq!(state.streak, 0);
+        assert_eq!(state.baseline, 980.0, "980 beats the decayed 950");
+    }
+
+    #[test]
+    fn sustained_regression_fails_on_the_second_consecutive_run() {
+        // The acceptance scenario: a real >20% regression lands, survives
+        // one run as soft noise, and fails CI on the next run.
+        let (state, _) = step(None, 1000.0);
+        let (state, first) = step(Some(state), 750.0);
+        assert!(!first.is_failure(), "single run must stay soft");
+        let (state, second) = step(Some(state), 760.0);
+        assert_eq!(
+            second,
+            TrendVerdict::SustainedRegression {
+                ratio: 0.76,
+                streak: 2
+            }
+        );
+        assert!(second.is_failure());
+        // It keeps failing until performance recovers…
+        let (state, third) = step(Some(state), 700.0);
+        assert!(third.is_failure());
+        // …and recovery re-opens the gate.
+        let (_, fixed) = step(Some(state), 990.0);
+        assert!(!fixed.is_failure());
+    }
+
+    #[test]
+    fn exactly_threshold_is_not_a_regression() {
+        let (state, _) = step(None, 1000.0);
+        let (state, verdict) = step(Some(state), 800.0);
+        assert!(matches!(verdict, TrendVerdict::Ok { .. }));
+        // Decayed max: a tolerated dip only lowers the baseline 5%.
+        assert_eq!(state.baseline, 950.0);
+    }
+
+    #[test]
+    fn improvements_rebaseline_upward() {
+        let (state, _) = step(None, 1000.0);
+        let (state, _) = step(Some(state), 1500.0);
+        assert_eq!(state.baseline, 1500.0);
+        // A drop back to the old level is now a regression vs 1500.
+        let (_, verdict) = step(Some(state), 1000.0);
+        assert!(matches!(verdict, TrendVerdict::SoftRegression { .. }));
+    }
+
+    #[test]
+    fn staircase_regressions_accumulate_against_the_decayed_baseline() {
+        // Three compounding 15% losses: each single step stays above the
+        // 0.8 threshold, but the baseline only decays 5% per OK run, so
+        // the cumulative loss crosses the threshold and fails — the gate
+        // is not ratcheted down step by step.
+        let (state, _) = step(None, 1000.0);
+        let (state, first) = step(Some(state), 850.0);
+        assert!(
+            matches!(first, TrendVerdict::Ok { .. }),
+            "one 15% dip is tolerated"
+        );
+        assert_eq!(state.baseline, 950.0);
+        let (state, second) = step(Some(state), 722.0); // 0.76x of 950
+        assert!(matches!(second, TrendVerdict::SoftRegression { .. }));
+        let (_, third) = step(Some(state), 614.0);
+        assert!(third.is_failure(), "compounded staircase must fail");
+    }
+
+    #[test]
+    fn trend_file_round_trips_and_survives_corruption() {
+        let mut file = TrendFile::default();
+        assert_eq!(
+            file.gate("decisions_per_sec", 1000.0),
+            TrendVerdict::FirstRun
+        );
+        file.gate("train_steps_per_sec", 50.0);
+        let parsed = TrendFile::parse(&file.to_json()).expect("round trip");
+        assert_eq!(parsed, file);
+        assert!(TrendFile::parse("not json").is_none());
+        assert!(TrendFile::parse("{\"series\": 3}").is_none());
+    }
+
+    #[test]
+    fn gate_sequence_through_the_file_matches_advance_trend() {
+        let mut file = TrendFile::default();
+        file.gate("s", 1000.0);
+        assert!(!file.gate("s", 700.0).is_failure());
+        assert!(file.gate("s", 700.0).is_failure());
+        let state = file.series["s"];
+        assert_eq!(state.streak, 2);
+        assert_eq!(state.baseline, 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "regression ratio")]
+    fn invalid_threshold_rejected() {
+        let _ = advance_trend(None, 1.0, 0.0, 2);
+    }
+}

@@ -38,6 +38,9 @@ pub struct PgPolicy {
     agent: ReinforceAgent,
     label: String,
     training: bool,
+    /// Whether the engine may route greedy evaluation decisions through
+    /// the batched-inference path (on by default).
+    batched_inference: bool,
     episode_returns: Vec<f32>,
 }
 
@@ -64,6 +67,7 @@ impl PgPolicy {
             agent,
             label: config.label,
             training: true,
+            batched_inference: true,
             episode_returns: Vec::new(),
         }
     }
@@ -71,6 +75,12 @@ impl PgPolicy {
     /// Read access to the wrapped agent.
     pub fn agent(&self) -> &ReinforceAgent {
         &self.agent
+    }
+
+    /// Enables/disables the batched greedy-inference path (enabled by
+    /// default; selection is bit-identical either way).
+    pub fn set_batched_inference(&mut self, enabled: bool) {
+        self.batched_inference = enabled;
     }
 
     /// Drains accumulated per-episode returns.
@@ -115,6 +125,14 @@ impl PlacementPolicy for PgPolicy {
         } else if feedback.done {
             let _ = feedback; // evaluation: nothing to learn
         }
+    }
+
+    fn supports_greedy_batch(&self) -> bool {
+        !self.training && self.batched_inference
+    }
+
+    fn greedy_batch(&mut self, states: &nn::tensor::Matrix, masks: &[bool], out: &mut Vec<usize>) {
+        self.agent.act_greedy_batch(states, masks, out);
     }
 
     fn set_training(&mut self, training: bool) {

@@ -113,6 +113,30 @@ pub trait PlacementPolicy {
         let _ = (feedback, rng);
     }
 
+    /// `true` when the policy can answer a whole slot's pending decisions
+    /// through [`PlacementPolicy::greedy_batch`]. Network-backed policies
+    /// return `true` in (greedy, frozen) evaluation mode only — batched
+    /// selection has no exploration rng stream, so a training policy must
+    /// keep the per-decision path to preserve its draw order. Heuristics
+    /// decide in nanoseconds and gain nothing from batching.
+    fn supports_greedy_batch(&self) -> bool {
+        false
+    }
+
+    /// Greedy actions for a batch of decisions: one encoded state per row
+    /// of `states`, row-major valid-action `masks`
+    /// (`masks[row * mask_stride + action]`), one selected action index
+    /// per row pushed into `out` (cleared first).
+    ///
+    /// Only called when [`PlacementPolicy::supports_greedy_batch`] is
+    /// `true`. Implementations must select exactly what `decide` would
+    /// pick for each row in isolation — the engine's batched decision
+    /// loop relies on that to stay bit-identical to the sequential path.
+    fn greedy_batch(&mut self, states: &nn::tensor::Matrix, masks: &[bool], out: &mut Vec<usize>) {
+        let _ = (states, masks, out);
+        unreachable!("greedy_batch called on a policy that does not support it");
+    }
+
     /// Switches between training (explore + learn) and evaluation (greedy,
     /// frozen) behaviour. Heuristics ignore this.
     fn set_training(&mut self, training: bool) {

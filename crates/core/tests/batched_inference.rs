@@ -1,0 +1,113 @@
+//! Engine-level guarantees of the batched decision-inference path: a run
+//! whose greedy decisions are served from per-slot batched forwards must
+//! be bit-identical to the sequential per-decision run, for both the DQN
+//! and the REINFORCE manager, while actually exercising the batch.
+
+use mano::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::dqn::DqnConfig;
+use rl::qnet::QNetworkConfig;
+use rl::reinforce::ReinforceConfig;
+use rl::schedule::EpsilonSchedule;
+
+/// A multi-arrival scenario (Poisson λ=2 over 4 sites) so slots routinely
+/// carry batches worth assembling.
+fn scenario() -> Scenario {
+    let mut s = Scenario::small_test();
+    s.horizon_slots = 50;
+    s
+}
+
+fn drl_pair(scenario: &Scenario) -> (DrlPolicy, DrlPolicy) {
+    let probe = Simulation::new(scenario, RewardConfig::default());
+    let state_dim = probe.encoder.dim();
+    let action_count = probe.action_space.len();
+    drop(probe);
+    let config = DrlManagerConfig {
+        dqn: DqnConfig {
+            network: QNetworkConfig::Standard { hidden: vec![16] },
+            epsilon: EpsilonSchedule::Constant(0.0),
+            ..DqnConfig::default()
+        },
+        label: "drl".into(),
+    };
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let mut batched = DrlPolicy::new(config, state_dim, action_count, &mut rng);
+    batched.set_training(false);
+    let mut sequential = batched.clone();
+    sequential.set_batched_inference(false);
+    (batched, sequential)
+}
+
+fn run(scenario: &Scenario, policy: &mut dyn PlacementPolicy) -> (RunSummary, u64) {
+    let mut sim = Simulation::new(scenario, RewardConfig::default());
+    let mut summary = sim.run(policy, 7);
+    // Wall-clock decision timing is legitimately non-deterministic.
+    summary.mean_decision_time_us = 0.0;
+    (summary, sim.batched_decisions())
+}
+
+#[test]
+fn dqn_batched_run_is_bit_identical_to_sequential() {
+    let scenario = scenario();
+    let (mut batched, mut sequential) = drl_pair(&scenario);
+    let (summary_batched, hits) = run(&scenario, &mut batched);
+    let (summary_sequential, no_hits) = run(&scenario, &mut sequential);
+    assert!(
+        hits > 0,
+        "the batched path never fired — the test exercises nothing"
+    );
+    assert_eq!(no_hits, 0, "disabled batching must not serve batched rows");
+    assert_eq!(
+        summary_batched, summary_sequential,
+        "batched inference changed the run"
+    );
+}
+
+#[test]
+fn pg_batched_run_is_bit_identical_to_sequential() {
+    let scenario = scenario();
+    let probe = Simulation::new(&scenario, RewardConfig::default());
+    let state_dim = probe.encoder.dim();
+    let action_count = probe.action_space.len();
+    drop(probe);
+    let config = PgManagerConfig {
+        reinforce: ReinforceConfig {
+            hidden: vec![16],
+            ..ReinforceConfig::default()
+        },
+        label: "pg".into(),
+    };
+    let mut rng = StdRng::seed_from_u64(0xBA7D);
+    let mut batched = PgPolicy::new(config, state_dim, action_count, &mut rng);
+    batched.set_training(false);
+    let mut sequential = batched.clone();
+    sequential.set_batched_inference(false);
+    let (summary_batched, hits) = run(&scenario, &mut batched);
+    let (summary_sequential, no_hits) = run(&scenario, &mut sequential);
+    assert!(hits > 0);
+    assert_eq!(no_hits, 0);
+    assert_eq!(summary_batched, summary_sequential);
+}
+
+#[test]
+fn training_mode_never_uses_the_batched_path() {
+    // Exploration draws from the decision rng stream; batching a training
+    // policy would desynchronize it. The policy must refuse to batch.
+    let scenario = scenario();
+    let (mut policy, _) = drl_pair(&scenario);
+    policy.set_training(true);
+    assert!(!policy.supports_greedy_batch());
+    let (_, hits) = run(&scenario, &mut policy);
+    assert_eq!(hits, 0, "training run served decisions from a batch");
+}
+
+#[test]
+fn heuristics_fall_back_without_batching() {
+    let scenario = scenario();
+    let mut policy = FirstFitPolicy;
+    let (summary, hits) = run(&scenario, &mut policy);
+    assert_eq!(hits, 0);
+    assert!(summary.total_arrivals > 0);
+}

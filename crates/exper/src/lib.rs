@@ -7,9 +7,13 @@
 //! runs across worker threads.
 //!
 //! * [`pool`] — the std-only fork-join pool (`EXPER_THREADS` override,
-//!   shared-counter work stealing, index-ordered results).
+//!   shared-counter work stealing, index-ordered results, worker-local
+//!   state via [`pool::run_indexed_with`]).
 //! * [`grid`] — declarative [`grid::ExperimentGrid`]s with deterministic
 //!   multi-seed aggregation and [`mano::report::BenchReport`] output.
+//! * [`eval`] — [`eval::parallel_eval`], the greedy-evaluation fan-out
+//!   that clones one frozen policy per worker thread (one warm inference
+//!   workspace each) instead of per cell.
 //!
 //! # Determinism guarantee
 //!
@@ -22,13 +26,15 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod eval;
 pub mod grid;
 pub mod pool;
 
 /// Convenient glob-import of the engine's surface.
 pub mod prelude {
+    pub use crate::eval::{cells_for_seeds, parallel_eval, report_from_cells, EvalCell};
     pub use crate::grid::{
         cells_csv, merge_reports, sweep_csv, ExperimentGrid, GridScenario, PolicyFactory,
     };
-    pub use crate::pool::{parallel_map, run_indexed, thread_count, THREADS_ENV};
+    pub use crate::pool::{parallel_map, run_indexed, run_indexed_with, thread_count, THREADS_ENV};
 }

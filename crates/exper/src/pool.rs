@@ -61,6 +61,31 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_indexed_with(n, threads, || (), |(), index| job(index))
+}
+
+/// [`run_indexed`] with worker-local state: every worker thread builds
+/// one `init()` value and threads it mutably through all the cells it
+/// claims. The fan-out primitive for jobs that carry warm reusable
+/// buffers — a greedy evaluation fleet clones its policy (and therefore
+/// its inference `Workspace`) once per *worker*, not once per cell.
+///
+/// Determinism contract: `job` must produce the same result for an index
+/// regardless of which cells the worker's state served before (reusable
+/// buffers, not behavioral state). Under that contract the output is
+/// identical for any `threads` value, index-keyed exactly like
+/// [`run_indexed`].
+///
+/// # Panics
+///
+/// Same poisoning behavior as [`run_indexed`]: one panicking cell stops
+/// the fleet and re-panics after the workers drain.
+pub fn run_indexed_with<S, R, I, F>(n: usize, threads: usize, init: I, job: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     assert!(threads > 0, "need at least one worker thread");
     if n == 0 {
         return Vec::new();
@@ -69,7 +94,8 @@ where
     // keeping it free of thread plumbing makes `EXPER_THREADS=1` the
     // obvious reference run for determinism checks.
     if threads == 1 || n == 1 {
-        return (0..n).map(job).collect();
+        let mut state = init();
+        return (0..n).map(|i| job(&mut state, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -81,9 +107,11 @@ where
             let tx = tx.clone();
             let next = &next;
             let poisoned = &poisoned;
+            let init = &init;
             let job = &job;
             scope.spawn(move || {
                 let _guard = PanicGuard(poisoned);
+                let mut state = init();
                 loop {
                     if poisoned.load(Ordering::Relaxed) {
                         break;
@@ -94,7 +122,8 @@ where
                     }
                     // A send can only fail if the receiver was dropped,
                     // which cannot happen while this scope is alive.
-                    tx.send((index, job(index))).expect("receiver alive");
+                    tx.send((index, job(&mut state, index)))
+                        .expect("receiver alive");
                 }
             });
         }
@@ -158,6 +187,21 @@ mod tests {
     #[test]
     fn more_threads_than_work_is_fine() {
         assert_eq!(run_indexed(2, 32, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn worker_state_is_warm_scratch_not_behavior() {
+        // The state is a reusable buffer: the job's result is a pure
+        // function of the index, so any thread count agrees.
+        let job = |buf: &mut Vec<usize>, i: usize| {
+            buf.clear(); // warm reuse across the worker's cells
+            buf.extend(0..=i);
+            buf.iter().sum::<usize>()
+        };
+        let seq = run_indexed_with(23, 1, Vec::new, job);
+        let par = run_indexed_with(23, 8, Vec::new, job);
+        assert_eq!(seq, par);
+        assert_eq!(seq[3], 6);
     }
 
     #[test]

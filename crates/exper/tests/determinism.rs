@@ -57,6 +57,63 @@ fn thread_count_is_recorded_but_outside_the_payload() {
 }
 
 #[test]
+fn parallel_eval_is_thread_count_invariant_with_warm_worker_clones() {
+    // parallel_eval clones the frozen policy once per WORKER, so a
+    // worker's inference workspaces stay warm across the cells it serves.
+    // Warm buffers must be reusable scratch, not behavioral state: any
+    // thread count (and any cell-to-worker assignment) has to produce
+    // bit-identical cells.
+    let scenario = Scenario::small_test();
+    let mut agent_rng = rand::SeedableRng::seed_from_u64(17);
+    let probe = Simulation::new(&scenario, RewardConfig::default());
+    let mut policy = DrlPolicy::new(
+        DrlManagerConfig::default(),
+        probe.encoder.dim(),
+        probe.action_space.len(),
+        &mut agent_rng,
+    );
+    drop(probe);
+    policy.set_training(false);
+
+    let mut cells = cells_for_seeds(
+        "lambda=2",
+        2.0,
+        &scenario.with_arrival_rate(2.0),
+        &[1, 2, 3],
+    );
+    cells.extend(cells_for_seeds(
+        "lambda=5",
+        5.0,
+        &scenario.with_arrival_rate(5.0),
+        &[1, 2, 3],
+    ));
+
+    let sequential = parallel_eval(
+        &policy,
+        "drl",
+        RewardConfig::default(),
+        &cells,
+        Some(1),
+        false,
+    );
+    let parallel = parallel_eval(
+        &policy,
+        "drl",
+        RewardConfig::default(),
+        &cells,
+        Some(8),
+        false,
+    );
+    assert_eq!(sequential.len(), 6);
+    assert_eq!(sequential, parallel);
+
+    // And the packaged report merges like any grid report.
+    let report = report_from_cells("eval_fanout", 8, 1.0, parallel);
+    assert_eq!(report.aggregates.len(), 2);
+    assert!(report.aggregates.iter().all(|a| a.aggregate.runs == 3));
+}
+
+#[test]
 fn stateful_policy_cells_stay_independent() {
     // A learning policy cloned per cell must give the same result as the
     // same policy evaluated directly: no cross-cell state bleed.

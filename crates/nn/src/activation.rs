@@ -34,6 +34,32 @@ impl Activation {
         }
     }
 
+    /// Applies the activation to one scalar — the same expression per
+    /// variant as the matrix forms, so fused kernels built on it are
+    /// bit-identical to `apply`/`apply_assign`.
+    #[inline]
+    pub fn apply_scalar(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => v,
+            Activation::Relu => {
+                if v > 0.0 {
+                    v
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(alpha) => {
+                if v > 0.0 {
+                    v
+                } else {
+                    alpha * v
+                }
+            }
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => sigmoid(v),
+        }
+    }
+
     /// Applies the activation element-wise in place (no allocation).
     pub fn apply_assign(self, z: &mut Matrix) {
         match self {

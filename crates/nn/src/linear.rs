@@ -147,15 +147,28 @@ impl Dense {
     }
 
     /// Inference forward pass into a caller-owned buffer: matmul, bias
-    /// broadcast, and activation all land in `out` with no allocation.
+    /// broadcast, and activation all land in `out` with no allocation,
+    /// through the fused kernel — bias and activation are applied while
+    /// each micro-kernel tile is still in registers, sparing the batched
+    /// decision path two full memory passes over the output. Identical
+    /// per-element arithmetic in identical order to the unfused
+    /// matmul → broadcast → activate sequence, so results are
+    /// bit-identical (pinned by the golden scratch tests). The common
+    /// activations get monomorphized epilogues; the rest dispatch through
+    /// [`Activation::apply_scalar`].
     ///
     /// # Panics
     ///
     /// Panics if `input.cols() != in_dim`.
     pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
-        input.matmul_into(&self.weights, out);
-        out.add_row_broadcast_assign(&self.bias);
-        self.activation.apply_assign(out);
+        let (w, b) = (&self.weights, &self.bias);
+        match self.activation {
+            Activation::Identity => input.matmul_bias_map_into(w, b, |z| z, out),
+            Activation::Relu => {
+                input.matmul_bias_map_into(w, b, |z| if z > 0.0 { z } else { 0.0 }, out)
+            }
+            act => input.matmul_bias_map_into(w, b, move |z| act.apply_scalar(z), out),
+        }
     }
 
     /// Training forward pass: caches the input and pre-activation so a

@@ -20,6 +20,19 @@ use serde::{Deserialize, Serialize};
 /// preserving ascending-`k` accumulation per output element.
 const K_BLOCK: usize = 64;
 
+/// Tile shape of the register-blocked micro-kernel in
+/// [`Matrix::matmul_into`]: [`ROW_TILE`] rows × [`J_TILE`] columns of
+/// accumulators live in registers across the whole `k` sweep (16 ×
+/// 8-lane vectors under AVX2, 8 × 16-lane under AVX-512 — enabled by the
+/// workspace-level `target-cpu=native` build), so each loaded `b`
+/// element feeds [`ROW_TILE`] multiply-add lanes and every accumulator
+/// is stored exactly once instead of once per `k`. On narrower ISAs the
+/// tile spills and merely matches the axpy path — correct either way.
+const J_TILE: usize = 16;
+
+/// Row depth of the micro-kernel tile (see [`J_TILE`]).
+const ROW_TILE: usize = 8;
+
 /// `out[j] += a * b[j]` over two equal-length slices, eight lanes per
 /// iteration. Each output lane is independent, so the unroll reassociates
 /// nothing — results are bit-identical to the scalar loop.
@@ -395,18 +408,198 @@ impl Matrix {
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let (m, n) = (self.rows, other.cols);
         out.reset_zeroed(m, n);
+        // Batched inputs go through the register-tiled micro-kernel;
+        // whatever it cannot tile (row tail, column tail, single-row
+        // calls) falls through to the k-blocked axpy kernel. Both paths
+        // accumulate every output element over ascending `k`, so the
+        // split is invisible in the bits.
+        let tiled_rows = if n >= J_TILE { m - m % ROW_TILE } else { 0 };
+        let tiled_cols = if tiled_rows > 0 { n - n % J_TILE } else { 0 };
+        let mut j = 0;
+        while j < tiled_cols {
+            let mut i = 0;
+            while i < tiled_rows {
+                self.matmul_tile::<ROW_TILE>(other, out, i, j);
+                i += ROW_TILE;
+            }
+            j += J_TILE;
+        }
+        self.matmul_axpy_ranged(other, out, 0..tiled_rows, tiled_cols..n);
+        self.matmul_axpy_ranged(other, out, tiled_rows..m, 0..n);
+    }
+
+    /// The shared accumulation core of one `R`-row × [`J_TILE`]-column
+    /// micro-kernel tile: the `R * J_TILE` accumulators stay in registers
+    /// across the whole ascending-`k` sweep and each streamed `b` element
+    /// feeds all `R` rows. The loop is deliberately branch-free — no zero
+    /// skip: lanes whose `a` is zero contribute `±0·b` terms, which are
+    /// bit-level no-ops on the (never `-0.0`) accumulators for finite
+    /// `b`, so results stay bit-identical to the per-row zero-skip of the
+    /// axpy kernel while the dense inner loop vectorizes cleanly. Both
+    /// the plain and the fused tile apply their own store epilogue to the
+    /// returned accumulators, so the hot loop cannot diverge between
+    /// them.
+    #[inline]
+    fn matmul_tile_acc<const R: usize>(
+        &self,
+        other: &Matrix,
+        i: usize,
+        j: usize,
+    ) -> [[f32; J_TILE]; R] {
+        let (k, n) = (self.cols, other.cols);
+        let a_rows: [&[f32]; R] = std::array::from_fn(|r| &self.data[(i + r) * k..(i + r + 1) * k]);
+        let mut acc = [[0.0f32; J_TILE]; R];
+        // Indexing by `kk` keeps the R row reads and the `b` tile visibly in
+        // lockstep on the same contraction index; an iterator chain over R
+        // slices plus the strided `b` walk would obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for kk in 0..k {
+            let b_tile: &[f32; J_TILE] = other.data[kk * n + j..kk * n + j + J_TILE]
+                .try_into()
+                .expect("tile width is J_TILE");
+            for r in 0..R {
+                let ar = a_rows[r][kk];
+                for t in 0..J_TILE {
+                    acc[r][t] += ar * b_tile[t];
+                }
+            }
+        }
+        acc
+    }
+
+    /// One plain tile of the product: [`Matrix::matmul_tile_acc`] stored
+    /// once.
+    #[inline]
+    fn matmul_tile<const R: usize>(&self, other: &Matrix, out: &mut Matrix, i: usize, j: usize) {
+        let n = other.cols;
+        let acc = self.matmul_tile_acc::<R>(other, i, j);
+        for (r, acc_row) in acc.iter().enumerate() {
+            let start = (i + r) * n + j;
+            out.data[start..start + J_TILE].copy_from_slice(acc_row);
+        }
+    }
+
+    /// Fused inference product: `out = f(self * other + bias)`, with
+    /// `bias` a `1 x n` row broadcast over output rows and `f` an
+    /// element-wise epilogue (the layer activation). Exactly the
+    /// arithmetic of [`Matrix::matmul_into`] followed by
+    /// [`Matrix::add_row_broadcast_assign`] and an element-wise map —
+    /// identical operations per element in identical order, so results
+    /// are bit-identical — but the epilogue runs while each micro-kernel
+    /// tile is still in registers, sparing the batched forward two full
+    /// read-modify-write passes over the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows` or `bias` is not `1 x n`.
+    pub fn matmul_bias_map_into<F: Fn(f32) -> f32 + Copy>(
+        &self,
+        other: &Matrix,
+        bias: &Matrix,
+        f: F,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.cols);
+        assert_eq!(
+            bias.shape(),
+            (1, n),
+            "bias must be 1x{n}, got {}x{}",
+            bias.rows,
+            bias.cols
+        );
+        out.reset_zeroed(m, n);
+        let tiled_rows = if n >= J_TILE { m - m % ROW_TILE } else { 0 };
+        let tiled_cols = if tiled_rows > 0 { n - n % J_TILE } else { 0 };
+        let bias_row = bias.row(0);
+        let mut j = 0;
+        while j < tiled_cols {
+            let mut i = 0;
+            while i < tiled_rows {
+                self.matmul_tile_fused::<ROW_TILE, F>(other, bias_row, f, out, i, j);
+                i += ROW_TILE;
+            }
+            j += J_TILE;
+        }
+        // Tails: plain ranged products, then the same bias + epilogue per
+        // element (the order each element experiences is unchanged).
+        self.matmul_axpy_ranged(other, out, 0..tiled_rows, tiled_cols..n);
+        self.matmul_axpy_ranged(other, out, tiled_rows..m, 0..n);
+        let mut finish = |rows: std::ops::Range<usize>, cols: std::ops::Range<usize>| {
+            for i in rows {
+                let row = &mut out.data[i * n + cols.start..i * n + cols.end];
+                for (o, &b) in row.iter_mut().zip(bias_row[cols.clone()].iter()) {
+                    *o = f(*o + b);
+                }
+            }
+        };
+        finish(0..tiled_rows, tiled_cols..n);
+        finish(tiled_rows..m, 0..n);
+    }
+
+    /// One fused tile of the product: [`Matrix::matmul_tile_acc`] with
+    /// the bias + epilogue applied as the tile leaves its registers.
+    #[inline]
+    fn matmul_tile_fused<const R: usize, F: Fn(f32) -> f32 + Copy>(
+        &self,
+        other: &Matrix,
+        bias_row: &[f32],
+        f: F,
+        out: &mut Matrix,
+        i: usize,
+        j: usize,
+    ) {
+        let n = other.cols;
+        let acc = self.matmul_tile_acc::<R>(other, i, j);
+        let bias_tile: &[f32; J_TILE] = bias_row[j..j + J_TILE]
+            .try_into()
+            .expect("tile width is J_TILE");
+        for (r, acc_row) in acc.iter().enumerate() {
+            let start = (i + r) * n + j;
+            for (o, (&v, &b)) in out.data[start..start + J_TILE]
+                .iter_mut()
+                .zip(acc_row.iter().zip(bias_tile.iter()))
+            {
+                *o = f(v + b);
+            }
+        }
+    }
+
+    /// The k-blocked axpy kernel over a row/column sub-range of the
+    /// product (the pre-tiling `matmul_into` body, column-ranged so it
+    /// can finish what the micro-kernel left). Zero `a` scalars skip
+    /// their whole axpy; per output element the surviving `k` terms
+    /// accumulate in ascending order.
+    fn matmul_axpy_ranged(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) {
+        if rows.is_empty() || cols.is_empty() {
+            return;
+        }
+        let (k, n) = (self.cols, other.cols);
         let mut k0 = 0;
         while k0 < k {
             let k1 = (k0 + K_BLOCK).min(k);
-            let b_block = &other.data[k0 * n..k1 * n];
-            for i in 0..m {
+            for i in rows.clone() {
                 let a_block = &self.data[i * k + k0..i * k + k1];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (b_row, &a) in b_block.chunks_exact(n.max(1)).zip(a_block.iter()) {
+                let out_row = &mut out.data[i * n + cols.start..i * n + cols.end];
+                for (kk, &a) in (k0..k1).zip(a_block.iter()) {
                     if a != 0.0 {
-                        axpy(out_row, b_row, a);
+                        axpy(
+                            out_row,
+                            &other.data[kk * n + cols.start..kk * n + cols.end],
+                            a,
+                        );
                     }
                 }
             }
@@ -717,6 +910,93 @@ impl Matrix {
         self.row_argmax(r).1
     }
 
+    /// Argmax of every row into a caller-owned buffer (cleared first):
+    /// `out[r]` is the column index of row `r`'s maximum, ties resolving
+    /// to the lowest index (the [`Matrix::row_argmax`] rule). The batched
+    /// decision-selection form of the per-row call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no columns.
+    pub fn argmax_rows_into(&self, out: &mut Vec<usize>) {
+        assert!(
+            self.cols > 0,
+            "argmax_rows_into on matrix with zero columns"
+        );
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            out.push(self.row_argmax(r).0);
+        }
+    }
+
+    /// Argmax of every row under a row-major validity mask, into a
+    /// caller-owned buffer (cleared first). `masks` holds `rows * cols`
+    /// entries (`masks[r * cols + c]` gates element `(r, c)`); `out[r]` is
+    /// `None` when row `r` is fully masked.
+    ///
+    /// Selection rule: masked entries are skipped; walking the row left to
+    /// right, a value becomes the new best only when *strictly greater*
+    /// than the current best, so ties resolve to the lowest valid index.
+    /// This is exactly the rule single-state masked action selection uses,
+    /// which is what makes batched and per-row selection bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len() != rows * cols`.
+    pub fn masked_argmax_rows_into(&self, masks: &[bool], out: &mut Vec<Option<usize>>) {
+        assert_eq!(
+            masks.len(),
+            self.rows * self.cols,
+            "masks length {} != rows*cols {}",
+            masks.len(),
+            self.rows * self.cols
+        );
+        out.clear();
+        out.reserve(self.rows);
+        for (row, mask) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(masks.chunks_exact(self.cols.max(1)))
+        {
+            out.push(masked_row_best(row, mask).map(|(i, _)| i));
+        }
+        // chunks_exact yields nothing for a zero-column matrix; rows of
+        // width zero are all "fully masked".
+        if self.cols == 0 {
+            out.resize(self.rows, None);
+        }
+    }
+
+    /// Maximum of every row under a row-major validity mask, into a
+    /// caller-owned buffer (cleared first); `None` marks a fully-masked
+    /// row. Same selection rule as [`Matrix::masked_argmax_rows_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len() != rows * cols`.
+    pub fn masked_max_rows_into(&self, masks: &[bool], out: &mut Vec<Option<f32>>) {
+        assert_eq!(
+            masks.len(),
+            self.rows * self.cols,
+            "masks length {} != rows*cols {}",
+            masks.len(),
+            self.rows * self.cols
+        );
+        out.clear();
+        out.reserve(self.rows);
+        for (row, mask) in self
+            .data
+            .chunks_exact(self.cols.max(1))
+            .zip(masks.chunks_exact(self.cols.max(1)))
+        {
+            out.push(masked_row_best(row, mask).map(|(_, v)| v));
+        }
+        if self.cols == 0 {
+            out.resize(self.rows, None);
+        }
+    }
+
     /// Frobenius norm of the matrix.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
@@ -748,6 +1028,24 @@ impl Matrix {
                 .collect(),
         }
     }
+}
+
+/// Best `(index, value)` of one masked row: masked entries are skipped and
+/// a value only displaces the incumbent when strictly greater, so ties
+/// resolve to the lowest valid index. Shared by the batched row reductions
+/// so the argmax and max variants cannot drift apart.
+fn masked_row_best(row: &[f32], mask: &[bool]) -> Option<(usize, f32)> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, (&v, &ok)) in row.iter().zip(mask.iter()).enumerate() {
+        if !ok {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
 }
 
 /// The pre-optimization kernels, preserved verbatim as the bit-exactness
@@ -923,6 +1221,41 @@ mod tests {
     fn argmax_prefers_first_on_tie() {
         let a = Matrix::from_rows(&[&[1.0, 5.0, 5.0, 0.0]]);
         assert_eq!(a.row_argmax(0), (1, 5.0));
+    }
+
+    #[test]
+    fn argmax_rows_matches_per_row_argmax() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0, 5.0], &[9.0, 2.0, 3.0], &[0.0, 0.0, 7.0]]);
+        let mut out = Vec::new();
+        a.argmax_rows_into(&mut out);
+        assert_eq!(out, vec![1, 0, 2]);
+        // Buffer is cleared on reuse.
+        a.argmax_rows_into(&mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn masked_argmax_rows_skips_invalid_and_ties_low() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0, 7.0], &[4.0, 4.0, 4.0], &[5.0, 6.0, 7.0]]);
+        let masks = [
+            true, false, true, // best valid: 7.0 at 2
+            true, true, true, // tie -> lowest index
+            false, false, false, // fully masked
+        ];
+        let mut out = Vec::new();
+        a.masked_argmax_rows_into(&masks, &mut out);
+        assert_eq!(out, vec![Some(2), Some(0), None]);
+        let mut maxes = Vec::new();
+        a.masked_max_rows_into(&masks, &mut maxes);
+        assert_eq!(maxes, vec![Some(7.0), Some(4.0), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "masks length")]
+    fn masked_argmax_rows_rejects_bad_mask_length() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let mut out = Vec::new();
+        a.masked_argmax_rows_into(&[true], &mut out);
     }
 
     #[test]

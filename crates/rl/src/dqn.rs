@@ -179,6 +179,8 @@ struct DqnScratch {
     targets: Vec<f32>,
     /// Cached all-valid action mask (for transitions without one).
     all_valid: Vec<bool>,
+    /// Per-row selection results of the batched greedy path.
+    batch_choice: Vec<Option<usize>>,
 }
 
 /// A DQN agent over vectorized states and discrete (maskable) actions.
@@ -325,6 +327,45 @@ impl DqnAgent {
             .online
             .q_values_into(state, &mut self.scratch.online_ws);
         masked_argmax(q, mask).expect("act_greedy called with fully-masked action set")
+    }
+
+    /// Batched Q-values for `states` (one encoded state per row) through
+    /// the agent-owned online workspace: ONE forward pass instead of
+    /// `rows` single-state calls. Rows are independent under the kernels,
+    /// so row `r` of the result is bit-identical to
+    /// `q_values_into(states.row(r))`. The returned reference is valid
+    /// until the workspace's next use.
+    pub fn q_values_batch_into(&mut self, states: &Matrix) -> &Matrix {
+        self.online
+            .forward_into(states, &mut self.scratch.online_ws)
+    }
+
+    /// Greedy actions for a whole batch of decisions: `states` holds one
+    /// encoded state per row, `masks` is the row-major valid-action mask
+    /// (`masks[r * action_count + c]` gates action `c` of row `r`), and
+    /// `out` receives one action index per row (cleared first).
+    ///
+    /// Runs a single batched forward plus a mask-aware per-row argmax, so
+    /// the selected actions (and the underlying Q-rows) are bit-identical
+    /// to calling [`DqnAgent::act_greedy`] once per row — pinned by the
+    /// batch-parity test suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len() != states.rows() * action_count` or any row
+    /// is fully masked.
+    pub fn act_greedy_batch(&mut self, states: &Matrix, masks: &[bool], out: &mut Vec<usize>) {
+        let DqnScratch {
+            online_ws,
+            batch_choice,
+            ..
+        } = &mut self.scratch;
+        let q = self.online.forward_into(states, online_ws);
+        q.masked_argmax_rows_into(masks, batch_choice);
+        out.clear();
+        out.extend(batch_choice.iter().map(|choice| {
+            choice.expect("act_greedy_batch called with a fully-masked action set row")
+        }));
     }
 
     /// Stores a transition and, if due, performs a learn step.
@@ -652,5 +693,57 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
         let _ = agent.act_greedy(&[0.0, 0.0], &[false, false]);
+    }
+
+    /// One batched forward must select exactly what per-state calls do,
+    /// Q-rows included, for both network variants.
+    #[test]
+    fn batch_greedy_matches_sequential_bitwise() {
+        for network in [
+            QNetworkConfig::Standard {
+                hidden: vec![16, 8],
+            },
+            QNetworkConfig::Dueling {
+                trunk: vec![16],
+                head: 8,
+            },
+        ] {
+            let mut rng = StdRng::seed_from_u64(12);
+            let config = DqnConfig {
+                network,
+                ..tiny_config()
+            };
+            let mut agent = DqnAgent::new(config, 3, 4, &mut rng);
+            let rows = 6;
+            let mut states = Matrix::default();
+            states.begin_rows(rows, 3);
+            let mut masks = Vec::new();
+            for r in 0..rows {
+                states.push_row(&[r as f32 * 0.3 - 1.0, (r % 2) as f32, 0.5]);
+                for c in 0..4 {
+                    // Vary the masks; keep the last action always valid.
+                    masks.push(c == 3 || (r + c) % 3 != 0);
+                }
+            }
+            let mut batch_actions = Vec::new();
+            agent.act_greedy_batch(&states, &masks, &mut batch_actions);
+            let q_batch = agent.q_values_batch_into(&states).clone();
+            for r in 0..rows {
+                let mask: Vec<bool> = masks[r * 4..(r + 1) * 4].to_vec();
+                assert_eq!(batch_actions[r], agent.act_greedy(states.row(r), &mask));
+                assert_eq!(q_batch.row(r), agent.q_values(states.row(r)).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-masked")]
+    fn batch_greedy_fully_masked_row_panics() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut agent = DqnAgent::new(tiny_config(), 2, 2, &mut rng);
+        let states = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let masks = [true, true, false, false];
+        let mut out = Vec::new();
+        agent.act_greedy_batch(&states, &masks, &mut out);
     }
 }

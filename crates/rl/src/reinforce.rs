@@ -196,6 +196,44 @@ impl ReinforceAgent {
             .expect("act_greedy called with fully-masked action set")
     }
 
+    /// Greedy (mode) actions for a whole batch of decisions: `states`
+    /// holds one encoded state per row, `masks` is the row-major
+    /// valid-action mask (`masks[r * action_count + c]`), and `out`
+    /// receives one action per row (cleared first).
+    ///
+    /// One batched forward produces every row's logits, then each row goes
+    /// through the exact masked softmax + argmax that
+    /// [`ReinforceAgent::act_greedy`] applies, so the selected actions are
+    /// bit-identical to the per-state path (rows are independent under the
+    /// kernels) — pinned by the batch-parity test suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len() != states.rows() * action_count` or any row
+    /// is fully masked.
+    pub fn act_greedy_batch(&mut self, states: &Matrix, masks: &[bool], out: &mut Vec<usize>) {
+        let actions = self.net.output_dim();
+        assert_eq!(
+            masks.len(),
+            states.rows() * actions,
+            "masks length {} != rows*actions {}",
+            masks.len(),
+            states.rows() * actions
+        );
+        let PgScratch { ws, probs, .. } = &mut self.scratch;
+        let logits = self.net.forward_into(states, ws);
+        out.clear();
+        out.reserve(logits.rows());
+        for r in 0..logits.rows() {
+            let mask = &masks[r * actions..(r + 1) * actions];
+            masked_softmax_into(logits.row(r), mask, probs);
+            out.push(
+                masked_argmax(probs, mask)
+                    .expect("act_greedy_batch called with a fully-masked action set row"),
+            );
+        }
+    }
+
     /// Records one step of the in-flight episode.
     pub fn record_step(&mut self, state: Vec<f32>, mask: Vec<bool>, action: usize, reward: f32) {
         self.episode.push(EpisodeStep {
@@ -460,6 +498,44 @@ mod tests {
             let a = agent.act(&[0.1, 0.2], &[false, true, false], &mut rng);
             assert_eq!(a, 1);
         }
+    }
+
+    #[test]
+    fn batch_greedy_matches_sequential_bitwise() {
+        use nn::tensor::Matrix;
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = ReinforceConfig {
+            hidden: vec![16],
+            ..ReinforceConfig::default()
+        };
+        let mut agent = ReinforceAgent::new(config, 3, 4, &mut rng);
+        let rows = 5;
+        let mut states = Matrix::default();
+        states.begin_rows(rows, 3);
+        let mut masks = Vec::new();
+        for r in 0..rows {
+            states.push_row(&[0.2 * r as f32, 1.0 - r as f32 * 0.1, -0.4]);
+            for c in 0..4 {
+                masks.push(c == 3 || (r + c) % 2 == 0);
+            }
+        }
+        let mut batch_actions = Vec::new();
+        agent.act_greedy_batch(&states, &masks, &mut batch_actions);
+        for r in 0..rows {
+            let mask: Vec<bool> = masks[r * 4..(r + 1) * 4].to_vec();
+            assert_eq!(batch_actions[r], agent.act_greedy(states.row(r), &mask));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-masked")]
+    fn batch_greedy_fully_masked_row_panics() {
+        use nn::tensor::Matrix;
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut agent = ReinforceAgent::new(ReinforceConfig::default(), 2, 2, &mut rng);
+        let states = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let mut out = Vec::new();
+        agent.act_greedy_batch(&states, &[false, false], &mut out);
     }
 
     #[test]

@@ -9,9 +9,23 @@
 #   ./verify.sh lint        # rustfmt + clippy only (fast feedback)
 #   ./verify.sh test        # release build + full test pyramid
 #   ./verify.sh bench-smoke # FAST=1 run of every fig/table binary;
-#                           # writes CSV/JSON artifacts into $RESULTS_DIR
+#                           # writes CSV/JSON artifacts into $RESULTS_DIR,
+#                           # then runs the hotpath trend gate (fails on a
+#                           # sustained >20% regression) and prints the
+#                           # markdown digest of the BENCH_*.json rates
+#   ./verify.sh bench-full  # the same suite at full resolution (no FAST);
+#                           # slow — CI exposes it as a manual
+#                           # workflow_dispatch job
 set -euo pipefail
 cd "$(dirname "$0")"
+
+FIG_BINARIES=(
+  fig1_convergence fig2_latency_vs_load fig3_cost_vs_load fig4_acceptance
+  fig5_scalability fig6_chain_length fig7_dynamic fig8_optgap fig9_ablation
+  fig10_reward_weights fig11_pg_vs_dqn fig12_resilience
+  table1_params table2_hyperparams table3_summary
+  hotpath
+)
 
 lint() {
   echo "==> cargo fmt --all --check"
@@ -29,21 +43,12 @@ test_() {
   cargo test -q
 }
 
-bench_smoke() {
-  export FAST=1
-  export RESULTS_DIR="${RESULTS_DIR:-results}"
+run_figures() {
   echo "==> cargo build --release -p bench"
   cargo build --release -p bench
 
-  local binaries=(
-    fig1_convergence fig2_latency_vs_load fig3_cost_vs_load fig4_acceptance
-    fig5_scalability fig6_chain_length fig7_dynamic fig8_optgap fig9_ablation
-    fig10_reward_weights fig11_pg_vs_dqn fig12_resilience
-    table1_params table2_hyperparams table3_summary
-    hotpath
-  )
-  for bin in "${binaries[@]}"; do
-    echo "==> $bin (FAST=1 -> $RESULTS_DIR)"
+  for bin in "${FIG_BINARIES[@]}"; do
+    echo "==> $bin (FAST=${FAST:-0} -> $RESULTS_DIR)"
     ./target/release/"$bin" >/dev/null
   done
 
@@ -51,24 +56,52 @@ bench_smoke() {
   ls -l "$RESULTS_DIR"
   # The perf trajectory needs at least one machine-readable report, the
   # resilience sweep must have produced its report, and the hotpath
-  # throughput tracker (decisions/sec + train-steps/sec, with its in-report
-  # pre-optimization baseline and soft previous-run comparison) must have
-  # emitted its report.
+  # throughput tracker (decisions/sec, batched decisions/sec and
+  # train-steps/sec, with its in-report pre-optimization baseline) must
+  # have emitted its report.
   ls "$RESULTS_DIR"/BENCH_*.json >/dev/null
   ls "$RESULTS_DIR"/BENCH_resilience.json >/dev/null
   ls "$RESULTS_DIR"/BENCH_hotpath.json >/dev/null
+}
+
+bench_smoke() {
+  export FAST=1
+  export RESULTS_DIR="${RESULTS_DIR:-results}"
+  run_figures
+
+  # Trend gate: compares BENCH_hotpath.json against the persisted series
+  # state (restored across CI runs via actions/cache; accumulated in
+  # $RESULTS_DIR locally). Soft-logs a single >20% dip, fails the job on
+  # two consecutive ones.
+  echo "==> hotpath trend gate"
+  ./target/release/hotpath_gate
+
+  echo "==> bench summary (markdown)"
+  ./target/release/bench_summary
+}
+
+bench_full() {
+  # Full-resolution on-demand sample of the perf trajectory: no FAST, its
+  # own results dir, no trend gate (the tracked series is the smoke run's).
+  unset FAST
+  export RESULTS_DIR="${RESULTS_DIR:-results-full}"
+  run_figures
+
+  echo "==> bench summary (markdown)"
+  ./target/release/bench_summary
 }
 
 case "${1:-all}" in
   lint) lint ;;
   test) test_ ;;
   bench-smoke) bench_smoke ;;
+  bench-full) bench_full ;;
   all)
     lint
     test_
     ;;
   *)
-    echo "usage: $0 [lint|test|bench-smoke|all]" >&2
+    echo "usage: $0 [lint|test|bench-smoke|bench-full|all]" >&2
     exit 2
     ;;
 esac
