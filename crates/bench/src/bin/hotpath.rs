@@ -13,6 +13,18 @@
 //!   replay sample, batch assembly, double-DQN targets, forward/backward,
 //!   clipped Adam update).
 //!
+//! Since the event-queue refactor the report also tracks the simulation
+//! engine itself:
+//!
+//! * **events/sec** — lifecycle events (arrivals, decisions, departures,
+//!   retire checks) popped per second by the discrete-event loop on a
+//!   busy trace, and
+//! * **idle slots/sec** — an idle-trace sparsity sweep: the same arrival
+//!   prefix followed by a 10x-longer all-idle tail. The event engine
+//!   pops the *same* events either way, so the tail must cost ~nothing —
+//!   the report carries the measured idle-overhead ratio as evidence
+//!   that sparse time is O(events), not O(slots) of work.
+//!
 //! Decisions and train steps are measured twice: once through the
 //! optimized scratch-buffer engine, and once through a faithful replica
 //! of the pre-optimization pipeline (allocate-per-call tensors, the naive
@@ -38,7 +50,10 @@ use rl::prelude::{masked_argmax, Replay, UniformReplay};
 use rl::qnet::QNetwork;
 use rl::schedule::EpsilonSchedule;
 use rl::transition::Transition;
+use sfc::chain::ChainId;
+use sfc::request::{Request, RequestId};
 use std::time::Instant;
+use workload::trace::Trace;
 
 /// Captured decision points: `(encoded_state, mask)` pairs from a live
 /// placement run, so both paths are timed on the states the engine
@@ -403,6 +418,87 @@ fn main() {
         "[hotpath] train-steps/sec: {optimized_train:.1} vs baseline {baseline_train:.1} ({train_speedup:.2}x)"
     );
 
+    // ---- events/sec + the idle-trace sparsity sweep.
+    //
+    // Both runs replay the SAME deterministic arrival prefix; the sparse
+    // run then idles for 10x the horizon. The event queue pops an
+    // identical event sequence either way (idle slots schedule nothing),
+    // so any extra wall clock on the long run is pure per-slot billing
+    // overhead — the ratio is the O(events)-not-O(slots) evidence.
+    let active_slots: u64 = 20;
+    let idle_factor: u64 = 10;
+    let mut requests = Vec::new();
+    for slot in 0..active_slots {
+        for k in 0..4u64 {
+            let i = slot * 4 + k;
+            requests.push(Request::new(
+                RequestId(i),
+                ChainId((i % 4) as usize),
+                edgenet::node::NodeId((i % 4) as usize),
+                slot,
+                1 + ((i * 7) % 4) as u32,
+            ));
+        }
+    }
+    let busy_trace = Trace {
+        requests: requests.clone(),
+        horizon_slots: active_slots,
+    };
+    let idle_trace = Trace {
+        requests,
+        horizon_slots: active_slots * idle_factor,
+    };
+    let event_scenario = {
+        let mut s = bench_scenario(6.0);
+        s.horizon_slots = active_slots;
+        s
+    };
+    let timed_run = |trace: &Trace| -> (f64, u64, u64) {
+        let mut sim = Simulation::new(&event_scenario, RewardConfig::default());
+        let mut policy = FirstFitPolicy;
+        let t0 = Instant::now();
+        let _ = sim.run_trace(trace, &mut policy, 0);
+        (
+            t0.elapsed().as_secs_f64(),
+            sim.events_processed(),
+            sim.metrics().slots().len() as u64,
+        )
+    };
+    // Interleaved best-of, like every other series: the ratio needs both
+    // walls sampled inside the same contention-free window.
+    let mut busy_wall = f64::INFINITY;
+    let mut idle_wall = f64::INFINITY;
+    let mut busy_events = 0u64;
+    let mut idle_events = 0u64;
+    let mut idle_slots = 0u64;
+    for _ in 0..timing_reps {
+        let (w, e, _) = timed_run(&busy_trace);
+        busy_wall = busy_wall.min(w);
+        busy_events = e;
+        let (w, e, s) = timed_run(&idle_trace);
+        idle_wall = idle_wall.min(w);
+        idle_events = e;
+        idle_slots = s;
+    }
+    // The tail drains flows still alive at the short horizon (departures
+    // plus their retire checks) but schedules nothing per slot: the extra
+    // pops are bounded by the arrival count, not the idle slot count.
+    let extra_events = idle_events.saturating_sub(busy_events);
+    assert!(
+        extra_events < (idle_factor - 1) * active_slots,
+        "idle tail popped {extra_events} extra events — that smells like per-slot work"
+    );
+    let events_per_sec = rate(busy_events as usize, busy_wall);
+    let idle_slots_per_sec = rate(idle_slots as usize, idle_wall);
+    let idle_overhead_ratio = idle_wall / busy_wall.max(1e-9);
+    eprintln!(
+        "[hotpath] events/sec: {events_per_sec:.0} ({busy_events} events over {active_slots} slots)"
+    );
+    eprintln!(
+        "[hotpath] idle sweep: {idle_factor}x horizon costs {idle_overhead_ratio:.2}x wall \
+         ({idle_slots_per_sec:.0} slots/sec billed; O(events), not O(slots))"
+    );
+
     // ---- Soft comparison against the previous run (log-only: machine
     // noise must never fail CI, it just has to be visible there).
     let report_path = out_path("BENCH_hotpath.json");
@@ -472,9 +568,28 @@ fn main() {
             "batched_decisions_per_sec",
             serde_json::Value::from(batched_decisions),
         );
+        m.insert("events_per_sec", serde_json::Value::from(events_per_sec));
+        m.insert(
+            "idle_slots_per_sec",
+            serde_json::Value::from(idle_slots_per_sec),
+        );
         serde_json::Value::Object(m)
     };
     doc.insert("optimized", optimized);
+    let sparse = {
+        let mut m = serde_json::Map::new();
+        m.insert("active_slots", serde_json::Value::from(active_slots));
+        m.insert("idle_factor", serde_json::Value::from(idle_factor));
+        m.insert("events", serde_json::Value::from(busy_events));
+        m.insert("busy_wall_secs", serde_json::Value::from(busy_wall));
+        m.insert("idle_wall_secs", serde_json::Value::from(idle_wall));
+        m.insert(
+            "idle_overhead_ratio",
+            serde_json::Value::from(idle_overhead_ratio),
+        );
+        serde_json::Value::Object(m)
+    };
+    doc.insert("sparse", sparse);
     doc.insert("speedup", serde_json::Value::Object(speedup));
     doc.insert(
         "wall_clock_secs",

@@ -1,8 +1,9 @@
 //! hotpath_gate — the CI trend gate over `BENCH_hotpath.json`.
 //!
 //! Reads the current hotpath report, feeds each tracked throughput series
-//! (per-decision decisions/sec, batched decisions/sec, train-steps/sec)
-//! through the persistent trend state (`hotpath_trend.json`, restored
+//! (per-decision decisions/sec, batched decisions/sec, train-steps/sec,
+//! the event engine's events/sec and idle-sweep slots/sec) through the
+//! persistent trend state (`hotpath_trend.json`, restored
 //! across CI runs via `actions/cache`), rewrites the state, and exits
 //! non-zero only on a *sustained* regression: two consecutive runs more
 //! than 20% below the accepted baseline. A single slow run is logged as
@@ -17,12 +18,15 @@ use bench::out_path;
 use bench::trend::{TrendFile, TrendVerdict};
 use std::path::PathBuf;
 
-/// The tracked series: JSON key in the report's `optimized` object. The
-/// batched series is optional for reports predating it.
+/// The tracked series: JSON key in the report's `optimized` object.
+/// Series newer than the schema's first CI landing are optional so the
+/// gate keeps working against cached reports predating them.
 const SERIES: &[(&str, bool)] = &[
     ("decisions_per_sec", true),
     ("batched_decisions_per_sec", false),
     ("train_steps_per_sec", true),
+    ("events_per_sec", false),
+    ("idle_slots_per_sec", false),
 ];
 
 fn trend_path() -> PathBuf {

@@ -8,9 +8,11 @@
 //! * **MDP formulation** — [`state`] (observation encoding), [`action`]
 //!   (place-on-node / reject with feasibility masks), [`reward`]
 //!   (α·latency + β·cost shaping with acceptance bonuses).
-//! * **Engine** — [`sim`] drives slotted time: arrivals → per-VNF placement
-//!   decisions → flow lifecycle → cost accounting. DRL and heuristics run
-//!   through the identical code path.
+//! * **Engine** — [`sim`] drives the flow lifecycle over a discrete-event
+//!   [`timeline`]: arrivals → per-VNF placement decisions → departures →
+//!   cost accounting, with a slot-compatibility schedule that reproduces
+//!   the paper's slotted loop bit for bit. DRL and heuristics run through
+//!   the identical code path.
 //! * **Managers** — [`drl`] (the DQN policy) and [`baselines`] (random,
 //!   first/best/worst-fit, greedy-latency, greedy-cost, cloud-only,
 //!   weighted-greedy, exhaustive).
@@ -48,6 +50,7 @@ pub mod reward;
 pub mod runner;
 pub mod sim;
 pub mod state;
+pub mod timeline;
 
 /// Convenient glob-import of the common types.
 pub mod prelude {
@@ -75,6 +78,7 @@ pub mod prelude {
         compare_policies, evaluate_policy, evaluate_policy_with_catalogs, moving_average,
         train_drl, train_drl_with_catalogs, PolicyResult, TrainedDrl,
     };
-    pub use crate::sim::{PlacementOutcome, Simulation};
+    pub use crate::sim::{PlacementOutcome, Simulation, TimedArrival};
     pub use crate::state::{StateEncoder, StateEncoderConfig};
+    pub use crate::timeline::{EventQueue, SimEvent, SimEventKind, SimTime};
 }

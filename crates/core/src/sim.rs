@@ -1,11 +1,27 @@
-//! The slotted-time simulation engine: arrivals → placement decisions →
-//! flow lifecycle → cost accounting.
+//! The simulation engine: arrivals → placement decisions → flow
+//! lifecycle → cost accounting, driven by a discrete-event timeline.
 //!
 //! One *placement episode* = all decisions for one request (one per VNF in
 //! its chain, or a reject). The engine builds the decision context, asks
 //! the policy, applies the action (instance reuse or spawn + capacity
 //! allocation), shapes the reward, and delivers feedback — so DRL and
 //! heuristic policies are driven through exactly the same code path.
+//!
+//! Two engines drive the lifecycle:
+//!
+//! * the **event engine** ([`Simulation::run_trace`], the default):
+//!   departures, network events, retire checks, arrivals and policy
+//!   decisions pop from a deterministic [`crate::timeline::EventQueue`];
+//!   completed slots are billed lazily, so a mostly-idle trace costs
+//!   ~O(events), not O(slots) of work. In *slot-compatibility* mode every
+//!   event lands on a slot boundary and the run is bit-identical to the
+//!   slot loop (pinned by `tests/event_slot_equivalence.rs`); the sparse
+//!   entry point [`Simulation::run_events`] additionally resolves
+//!   sub-slot lifetimes (`Request::duration_ms`) pro rata instead of
+//!   rounding them up to whole slots.
+//! * the **slot loop** ([`Simulation::advance_slot`] /
+//!   [`Simulation::run_trace_slotted`]): the paper's original fixed-slot
+//!   sweep, kept as the equivalence oracle and for step-by-step tests.
 
 use crate::action::{ActionSpace, PlacementAction};
 use crate::config::Scenario;
@@ -13,6 +29,7 @@ use crate::metrics::{MetricsCollector, RunSummary, SlotRecord};
 use crate::policy::{CandidateInfo, DecisionContext, DecisionFeedback, PlacementPolicy};
 use crate::reward::{RewardConfig, INFEASIBLE_LATENCY_MS};
 use crate::state::StateEncoder;
+use crate::timeline::{EventQueue, SimEvent, SimEventKind, SimTime};
 use edgenet::capacity::CapacityLedger;
 use edgenet::node::NodeId;
 use edgenet::routing::RoutingTable;
@@ -57,6 +74,49 @@ struct ActiveFlow {
     /// every active flow every slot; the approximation ignores queueing
     /// drift from flows joining/leaving shared instances between events.
     latency_ms: f64,
+    /// Activation instant (ms): admission or re-placement time. The
+    /// sparse engine bills the activation slot pro rata from here.
+    activated_ms: u64,
+    /// Scheduled departure instant (ms). The event engine uses it to
+    /// ignore stale departure events left behind by a re-placement.
+    departure_ms: u64,
+}
+
+/// Which engine owns lifecycle bookkeeping (where departures and retire
+/// checks are registered). A simulation starts in slot mode and flips to
+/// event mode on its first event-driven run; the two cannot interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineMode {
+    Slot,
+    Event,
+}
+
+/// Per-slot counters the event engine accumulates between billing
+/// boundaries (the slot loop derives them inside `advance_slot`).
+#[derive(Debug, Default, Clone, Copy)]
+struct SlotCounters {
+    arrivals: u32,
+    accepted: u32,
+    rejected: u32,
+    sla_violations: u32,
+    flows_disrupted: u32,
+    flows_replaced: u32,
+}
+
+/// End-of-slot world snapshot, reused verbatim across billing boundaries
+/// while no event has touched the world — what makes idle slots O(1).
+/// Reuse is bit-safe: every field is a pure function of world state, and
+/// unchanged state recomputes to identical bits anyway.
+#[derive(Debug, Clone, Copy)]
+struct CostCache {
+    compute: f64,
+    energy: f64,
+    traffic: f64,
+    mean_latency: f64,
+    mean_utilization: f64,
+    active_flows: u32,
+    live_instances: u32,
+    nodes_down: u32,
 }
 
 /// One slot's pending position-0 decisions, assembled for a single
@@ -146,6 +206,30 @@ pub struct Simulation {
     scratch: SimScratch,
     /// Decisions served from the slot's batched forward (validated hits).
     batched_decisions: u64,
+    /// Duration of one slot on the ms-resolution timeline.
+    slot_ms: u64,
+    /// Which engine drives lifecycle bookkeeping.
+    mode: EngineMode,
+    /// The discrete-event queue (event mode).
+    queue: EventQueue,
+    /// Rank of the event currently being handled (retire-check timing).
+    current_rank: u8,
+    /// The staged same-timestamp arrival group (event mode).
+    pending_arrivals: Vec<Request>,
+    /// Counters accumulated since the last billed slot (event mode).
+    counters: SlotCounters,
+    /// End-of-slot snapshot; `None` after any world mutation.
+    cost_cache: Option<CostCache>,
+    /// Traffic accrued by sub-slot departures inside the current slot.
+    partial_traffic: f64,
+    /// Slot-compatibility accounting: billing matches the slot loop bit
+    /// for bit. [`Simulation::run_events`] clears it for sparse runs.
+    slot_compat: bool,
+    /// Slots with a RetireCheck already scheduled (dedupe).
+    retire_checks: BTreeSet<u64>,
+    /// Latest flow-activation instant (monotone). Sparse billing uses it
+    /// to tell which slots' windows can still clip a flow's share.
+    latest_activation_ms: u64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -236,6 +320,17 @@ impl Simulation {
             metrics: MetricsCollector::new(),
             scratch,
             batched_decisions: 0,
+            slot_ms: ((scenario.slot_seconds * 1000.0).round() as u64).max(1),
+            mode: EngineMode::Slot,
+            queue: EventQueue::new(),
+            current_rank: 0,
+            pending_arrivals: Vec::new(),
+            counters: SlotCounters::default(),
+            cost_cache: None,
+            partial_traffic: 0.0,
+            slot_compat: true,
+            retire_checks: BTreeSet::new(),
+            latest_activation_ms: 0,
         }
     }
 
@@ -525,6 +620,9 @@ impl Simulation {
                     .ledger_mut()
                     .release(node, &demand)
                     .expect("node exists");
+            } else {
+                // A reused instance may have just gone idle again.
+                self.note_possible_idle(id);
             }
         }
     }
@@ -754,6 +852,17 @@ impl Simulation {
                             rng,
                         );
                         self.deployment_cost_this_slot += deployment_cost;
+                        // In slot mode flows activate on their arrival-slot
+                        // boundary; in event mode at the clock, which on a
+                        // slot-boundary schedule is the same instant.
+                        let activated_ms = match self.mode {
+                            EngineMode::Slot => request.arrival_slot * self.slot_ms,
+                            EngineMode::Event => self.queue.now().ms(),
+                        };
+                        let departure_ms = activated_ms
+                            + request
+                                .duration_ms
+                                .unwrap_or(request.duration_slots as u64 * self.slot_ms);
                         self.active.insert(
                             request.id.0,
                             ActiveFlow {
@@ -765,12 +874,24 @@ impl Simulation {
                                 } else {
                                     INFEASIBLE_LATENCY_MS
                                 },
+                                activated_ms,
+                                departure_ms,
                             },
                         );
-                        self.departures
-                            .entry(request.departure_slot())
-                            .or_default()
-                            .push(request.id);
+                        self.latest_activation_ms = self.latest_activation_ms.max(activated_ms);
+                        match self.mode {
+                            EngineMode::Slot => self
+                                .departures
+                                .entry(request.departure_slot())
+                                .or_default()
+                                .push(request.id),
+                            EngineMode::Event => self.queue.schedule_at(
+                                SimTime::from_ms(departure_ms),
+                                SimEvent::FlowDeparture {
+                                    request: request.id,
+                                },
+                            ),
+                        }
                         self.metrics.push_admission_latency(latency_ms);
                         self.scratch.ctx = Some(ctx);
                         return PlacementOutcome::Accepted {
@@ -803,11 +924,13 @@ impl Simulation {
     }
 
     /// Retires instances idle longer than the scenario grace period.
-    fn retire_idle_instances(&mut self) {
-        for id in self
+    /// Returns how many were retired.
+    fn retire_idle_instances(&mut self) -> usize {
+        let ids = self
             .pool
-            .idle_instances(self.slot, self.scenario.idle_retire_slots)
-        {
+            .idle_instances(self.slot, self.scenario.idle_retire_slots);
+        let retired = ids.len();
+        for id in ids {
             let (node, vnf_type) = {
                 let inst = self.pool.get(id).expect("listed instance exists");
                 (inst.node, inst.vnf_type)
@@ -819,6 +942,7 @@ impl Simulation {
                 .release(node, &demand)
                 .expect("node exists");
         }
+        retired
     }
 
     /// Applies the network events scheduled for the current slot. Node
@@ -832,8 +956,14 @@ impl Simulation {
         let Some(events) = self.event_timeline.remove(&self.slot) else {
             return Vec::new();
         };
+        self.apply_network_events(&events)
+    }
+
+    /// [`Simulation::apply_due_events`] body, shared with the event
+    /// engine (which drains its own queue instead of the slot timeline).
+    fn apply_network_events(&mut self, events: &[NetworkEvent]) -> Vec<ActiveFlow> {
         let mut downed: Vec<NodeId> = Vec::new();
-        for event in &events {
+        for event in events {
             self.network.apply(event);
             if let Some(node) = event.downed_node() {
                 downed.push(node);
@@ -869,6 +999,7 @@ impl Simulation {
                         self.pool
                             .remove_flow(*inst_id, flow.arrival_rate_rps)
                             .expect("surviving instance exists");
+                        self.note_possible_idle(*inst_id);
                     }
                 }
                 disrupted.push(flow);
@@ -883,6 +1014,7 @@ impl Simulation {
                 self.pool
                     .remove_flow(*inst_id, flow.arrival_rate_rps)
                     .expect("stranded flow's instances survived");
+                self.note_possible_idle(*inst_id);
             }
             disrupted.push(flow);
         }
@@ -939,7 +1071,12 @@ impl Simulation {
     /// Per-slot operational costs plus the mean active-flow latency, in a
     /// single pass over the active set (cost's traffic term and the
     /// latency average used to be two separate full scans).
-    fn slot_costs_and_latency(&self) -> (f64, f64, f64, f64) {
+    ///
+    /// `window = Some((slot_start_ms, slot_ms))` prorates each flow's
+    /// traffic by the fraction of the slot it was actually active for
+    /// (sparse mode); `None` bills whole slots, exactly like the paper's
+    /// slotted accounting.
+    fn slot_costs_and_latency(&self, window: Option<(u64, u64)>) -> (f64, f64, f64, f64) {
         let slot_s = self.scenario.slot_seconds;
         let topology = self.network.topology();
         // Compute: every live instance bills its CPU share.
@@ -970,14 +1107,23 @@ impl Simulation {
         for flow in self.active.values() {
             latency_sum += flow.latency_ms;
             let chain = self.chains.get(flow.request.chain);
+            let share = match window {
+                None => 1.0,
+                Some((slot_start_ms, slot_ms)) => {
+                    let active_ms = (slot_start_ms + slot_ms)
+                        .saturating_sub(flow.activated_ms.max(slot_start_ms));
+                    (active_ms as f64 / slot_ms as f64).min(1.0)
+                }
+            };
             let mut at = flow.request.source;
             for &inst_id in &flow.instances {
                 let node = self.pool.get(inst_id).expect("active instance").node;
-                traffic += self.scenario.prices.traffic_cost_usd(
-                    topology.node(at),
-                    topology.node(node),
-                    chain.traffic_gb,
-                );
+                traffic += share
+                    * self.scenario.prices.traffic_cost_usd(
+                        topology.node(at),
+                        topology.node(node),
+                        chain.traffic_gb,
+                    );
                 at = node;
             }
         }
@@ -989,16 +1135,59 @@ impl Simulation {
         (compute, energy, traffic, mean_latency)
     }
 
+    /// Sends disrupted flows back through the policy for re-placement.
+    /// Returns how many were successfully replaced.
+    fn replace_disrupted(
+        &mut self,
+        disrupted: Vec<ActiveFlow>,
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let mut flows_replaced = 0u32;
+        for flow in disrupted {
+            let remaining = flow.request.departure_slot().saturating_sub(self.slot);
+            if remaining == 0 {
+                continue; // departures already ran; defensive only
+            }
+            // Re-placement rides the exact same policy path as an
+            // admission: same context, masks, rewards and feedback. The
+            // retry is re-quantized to whole slots (`duration_ms` would
+            // otherwise re-bill the lifetime already served).
+            let retry = Request {
+                arrival_slot: self.slot,
+                duration_slots: remaining as u32,
+                duration_ms: None,
+                ..flow.request
+            };
+            if let PlacementOutcome::Accepted { .. } = self.place_request(&retry, policy, rng) {
+                flows_replaced += 1;
+            }
+        }
+        flows_replaced
+    }
+
     /// Advances one slot: departures, network events (failures evict
     /// instances and send disrupted flows back through the policy for
     /// re-placement), idle retirement, the slot's arrivals, then cost
     /// accounting. Returns the slot record.
+    ///
+    /// This is the paper's original slotted loop; it cannot be mixed with
+    /// the event engine on the same simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already ran event-driven ([`Simulation::run_trace`]
+    /// or [`Simulation::run_events`]).
     pub fn advance_slot(
         &mut self,
         arrivals: &[Request],
         policy: &mut dyn PlacementPolicy,
         rng: &mut StdRng,
     ) -> SlotRecord {
+        assert!(
+            self.mode == EngineMode::Slot,
+            "advance_slot drives the slot loop; this simulation is already event-driven"
+        );
         self.process_departures();
         self.deployment_cost_this_slot = 0.0;
 
@@ -1007,23 +1196,7 @@ impl Simulation {
         // the degraded network).
         let disrupted = self.apply_due_events();
         let flows_disrupted = disrupted.len() as u32;
-        let mut flows_replaced = 0u32;
-        for flow in disrupted {
-            let remaining = flow.request.departure_slot().saturating_sub(self.slot);
-            if remaining == 0 {
-                continue; // departures already ran; defensive only
-            }
-            // Re-placement rides the exact same policy path as an
-            // admission: same context, masks, rewards and feedback.
-            let retry = Request {
-                arrival_slot: self.slot,
-                duration_slots: remaining as u32,
-                ..flow.request
-            };
-            if let PlacementOutcome::Accepted { .. } = self.place_request(&retry, policy, rng) {
-                flows_replaced += 1;
-            }
-        }
+        let flows_replaced = self.replace_disrupted(disrupted, policy, rng);
 
         self.retire_idle_instances();
 
@@ -1049,7 +1222,7 @@ impl Simulation {
         }
         self.scratch.batch.valid = false; // stale once the slot's arrivals ran
 
-        let (compute, energy, traffic, mean_latency) = self.slot_costs_and_latency();
+        let (compute, energy, traffic, mean_latency) = self.slot_costs_and_latency(None);
         let record = SlotRecord {
             slot: self.slot,
             arrivals: arrivals.len() as u32,
@@ -1073,42 +1246,99 @@ impl Simulation {
         record
     }
 
-    /// Runs the scenario's full horizon with a freshly generated trace.
-    ///
-    /// `seed_offset` decorrelates repeated runs (training passes) of the
-    /// same scenario.
-    pub fn run(&mut self, policy: &mut dyn PlacementPolicy, seed_offset: u64) -> RunSummary {
-        let scenario = self.scenario.clone();
+    /// Generates the trace [`Simulation::run`] would feed the engine.
+    fn generate_run_trace(&self, seed_offset: u64) -> Trace {
         let mut trace_rng = StdRng::seed_from_u64(
-            scenario
+            self.scenario
                 .seed
                 .wrapping_add(seed_offset)
                 .wrapping_mul(0x2545_F491),
         );
         let sites = self.network.topology().edge_nodes();
-        let trace = generate_trace(
-            &scenario.workload,
+        generate_trace(
+            &self.scenario.workload,
             &sites,
-            scenario.horizon_slots,
+            self.scenario.horizon_slots,
             &mut trace_rng,
-        );
+        )
+    }
+
+    /// The decision RNG every run entry point derives from the scenario
+    /// seed — identical across engines so their policy draws align.
+    fn decision_rng(&self, seed_offset: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.scenario
+                .seed
+                .wrapping_add(seed_offset)
+                .wrapping_mul(0x9E37_79B9)
+                ^ 0xDEAD_BEEF,
+        )
+    }
+
+    /// Runs the scenario's full horizon with a freshly generated trace.
+    ///
+    /// `seed_offset` decorrelates repeated runs (training passes) of the
+    /// same scenario.
+    pub fn run(&mut self, policy: &mut dyn PlacementPolicy, seed_offset: u64) -> RunSummary {
+        let trace = self.generate_run_trace(seed_offset);
         self.run_trace(&trace, policy, seed_offset)
     }
 
-    /// Runs a pre-generated trace through the engine.
+    /// [`Simulation::run`] driven by the legacy slotted loop instead of
+    /// the event engine — the equivalence suite's reference path.
+    pub fn run_slotted(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        seed_offset: u64,
+    ) -> RunSummary {
+        let trace = self.generate_run_trace(seed_offset);
+        self.run_trace_slotted(&trace, policy, seed_offset)
+    }
+
+    /// Runs a pre-generated trace through the discrete-event engine in
+    /// slot-compatibility mode: every lifecycle event lands on a slot
+    /// boundary, so the output — `RunSummary` and the full `SlotRecord`
+    /// stream — is bit-identical to [`Simulation::run_trace_slotted`],
+    /// while idle stretches of the trace are skipped in O(1) per slot
+    /// instead of paying a full per-slot sweep.
     pub fn run_trace(
         &mut self,
         trace: &Trace,
         policy: &mut dyn PlacementPolicy,
         seed_offset: u64,
     ) -> RunSummary {
-        let mut rng = StdRng::seed_from_u64(
-            self.scenario
-                .seed
-                .wrapping_add(seed_offset)
-                .wrapping_mul(0x9E37_79B9)
-                ^ 0xDEAD_BEEF,
-        );
+        let mut rng = self.decision_rng(seed_offset);
+        let start = self.slot;
+        let end_slot = start + trace.horizon_slots;
+        self.enter_event_mode();
+        for r in &trace.requests {
+            let slot = r.arrival_slot + start;
+            if slot >= end_slot {
+                continue; // the slot loop never reaches these either
+            }
+            let mut shifted = r.clone();
+            shifted.arrival_slot = slot;
+            self.queue.schedule_at(
+                SimTime::from_slot(slot, self.slot_ms),
+                SimEvent::FlowArrival(shifted),
+            );
+        }
+        self.schedule_window_network_events(start, end_slot);
+        self.run_event_loop(end_slot, policy, &mut rng);
+        self.metrics.summarize()
+    }
+
+    /// Runs a pre-generated trace through the paper's original slotted
+    /// loop ([`Simulation::advance_slot`] per slot). Kept as the
+    /// equivalence oracle for the event engine; see
+    /// `tests/event_slot_equivalence.rs`.
+    pub fn run_trace_slotted(
+        &mut self,
+        trace: &Trace,
+        policy: &mut dyn PlacementPolicy,
+        seed_offset: u64,
+    ) -> RunSummary {
+        let mut rng = self.decision_rng(seed_offset);
         let start = self.slot;
         let mut arrivals_by_slot: BTreeMap<u64, Vec<Request>> = BTreeMap::new();
         for r in &trace.requests {
@@ -1126,10 +1356,360 @@ impl Simulation {
         self.metrics.summarize()
     }
 
+    /// Runs an explicit ms-resolution arrival schedule through the event
+    /// engine for `horizon_slots` slots — the *sparse* entry point.
+    /// Arrivals may land anywhere inside a slot and requests may carry
+    /// sub-slot holding times ([`Request::duration_ms`]), which are billed
+    /// pro rata instead of being rounded up to whole slots. Scheduled
+    /// network events from the scenario still fire on their slot
+    /// boundaries. Arrivals before the clock or at/after the horizon are
+    /// dropped.
+    ///
+    /// Unlike [`Simulation::run_trace`] this permanently leaves
+    /// slot-compatibility accounting, so don't mix the two on one
+    /// simulation when bit-equivalence with the slot loop matters.
+    pub fn run_events(
+        &mut self,
+        arrivals: &[TimedArrival],
+        policy: &mut dyn PlacementPolicy,
+        seed_offset: u64,
+        horizon_slots: u64,
+    ) -> RunSummary {
+        let mut rng = self.decision_rng(seed_offset);
+        let start = self.slot;
+        let end_slot = start + horizon_slots;
+        let end_ms = end_slot.saturating_mul(self.slot_ms);
+        self.enter_event_mode();
+        self.slot_compat = false;
+        for arrival in arrivals {
+            if arrival.at.ms() >= end_ms || arrival.at < self.queue.now() {
+                continue;
+            }
+            let mut request = arrival.request.clone();
+            request.arrival_slot = arrival.at.slot(self.slot_ms);
+            self.queue
+                .schedule_at(arrival.at, SimEvent::FlowArrival(request));
+        }
+        self.schedule_window_network_events(start, end_slot);
+        self.run_event_loop(end_slot, policy, &mut rng);
+        self.metrics.summarize()
+    }
+
+    /// Flips the simulation into event mode, migrating departures that
+    /// direct [`Simulation::place_request`] calls (or an earlier slotted
+    /// run) registered in the slot-keyed map onto the queue. Past-due
+    /// keys are dropped — the slot loop would never reach them either.
+    fn enter_event_mode(&mut self) {
+        if self.mode == EngineMode::Event {
+            return;
+        }
+        self.mode = EngineMode::Event;
+        let departures = std::mem::take(&mut self.departures);
+        for (slot, ids) in departures {
+            if slot < self.slot {
+                continue;
+            }
+            for id in ids {
+                self.queue.schedule_at(
+                    SimTime::from_slot(slot, self.slot_ms),
+                    SimEvent::FlowDeparture { request: id },
+                );
+            }
+        }
+    }
+
+    /// Moves the scenario's network events due in `[start, end_slot)`
+    /// from the slot timeline onto the queue (later windows stay put for
+    /// chained runs).
+    fn schedule_window_network_events(&mut self, start: u64, end_slot: u64) {
+        let due: Vec<u64> = self
+            .event_timeline
+            .range(start..end_slot)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in due {
+            let events = self.event_timeline.remove(&s).expect("listed key exists");
+            for event in events {
+                self.queue.schedule_at(
+                    SimTime::from_slot(s, self.slot_ms),
+                    SimEvent::Network(event),
+                );
+            }
+        }
+    }
+
+    /// First slot whose retire phase is still ahead of the clock: the
+    /// current slot while handling a pre-retire-rank event exactly on the
+    /// boundary, the next slot otherwise.
+    fn earliest_retire_slot(&self) -> u64 {
+        let now = self.queue.now().ms();
+        if now == self.slot.saturating_mul(self.slot_ms)
+            && self.current_rank < SimEventKind::RetireCheck.rank()
+        {
+            self.slot
+        } else {
+            self.slot + 1
+        }
+    }
+
+    /// Event-mode bookkeeping after a flow releases instance `id`: if the
+    /// instance is now idle, schedule a retire check for the first slot
+    /// whose retire phase both hasn't passed and clears the creation-age
+    /// grace period — exactly when the slot loop's per-slot sweep would
+    /// retire it. No-op in slot mode (the sweep runs every slot there).
+    fn note_possible_idle(&mut self, id: InstanceId) {
+        if self.mode != EngineMode::Event {
+            return;
+        }
+        let Some(inst) = self.pool.get(id) else {
+            return;
+        };
+        if inst.flows > 0 {
+            return;
+        }
+        let due = self.earliest_retire_slot().max(
+            inst.created_slot
+                .saturating_add(self.scenario.idle_retire_slots),
+        );
+        if self.retire_checks.insert(due) {
+            self.queue
+                .schedule_at(SimTime::from_slot(due, self.slot_ms), SimEvent::RetireCheck);
+        }
+    }
+
+    /// Bills every slot whose end lies at or before `time_ms`, emitting
+    /// one [`SlotRecord`] each. Between events the world cannot change,
+    /// so after the first (possibly recomputed) snapshot the remaining
+    /// slots reuse it verbatim — a long idle stretch costs O(1) per slot
+    /// and no per-flow or per-instance scans.
+    fn bill_slots_through(&mut self, time_ms: u64) {
+        while (self.slot + 1).saturating_mul(self.slot_ms) <= time_ms {
+            // A flow activated after this slot's start owes less than a
+            // full share, so its snapshot is specific to THIS slot and
+            // must not be cached for the next one. Activations clear the
+            // cache, so a live cache implies no clipping.
+            let clips = !self.slot_compat
+                && self.latest_activation_ms > self.slot.saturating_mul(self.slot_ms);
+            let snapshot = match self.cost_cache.filter(|_| !clips) {
+                Some(c) => c,
+                None => {
+                    let window = if self.slot_compat {
+                        None
+                    } else {
+                        Some((self.slot * self.slot_ms, self.slot_ms))
+                    };
+                    let (compute, energy, traffic, mean_latency) =
+                        self.slot_costs_and_latency(window);
+                    let c = CostCache {
+                        compute,
+                        energy,
+                        traffic,
+                        mean_latency,
+                        mean_utilization: self.network.ledger().mean_utilization(),
+                        active_flows: self.active.len() as u32,
+                        live_instances: self.pool.len() as u32,
+                        nodes_down: self.network.down_node_count() as u32,
+                    };
+                    if !clips {
+                        self.cost_cache = Some(c);
+                    }
+                    c
+                }
+            };
+            let mut traffic_cost = snapshot.traffic;
+            if self.partial_traffic != 0.0 {
+                // Added (and branch-gated) separately so slot-compat
+                // billing reuses the snapshot's bits untouched.
+                traffic_cost += self.partial_traffic;
+                self.partial_traffic = 0.0;
+            }
+            let record = SlotRecord {
+                slot: self.slot,
+                arrivals: self.counters.arrivals,
+                accepted: self.counters.accepted,
+                rejected: self.counters.rejected,
+                sla_violations: self.counters.sla_violations,
+                active_flows: snapshot.active_flows,
+                live_instances: snapshot.live_instances,
+                mean_latency_ms: snapshot.mean_latency,
+                compute_cost: snapshot.compute,
+                energy_cost: snapshot.energy,
+                traffic_cost,
+                deployment_cost: self.deployment_cost_this_slot,
+                mean_utilization: snapshot.mean_utilization,
+                flows_disrupted: self.counters.flows_disrupted,
+                flows_replaced: self.counters.flows_replaced,
+                nodes_down: snapshot.nodes_down,
+            };
+            self.metrics.push_slot(record);
+            self.counters = SlotCounters::default();
+            self.deployment_cost_this_slot = 0.0;
+            self.slot += 1;
+        }
+    }
+
+    /// Removes one departing flow, charging its share of the current
+    /// (partial) slot's traffic in sparse mode. Duplicate departure
+    /// events are ignored; in sparse mode, stale ones (left behind by a
+    /// re-placement, or by a chained run reusing the request id) are
+    /// ignored too. Slot-compatibility mode must NOT filter stale events:
+    /// the slot loop departs by id, whichever flow currently holds it —
+    /// including a later flow that reused the id — and bit-equivalence
+    /// means reproducing exactly that.
+    fn handle_departure(&mut self, at: SimTime, request: RequestId) {
+        match self.active.get(&request.0) {
+            None => return, // already departed or disrupted
+            Some(flow) if !self.slot_compat && flow.departure_ms != at.ms() => return,
+            Some(_) => {}
+        }
+        let flow = self.active.remove(&request.0).expect("checked present");
+        // Sub-slot lifetimes: a flow leaving mid-slot owes the fraction of
+        // this slot it actually occupied. Zero for boundary departures, so
+        // slot-compatibility runs never accrue anything here.
+        let slot_start_ms = at.slot(self.slot_ms).saturating_mul(self.slot_ms);
+        let occupied_ms = at.ms().saturating_sub(flow.activated_ms.max(slot_start_ms));
+        if occupied_ms > 0 {
+            let topology = self.network.topology();
+            let chain = self.chains.get(flow.request.chain);
+            let mut at_node = flow.request.source;
+            let mut path_cost = 0.0;
+            for &inst_id in &flow.instances {
+                let node = self.pool.get(inst_id).expect("active instance").node;
+                path_cost += self.scenario.prices.traffic_cost_usd(
+                    topology.node(at_node),
+                    topology.node(node),
+                    chain.traffic_gb,
+                );
+                at_node = node;
+            }
+            self.partial_traffic += occupied_ms as f64 / self.slot_ms as f64 * path_cost;
+        }
+        for &inst_id in &flow.instances {
+            self.pool
+                .remove_flow(inst_id, flow.arrival_rate_rps)
+                .expect("active flow's instance exists");
+            self.note_possible_idle(inst_id);
+        }
+        self.cost_cache = None;
+    }
+
+    /// The event engine's core loop: pop events in `(time, kind_rank,
+    /// sequence)` order until the horizon, lazily billing completed slots
+    /// before each event and once more at the end. Same-timestamp groups
+    /// of network events and of arrivals are drained together — the
+    /// latter is what feeds speculative batched inference.
+    fn run_event_loop(
+        &mut self,
+        end_slot: u64,
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut StdRng,
+    ) {
+        let end_ms = end_slot.saturating_mul(self.slot_ms);
+        while let Some((t, kind)) = self.queue.peek() {
+            if t.ms() >= end_ms {
+                break; // horizon reached; leftovers stay for chained runs
+            }
+            self.bill_slots_through(t.ms());
+            self.current_rank = kind.rank();
+            match kind {
+                SimEventKind::FlowDeparture => {
+                    let Some((_, SimEvent::FlowDeparture { request })) = self.queue.pop() else {
+                        unreachable!("peeked departure vanished");
+                    };
+                    self.handle_departure(t, request);
+                }
+                SimEventKind::Network => {
+                    let mut events: Vec<NetworkEvent> = Vec::new();
+                    while let Some(ev) = self.queue.pop_if(t, SimEventKind::Network) {
+                        match ev {
+                            SimEvent::Network(e) => events.push(e),
+                            other => unreachable!("network group held {other:?}"),
+                        }
+                    }
+                    let disrupted = self.apply_network_events(&events);
+                    self.counters.flows_disrupted += disrupted.len() as u32;
+                    let replaced = self.replace_disrupted(disrupted, policy, rng);
+                    self.counters.flows_replaced += replaced;
+                    self.cost_cache = None;
+                }
+                SimEventKind::RetireCheck => {
+                    self.queue.pop();
+                    self.retire_checks.remove(&t.slot(self.slot_ms));
+                    if self.retire_idle_instances() > 0 {
+                        self.cost_cache = None;
+                    }
+                }
+                SimEventKind::FlowArrival => {
+                    self.pending_arrivals.clear();
+                    while let Some(ev) = self.queue.pop_if(t, SimEventKind::FlowArrival) {
+                        match ev {
+                            SimEvent::FlowArrival(request) => self.pending_arrivals.push(request),
+                            other => unreachable!("arrival group held {other:?}"),
+                        }
+                    }
+                    self.counters.arrivals += self.pending_arrivals.len() as u32;
+                    // Speculative batch assembly groups the arrivals that
+                    // share this timestamp (the slot loop groups per slot;
+                    // on a slot-boundary schedule those coincide).
+                    let pending = std::mem::take(&mut self.pending_arrivals);
+                    self.prepare_arrival_batch(&pending, policy);
+                    self.pending_arrivals = pending;
+                    for row in 0..self.pending_arrivals.len() {
+                        self.queue.schedule_at(t, SimEvent::PolicyDecision { row });
+                    }
+                }
+                SimEventKind::PolicyDecision => {
+                    let Some((_, SimEvent::PolicyDecision { row })) = self.queue.pop() else {
+                        unreachable!("peeked decision vanished");
+                    };
+                    let request = self.pending_arrivals[row].clone();
+                    match self.place_request_hinted(&request, policy, rng, Some(row)) {
+                        PlacementOutcome::Accepted { sla_violated, .. } => {
+                            self.counters.accepted += 1;
+                            if sla_violated {
+                                self.counters.sla_violations += 1;
+                            }
+                        }
+                        PlacementOutcome::Rejected => self.counters.rejected += 1,
+                    }
+                    self.cost_cache = None;
+                    if row + 1 == self.pending_arrivals.len() {
+                        // Stale once the group's last episode ran.
+                        self.scratch.batch.valid = false;
+                    }
+                }
+            }
+            self.current_rank = 0;
+        }
+        self.bill_slots_through(end_ms);
+    }
+
+    /// Lifecycle events popped by the event engine so far. The hotpath
+    /// benchmark reads this to report events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.popped()
+    }
+
+    /// Duration of one slot on the millisecond timeline.
+    pub fn slot_ms(&self) -> u64 {
+        self.slot_ms
+    }
+
     /// The metrics collected so far.
     pub fn metrics(&self) -> &MetricsCollector {
         &self.metrics
     }
+}
+
+/// A request with an explicit millisecond arrival time, for
+/// [`Simulation::run_events`] — the sparse engine entry point where
+/// arrivals need not land on slot boundaries.
+#[derive(Debug, Clone)]
+pub struct TimedArrival {
+    /// When the request arrives.
+    pub at: SimTime,
+    /// The request itself (its `arrival_slot` is rewritten from `at`).
+    pub request: Request,
 }
 
 #[cfg(test)]

@@ -1,0 +1,168 @@
+//! Property tests for the event timeline's determinism guarantees:
+//! arbitrary interleavings of `schedule_at`/`schedule_in` with colliding
+//! timestamps pop in the documented `(time, kind_rank, sequence_id)`
+//! order, and a sparse run's summary depends only on the schedule's
+//! content, not on the order arrivals were inserted into the queue.
+
+use mano::prelude::*;
+use proptest::prelude::*;
+use sfc::chain::ChainId;
+use sfc::request::{Request, RequestId};
+
+/// A schedulable op the property generates: `(use_schedule_in, time, kind)`
+/// — `use_schedule_in` as 0/1. All three payload-carrying kinds are
+/// exercised; the payload encodes the insertion index so ties can be
+/// checked for sequence order. Times come from a tiny range so collisions
+/// are the common case.
+fn op_strategy() -> impl Strategy<Value = (u8, u64, u8)> {
+    (0u8..2, 0u64..6, 0u8..3)
+}
+
+fn tagged_event(kind: u8, tag: usize) -> (SimEventKind, SimEvent) {
+    match kind {
+        0 => (
+            SimEventKind::FlowDeparture,
+            SimEvent::FlowDeparture {
+                request: RequestId(tag as u64),
+            },
+        ),
+        1 => (
+            SimEventKind::FlowArrival,
+            SimEvent::FlowArrival(Request::new(
+                RequestId(tag as u64),
+                ChainId(0),
+                edgenet::node::NodeId(0),
+                0,
+                1,
+            )),
+        ),
+        _ => (
+            SimEventKind::PolicyDecision,
+            SimEvent::PolicyDecision { row: tag },
+        ),
+    }
+}
+
+fn tag_of(event: &SimEvent) -> usize {
+    match event {
+        SimEvent::FlowDeparture { request } => request.0 as usize,
+        SimEvent::FlowArrival(request) => request.id.0 as usize,
+        SimEvent::PolicyDecision { row } => *row,
+        other => panic!("untagged event popped: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Schedule a batch, pop part of it, schedule more (clamped to the
+    /// advanced clock), then drain — the pop sequence must match a model
+    /// that repeatedly removes the minimum `(time, kind_rank, seq)`.
+    #[test]
+    fn pops_follow_time_rank_seq_order(
+        first in proptest::collection::vec(op_strategy(), 1..20),
+        second in proptest::collection::vec(op_strategy(), 0..20),
+        pops_between in 0usize..10,
+    ) {
+        let mut queue = EventQueue::new();
+        // Model: (time, rank, seq) per insertion, keyed by tag.
+        let mut model: Vec<(u64, u8, usize)> = Vec::new();
+
+        let mut insert = |queue: &mut EventQueue, use_in: u8, t: u64, kind: u8| {
+            let tag = model.len();
+            let (expected_kind, event) = tagged_event(kind, tag);
+            // Both forms resolve to now + t; offsetting from the clock
+            // keeps the past-scheduling panic (its own test below) out.
+            let at = queue.now().plus_ms(t);
+            if use_in == 1 {
+                queue.schedule_in(t, event);
+            } else {
+                queue.schedule_at(at, event);
+            }
+            model.push((at.ms(), expected_kind.rank(), tag));
+        };
+
+        for &(use_in, t, kind) in &first {
+            insert(&mut queue, use_in, t, kind);
+        }
+
+        let mut popped: Vec<usize> = Vec::new();
+        for _ in 0..pops_between.min(queue.len()) {
+            let (_, event) = queue.pop().expect("queue non-empty");
+            popped.push(tag_of(&event));
+        }
+        for &(use_in, t, kind) in &second {
+            insert(&mut queue, use_in, t, kind);
+        }
+        while let Some((_, event)) = queue.pop() {
+            popped.push(tag_of(&event));
+        }
+
+        // Replay the model: the first batch alone for the interleaved
+        // pops, then everything remaining.
+        let mut expected: Vec<usize> = Vec::new();
+        let mut pending: Vec<(u64, u8, usize)> = model[..first.len()].to_vec();
+        for _ in 0..popped.len().min(pops_between.min(first.len())) {
+            let min = pending.iter().copied().min().expect("pending non-empty");
+            pending.retain(|&e| e != min);
+            expected.push(min.2);
+        }
+        pending.extend_from_slice(&model[first.len()..]);
+        while let Some(min) = pending.iter().copied().min() {
+            pending.retain(|&e| e != min);
+            expected.push(min.2);
+        }
+
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Arrivals with pairwise-distinct timestamps produce the same run no
+    /// matter what order they are handed to `run_events` in: the queue's
+    /// `(time, kind_rank, seq)` order makes insertion order irrelevant
+    /// whenever timestamps don't collide.
+    #[test]
+    fn run_summary_invariant_to_insertion_order(rotation in 0usize..17, seed in 0u64..100) {
+        let mut scenario = Scenario::small_test();
+        scenario.seed = seed;
+        scenario.horizon_slots = 20;
+        let slot_ms = 5000;
+
+        let arrivals: Vec<TimedArrival> = (0..17u64)
+            .map(|i| TimedArrival {
+                // Distinct ms offsets scattered across slots 0..17.
+                at: SimTime::from_ms(i * slot_ms + (i * 977) % slot_ms),
+                request: Request::new(
+                    RequestId(i),
+                    ChainId((i % 4) as usize),
+                    edgenet::node::NodeId((i % 4) as usize),
+                    0, // rewritten from `at` by run_events
+                    1 + (i % 5) as u32,
+                ),
+            })
+            .collect();
+        let mut rotated = arrivals.clone();
+        rotated.rotate_left(rotation);
+
+        let run = |schedule: &[TimedArrival]| {
+            let mut sim = Simulation::new(&scenario, RewardConfig::default());
+            let mut policy = FirstFitPolicy;
+            let mut summary = sim.run_events(schedule, &mut policy, 3, scenario.horizon_slots);
+            summary.mean_decision_time_us = 0.0;
+            (summary, sim.metrics().slots().to_vec())
+        };
+
+        let (summary_sorted, records_sorted) = run(&arrivals);
+        let (summary_rotated, records_rotated) = run(&rotated);
+        prop_assert_eq!(summary_sorted, summary_rotated);
+        prop_assert_eq!(records_sorted, records_rotated);
+    }
+}
+
+#[test]
+#[should_panic(expected = "cannot schedule")]
+fn scheduling_behind_the_clock_panics() {
+    let mut queue = EventQueue::new();
+    queue.schedule_at(SimTime::from_ms(10), SimEvent::RetireCheck);
+    let _ = queue.pop();
+    queue.schedule_at(SimTime::from_ms(5), SimEvent::RetireCheck);
+}

@@ -28,6 +28,12 @@ pub struct Request {
     pub arrival_slot: u64,
     /// Lifetime in slots (≥ 1).
     pub duration_slots: u32,
+    /// Explicit holding time in milliseconds, for engines that resolve
+    /// sub-slot lifetimes. `None` (the default) means the lifetime is
+    /// exactly `duration_slots` slots. When set, `duration_slots` must
+    /// still hold the slot-quantized (rounded-up) lifetime so slot-based
+    /// consumers keep working; event-driven consumers prefer this field.
+    pub duration_ms: Option<u64>,
 }
 
 impl Request {
@@ -50,7 +56,21 @@ impl Request {
             source,
             arrival_slot,
             duration_slots,
+            duration_ms: None,
         }
+    }
+
+    /// Sets an explicit millisecond holding time (builder style). The
+    /// slot-quantized `duration_slots` is left untouched — callers keep
+    /// it as the rounded-up lifetime for slot-based consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms == 0`.
+    pub fn with_duration_ms(mut self, ms: u64) -> Self {
+        assert!(ms >= 1, "request must last at least one millisecond");
+        self.duration_ms = Some(ms);
+        self
     }
 
     /// First slot in which the request is no longer active.

@@ -2,6 +2,11 @@
 //! placement, flow lifecycle, cost accounting — must be a pure function
 //! of (scenario, seed). Any hidden global state, HashMap iteration-order
 //! dependence, or wall-clock leakage into metrics fails here.
+//!
+//! Since the event-queue refactor, `Simulation::run` drives everything
+//! through the discrete-event engine in slot-compatibility mode, so every
+//! test below exercises the event path; the cross-engine and sparse-mode
+//! tests pin it against the slotted oracle and against itself explicitly.
 
 use drl_vnf_edge::prelude::*;
 
@@ -102,6 +107,67 @@ fn event_scenario_engine_output_is_thread_invariant() {
             "same scenario ⇒ same realized failure timeline"
         );
     }
+}
+
+#[test]
+fn event_engine_matches_the_slotted_oracle() {
+    // Root-level pin of the tentpole contract (the full per-scenario
+    // matrix lives in crates/core/tests/event_slot_equivalence.rs): on a
+    // slot-boundary schedule the event engine is bit-identical to the
+    // paper's slotted loop, failures and re-placements included.
+    let scenario = event_scenario();
+    let run = |slotted: bool| {
+        let mut sim = Simulation::new(&scenario, RewardConfig::default());
+        let mut policy = WeightedGreedyPolicy::default();
+        let mut summary = if slotted {
+            sim.run_slotted(&mut policy, 42)
+        } else {
+            sim.run(&mut policy, 42)
+        };
+        summary.mean_decision_time_us = 0.0;
+        (summary, sim.metrics().slots().to_vec())
+    };
+    let (slot_summary, slot_records) = run(true);
+    let (event_summary, event_records) = run(false);
+    assert_eq!(slot_summary, event_summary, "engines diverged");
+    assert_eq!(slot_records, event_records, "slot-record streams diverged");
+    assert!(
+        slot_summary.downtime_slots > 0,
+        "the failure process must fire"
+    );
+}
+
+#[test]
+fn sparse_engine_same_schedule_is_bit_identical() {
+    // The sparse entry point (`run_events`, mid-slot arrivals, sub-slot
+    // holding times) must be exactly as reproducible as the slotted path.
+    let scenario = Scenario::small_test();
+    let run = || {
+        let mut sim = Simulation::new(&scenario, RewardConfig::default());
+        let slot_ms = sim.slot_ms();
+        let arrivals: Vec<TimedArrival> = (0..24u64)
+            .map(|i| TimedArrival {
+                at: SimTime::from_ms(i * slot_ms / 3 + (i * 131) % slot_ms),
+                request: Request::new(
+                    RequestId(i),
+                    ChainId((i % 4) as usize),
+                    NodeId((i % 4) as usize),
+                    0, // rewritten from `at` by run_events
+                    1 + (i % 4) as u32,
+                )
+                .with_duration_ms(slot_ms / 2 + i * 200),
+            })
+            .collect();
+        let mut policy = WeightedGreedyPolicy::default();
+        let mut summary = sim.run_events(&arrivals, &mut policy, 9, 30);
+        summary.mean_decision_time_us = 0.0;
+        assert!(sim.events_processed() > 0, "the queue must drive the run");
+        (summary, sim.metrics().slots().to_vec())
+    };
+    let (a_summary, a_records) = run();
+    let (b_summary, b_records) = run();
+    assert_eq!(a_summary, b_summary);
+    assert_eq!(a_records, b_records);
 }
 
 #[test]

@@ -38,11 +38,14 @@ fn capacity_is_conserved_through_a_full_run() {
     let mut policy = WeightedGreedyPolicy::default();
     let _ = sim.run(&mut policy, 1);
     // Drain: no arrivals for long enough that all flows depart and every
-    // instance passes the idle grace period.
-    let mut rng = StdRng::seed_from_u64(0);
-    for _ in 0..400 {
-        sim.advance_slot(&[], &mut policy, &mut rng);
-    }
+    // instance passes the idle grace period. `run` left the simulation in
+    // event mode, so the drain rides the event engine too (departure and
+    // retire-check events scheduled past the first horizon fire here).
+    let drain = Trace {
+        requests: Vec::new(),
+        horizon_slots: 400,
+    };
+    let _ = sim.run_trace(&drain, &mut policy, 1);
     assert_eq!(sim.active_flow_count(), 0);
     assert_eq!(sim.pool.len(), 0, "all instances retired after drain");
     assert_eq!(sim.ledger().total_used_cpu(), 0.0, "no leaked capacity");

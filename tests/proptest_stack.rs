@@ -3,8 +3,6 @@
 
 use drl_vnf_edge::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn scenario_from(rate: f64, sites: usize, seed: u64) -> Scenario {
     let mut s = Scenario::small_test()
@@ -64,10 +62,9 @@ proptest! {
         let mut policy = policy_by_index(policy_index);
         let mut sim = Simulation::new(&scenario, RewardConfig::default());
         let _ = sim.run(policy.as_mut(), 0);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..300 {
-            sim.advance_slot(&[], policy.as_mut(), &mut rng);
-        }
+        // `run` leaves the simulation in event mode; drain there too.
+        let drain = Trace { requests: Vec::new(), horizon_slots: 300 };
+        let _ = sim.run_trace(&drain, policy.as_mut(), 0);
         prop_assert_eq!(sim.active_flow_count(), 0);
         prop_assert_eq!(sim.pool.len(), 0);
         prop_assert!(sim.ledger().total_used_cpu().abs() < 1e-6);

@@ -7,7 +7,9 @@
 # Usage:
 #   ./verify.sh             # lint + test (the tier-1 gate)
 #   ./verify.sh lint        # rustfmt + clippy only (fast feedback)
-#   ./verify.sh test        # release build + full test pyramid
+#   ./verify.sh test        # release build + full test pyramid (incl. the
+#                           # slot-equivalence golden suite, run at both
+#                           # full and FAST=1 horizons)
 #   ./verify.sh bench-smoke # FAST=1 run of every fig/table binary;
 #                           # writes CSV/JSON artifacts into $RESULTS_DIR,
 #                           # then runs the hotpath trend gate (fails on a
@@ -41,6 +43,13 @@ test_() {
 
   echo "==> cargo test -q"
   cargo test -q
+
+  # The slot-equivalence golden suite runs inside the full pyramid above;
+  # run it again under FAST=1 so both horizon resolutions of the
+  # slot-loop-vs-event-queue contract stay green (FAST trims the
+  # scenarios' horizons, which shifts which slots carry events).
+  echo "==> FAST=1 cargo test -q -p mano --test event_slot_equivalence"
+  FAST=1 cargo test -q -p mano --test event_slot_equivalence
 }
 
 run_figures() {
