@@ -3,7 +3,7 @@
 //! Useful when tuning hyperparameters; not part of the figure suite.
 
 use bench::{comparison_baselines, default_passes, drl_default, scaled};
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let mut scenario = Scenario::default_metro();

@@ -9,8 +9,7 @@
 use bench::{
     bench_scenario, default_passes, drl_default, emit_csv, emit_report, eval_seeds, factory_of,
 };
-use exper::prelude::*;
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let scenario = bench_scenario(8.0);

@@ -19,8 +19,7 @@ use bench::{
     bench_scenario, default_passes, drl_default, emit_markdown, emit_report, emit_sweep_csv,
     eval_seeds, factory_of, fast_mode,
 };
-use exper::prelude::*;
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 use std::fmt::Write as _;
 
 /// Per-node per-slot failure probabilities swept on the x axis.

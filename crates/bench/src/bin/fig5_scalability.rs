@@ -17,8 +17,7 @@
 use bench::{
     comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds, scaled,
 };
-use exper::prelude::*;
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 use std::time::Instant;
 
 fn size_scenario(n: usize) -> Scenario {

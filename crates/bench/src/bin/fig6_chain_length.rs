@@ -13,10 +13,7 @@ use bench::{
     comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds,
     factory_of, fast_mode, scaled,
 };
-use exper::prelude::*;
-use mano::prelude::*;
-use sfc::chain::{ChainCatalog, ChainId, ChainSpec};
-use sfc::vnf::VnfCatalog;
+use drl_vnf_edge::prelude::*;
 
 fn synthetic_chains(vnfs: &VnfCatalog, max_len: usize) -> ChainCatalog {
     let order = [

@@ -8,9 +8,7 @@
 //! spike by spilling to reuse/cloud while first-fit's latency spikes.
 
 use bench::{default_passes, drl_default, emit_csv, emit_report, eval_seeds, factory_of, scaled};
-use exper::prelude::*;
-use mano::prelude::*;
-use workload::pattern::LoadPattern;
+use drl_vnf_edge::prelude::*;
 
 fn dynamic_scenario() -> Scenario {
     let mut s = Scenario::default_metro();

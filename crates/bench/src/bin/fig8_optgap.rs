@@ -10,8 +10,7 @@
 use bench::{
     default_passes, drl_default, emit_markdown, emit_report, eval_seeds, factory_of, scaled,
 };
-use exper::prelude::*;
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn tiny_scenario() -> Scenario {
     let mut s = Scenario::default_metro().with_arrival_rate(3.0);

@@ -11,11 +11,7 @@ use bench::{
     bench_scenario, default_passes, dqn_config, emit_csv, emit_markdown, emit_report, eval_seeds,
     factory_of,
 };
-use exper::prelude::*;
-use mano::prelude::*;
-use rl::dqn::DqnConfig;
-use rl::qnet::QNetworkConfig;
-use rl::replay::PerConfig;
+use drl_vnf_edge::prelude::*;
 
 fn ablations() -> Vec<DrlManagerConfig> {
     let base = dqn_config();

@@ -39,21 +39,12 @@
 //! only, never failing) so regressions are visible in CI output.
 
 use bench::{bench_scenario, dqn_config, out_path, scaled};
-use mano::prelude::*;
-use nn::optimizer::clip_global_norm;
-use nn::prelude::*;
-use nn::tensor::reference;
+use drl_vnf_edge::nn::optimizer::clip_global_norm;
+use drl_vnf_edge::nn::tensor::reference;
+use drl_vnf_edge::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl::dqn::{DqnAgent, DqnConfig};
-use rl::prelude::{masked_argmax, Replay, UniformReplay};
-use rl::qnet::QNetwork;
-use rl::schedule::EpsilonSchedule;
-use rl::transition::Transition;
-use sfc::chain::ChainId;
-use sfc::request::{Request, RequestId};
 use std::time::Instant;
-use workload::trace::Trace;
 
 /// Captured decision points: `(encoded_state, mask)` pairs from a live
 /// placement run, so both paths are timed on the states the engine

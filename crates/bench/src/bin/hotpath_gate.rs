@@ -9,6 +9,11 @@
 //! than 20% below the accepted baseline. A single slow run is logged as
 //! soft noise and never fails the job.
 //!
+//! When `BENCH_metro.json` (the fig13 metro-scale streaming sweep) sits
+//! next to the hotpath report, its largest-scale `requests_per_sec` joins
+//! the gated series as `metro_requests_per_sec`; a missing metro report
+//! is skipped with a note so cached pre-fig13 runs stay green.
+//!
 //! Environment:
 //! * `RESULTS_DIR` — where `BENCH_hotpath.json` lives (default `results`).
 //! * `HOTPATH_TREND_FILE` — trend-state path (default
@@ -33,6 +38,35 @@ fn trend_path() -> PathBuf {
     std::env::var_os("HOTPATH_TREND_FILE")
         .map(PathBuf::from)
         .unwrap_or_else(|| out_path("hotpath_trend.json"))
+}
+
+/// Feeds one observation through the trend state, logs the verdict and
+/// returns whether it is a job-failing sustained regression.
+fn gate_series(trend: &mut TrendFile, series: &str, rate: f64) -> bool {
+    match trend.gate(series, rate) {
+        TrendVerdict::FirstRun => {
+            eprintln!("[hotpath-gate] {series}: {rate:.1}/s (first run — baseline set)");
+            false
+        }
+        TrendVerdict::Ok { ratio } => {
+            eprintln!("[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — ok)");
+            false
+        }
+        TrendVerdict::SoftRegression { ratio, streak } => {
+            eprintln!(
+                "[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — SOFT \
+                 regression, run {streak} of 2; one more consecutive slow run fails CI)"
+            );
+            false
+        }
+        TrendVerdict::SustainedRegression { ratio, streak } => {
+            eprintln!(
+                "[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — SUSTAINED \
+                 regression over {streak} consecutive runs, failing the job)"
+            );
+            true
+        }
+    }
 }
 
 fn main() {
@@ -61,28 +95,26 @@ fn main() {
             );
             continue;
         };
-        let verdict = trend.gate(series, rate);
-        match verdict {
-            TrendVerdict::FirstRun => {
-                eprintln!("[hotpath-gate] {series}: {rate:.1}/s (first run — baseline set)");
-            }
-            TrendVerdict::Ok { ratio } => {
-                eprintln!("[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — ok)");
-            }
-            TrendVerdict::SoftRegression { ratio, streak } => {
-                eprintln!(
-                    "[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — SOFT \
-                     regression, run {streak} of 2; one more consecutive slow run fails CI)"
-                );
-            }
-            TrendVerdict::SustainedRegression { ratio, streak } => {
-                eprintln!(
-                    "[hotpath-gate] {series}: {rate:.1}/s ({ratio:.2}x of baseline — SUSTAINED \
-                     regression over {streak} consecutive runs, failing the job)"
-                );
-                failed = true;
-            }
+        failed |= gate_series(&mut trend, series, rate);
+    }
+
+    // The fig13 metro-scale streaming sweep is gated when its report is
+    // present; absent (e.g. a cached pre-fig13 run) it is skipped.
+    let metro_path = out_path("BENCH_metro.json");
+    match std::fs::read_to_string(&metro_path) {
+        Ok(text) => {
+            let metro: serde_json::Value =
+                serde_json::from_str(&text).expect("BENCH_metro.json is valid JSON");
+            let rate = metro
+                .get("requests_per_sec")
+                .and_then(serde_json::Value::as_f64)
+                .expect("BENCH_metro.json is missing requests_per_sec");
+            failed |= gate_series(&mut trend, "metro_requests_per_sec", rate);
         }
+        Err(_) => eprintln!(
+            "[hotpath-gate] metro_requests_per_sec: skipped ({} not found — run fig13_metro)",
+            metro_path.display()
+        ),
     }
     trend.save(&trend_file_path);
     eprintln!(

@@ -2,7 +2,7 @@
 //! paper's evaluation section opens with).
 
 use bench::{bench_scenario, emit_markdown};
-use sfc::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let scenario = bench_scenario(8.0);

@@ -1,9 +1,7 @@
 //! Table 2 — DQN hyperparameters of the DRL manager.
 
 use bench::{dqn_config, emit_markdown};
-use nn::prelude::OptimizerConfig;
-use rl::qnet::QNetworkConfig;
-use rl::schedule::EpsilonSchedule;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let c = dqn_config();

@@ -6,8 +6,7 @@ use bench::{
     bench_scenario, emit_markdown, emit_report, eval_seeds, factory_of, standard_factories,
     train_headline,
 };
-use exper::prelude::*;
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let scenario = bench_scenario(8.0);

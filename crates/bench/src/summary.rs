@@ -16,8 +16,8 @@ struct ReportLine {
 
 /// Renders the markdown digest of every `BENCH_*.json` in `dir`: a
 /// headline table for the grid reports (cells, threads, wall clock,
-/// slots/s) and, when present, a dedicated table for the hotpath
-/// tracker's rates and speedups. Reports are listed in file-name order so
+/// slots/s) and, when present, dedicated tables for the hotpath
+/// tracker's rates and speedups and the fig13 metro streaming sweep. Reports are listed in file-name order so
 /// the output is stable; unparseable files are skipped with a note rather
 /// than failing the summary.
 pub fn results_markdown(dir: &Path) -> String {
@@ -34,6 +34,7 @@ pub fn results_markdown(dir: &Path) -> String {
 
     let mut grid_lines: Vec<ReportLine> = Vec::new();
     let mut hotpath: Option<serde_json::Value> = None;
+    let mut metro: Option<serde_json::Value> = None;
     let mut skipped: Vec<String> = Vec::new();
     for name in &names {
         let Ok(text) = std::fs::read_to_string(dir.join(name)) else {
@@ -47,6 +48,10 @@ pub fn results_markdown(dir: &Path) -> String {
         let doc: serde_json::Value = doc;
         if name == "BENCH_hotpath.json" {
             hotpath = Some(doc);
+            continue;
+        }
+        if name == "BENCH_metro.json" {
+            metro = Some(doc);
             continue;
         }
         let cells = doc
@@ -73,7 +78,7 @@ pub fn results_markdown(dir: &Path) -> String {
     }
 
     let mut out = String::from("## Bench results\n\n");
-    if grid_lines.is_empty() && hotpath.is_none() {
+    if grid_lines.is_empty() && hotpath.is_none() && metro.is_none() {
         out.push_str("_no BENCH_*.json reports found_\n");
         return out;
     }
@@ -115,6 +120,37 @@ pub fn results_markdown(dir: &Path) -> String {
             rate("speedup", "train_steps"),
         ));
     }
+    if let Some(doc) = &metro {
+        let num = |key: &str| -> f64 {
+            doc.get(key)
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        out.push_str("\n### Metro streaming sweep (BENCH_metro.json)\n\n");
+        out.push_str("| scale | requests | req/s | peak heap (MiB) |\n");
+        out.push_str("|---:|---:|---:|---:|\n");
+        if let Some(scales) = doc.get("scales").and_then(serde_json::Value::as_array) {
+            for row in scales {
+                let v = |key: &str| -> f64 {
+                    row.get(key)
+                        .and_then(serde_json::Value::as_f64)
+                        .unwrap_or(0.0)
+                };
+                out.push_str(&format!(
+                    "| {}x | {} | {:.0} | {:.1} |\n",
+                    v("scale") as u64,
+                    v("requests") as u64,
+                    v("requests_per_sec"),
+                    v("peak_mem_bytes") / (1024.0 * 1024.0),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\nacross the sweep: throughput {:.2}x, peak heap {:.2}x\n",
+            num("throughput_ratio"),
+            num("peak_mem_ratio"),
+        ));
+    }
     if !skipped.is_empty() {
         out.push_str(&format!(
             "\n_skipped unparseable: {}_\n",
@@ -140,6 +176,25 @@ mod tests {
         let dir = temp_dir("empty");
         let md = results_markdown(&dir);
         assert!(md.contains("no BENCH_*.json"));
+    }
+
+    #[test]
+    fn metro_table_renders() {
+        let dir = temp_dir("metro");
+        std::fs::write(
+            dir.join("BENCH_metro.json"),
+            r#"{"name":"fig13_metro","requests_per_sec":250000.0,
+                "throughput_ratio":1.4,"peak_mem_ratio":1.02,
+                "scales":[{"scale":1,"requests":5000,"requests_per_sec":200000.0,
+                           "peak_mem_bytes":209715.2},
+                          {"scale":100,"requests":500000,"requests_per_sec":250000.0,
+                           "peak_mem_bytes":214958.0}]}"#,
+        )
+        .unwrap();
+        let md = results_markdown(&dir);
+        assert!(md.contains("| 1x | 5000 | 200000 | 0.2 |"), "{md}");
+        assert!(md.contains("| 100x | 500000 | 250000 | 0.2 |"), "{md}");
+        assert!(md.contains("throughput 1.40x, peak heap 1.02x"), "{md}");
     }
 
     #[test]

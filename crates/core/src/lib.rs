@@ -50,6 +50,7 @@ pub mod reward;
 pub mod runner;
 pub mod sim;
 pub mod state;
+pub mod telemetry;
 pub mod timeline;
 
 /// Convenient glob-import of the common types.
@@ -78,7 +79,13 @@ pub mod prelude {
         compare_policies, evaluate_policy, evaluate_policy_with_catalogs, moving_average,
         train_drl, train_drl_with_catalogs, PolicyResult, TrainedDrl,
     };
-    pub use crate::sim::{PlacementOutcome, Simulation, TimedArrival};
+    pub use crate::sim::{
+        BillingMode, MetricsMode, PlacementOutcome, RunEngine, RunInput, RunOptions, Simulation,
+        TimedArrival,
+    };
     pub use crate::state::{StateEncoder, StateEncoderConfig};
+    pub use crate::telemetry::{
+        FlowOutcome, FlowRecord, FlowTotals, RingBuffer, SimSnapshot, StreamingStat, TelemetrySink,
+    };
     pub use crate::timeline::{EventQueue, SimEvent, SimEventKind, SimTime};
 }

@@ -46,7 +46,127 @@ impl SlotRecord {
     }
 }
 
+/// Log-spaced latency histogram resolution. 512 bins over
+/// `[10⁻³, 10⁵]` ms give a geometric bin width of `10^(8/511)` ≈ 3.7%,
+/// so a percentile read off a bin center is within ≈2% of the exact
+/// order statistic.
+const HIST_BINS: usize = 512;
+const HIST_LO_MS: f64 = 1e-3;
+const HIST_HI_MS: f64 = 1e5;
+
+/// A fixed-size log-spaced histogram over admission latencies — the
+/// O(1)-memory stand-in for the full-mode sorted latency vector.
+/// Percentiles are read as the geometric center of the bin holding the
+/// same order statistic the exact computation would pick.
+#[derive(Debug, Clone)]
+struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            counts: vec![0; HIST_BINS],
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        let clamped = v.clamp(HIST_LO_MS, HIST_HI_MS);
+        let span = (HIST_HI_MS / HIST_LO_MS).ln();
+        let idx = ((clamped / HIST_LO_MS).ln() / span * (HIST_BINS - 1) as f64).round() as usize;
+        self.counts[idx.min(HIST_BINS - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Geometric center value of bin `i`.
+    fn bin_value(i: usize) -> f64 {
+        HIST_LO_MS * (HIST_HI_MS / HIST_LO_MS).powf(i as f64 / (HIST_BINS - 1) as f64)
+    }
+
+    /// The same order statistic the full-mode percentile picks
+    /// (`round((n-1)·p)`), resolved to its bin's center value.
+    fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((self.total as f64 - 1.0) * p).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return Self::bin_value(i);
+            }
+        }
+        Self::bin_value(HIST_BINS - 1)
+    }
+}
+
+/// O(1)-memory folds of everything [`MetricsCollector::summarize`]
+/// needs — what a streaming collector keeps instead of the per-slot and
+/// per-admission vectors.
+#[derive(Debug, Clone)]
+struct StreamingTotals {
+    slots: u64,
+    arrivals: u64,
+    accepted: u64,
+    rejected: u64,
+    sla_violations: u64,
+    cost: f64,
+    utilization_sum: f64,
+    active_flows_sum: f64,
+    live_instances_sum: f64,
+    flows_disrupted: u64,
+    flows_replaced: u64,
+    downtime_slots: u64,
+    latency_sum: f64,
+    latency_count: u64,
+    latency_hist: LatencyHistogram,
+    decision_ns_sum: u64,
+    decision_count: u64,
+}
+
+impl StreamingTotals {
+    fn new() -> Self {
+        Self {
+            slots: 0,
+            arrivals: 0,
+            accepted: 0,
+            rejected: 0,
+            sla_violations: 0,
+            cost: 0.0,
+            utilization_sum: 0.0,
+            active_flows_sum: 0.0,
+            live_instances_sum: 0.0,
+            flows_disrupted: 0,
+            flows_replaced: 0,
+            downtime_slots: 0,
+            latency_sum: 0.0,
+            latency_count: 0,
+            latency_hist: LatencyHistogram::new(),
+            decision_ns_sum: 0,
+            decision_count: 0,
+        }
+    }
+}
+
 /// Collects observations during a run.
+///
+/// Two retention modes:
+///
+/// * **Full** (the default): every [`SlotRecord`], admission latency and
+///   decision time is kept — memory grows with the horizon, and
+///   [`MetricsCollector::summarize`] computes exact statistics.
+/// * **Streaming** ([`MetricsCollector::enable_streaming`]):
+///   observations fold into [`StreamingTotals`] on arrival — O(1) memory
+///   in trace length. Sums, counts and ratios summarize to the same
+///   values as full mode (bit-identical where the fold order matches,
+///   which it does for every slot-derived field); latency percentiles
+///   come from a log-spaced histogram with ≈2% relative error, and the
+///   latency mean may differ in final ulps (full mode sums after
+///   sorting). [`MetricsCollector::slots`] returns an empty slice in
+///   streaming mode.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsCollector {
     slots: Vec<SlotRecord>,
@@ -54,6 +174,8 @@ pub struct MetricsCollector {
     admission_latencies: Vec<f64>,
     /// Wall-clock nanoseconds per placement decision.
     decision_times_ns: Vec<u64>,
+    /// `Some` in streaming mode; observations fold here instead.
+    streaming: Option<StreamingTotals>,
 }
 
 impl MetricsCollector {
@@ -62,28 +184,143 @@ impl MetricsCollector {
         Self::default()
     }
 
+    /// Switches to streaming retention (idempotent). Must be called
+    /// before any observation lands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector already holds full-mode data — the two
+    /// retentions cannot be stitched into one consistent summary.
+    pub fn enable_streaming(&mut self) {
+        if self.streaming.is_some() {
+            return;
+        }
+        assert!(
+            self.slots.is_empty()
+                && self.admission_latencies.is_empty()
+                && self.decision_times_ns.is_empty(),
+            "cannot enable streaming metrics on a collector already holding full-mode data"
+        );
+        self.streaming = Some(StreamingTotals::new());
+    }
+
+    /// `true` once [`MetricsCollector::enable_streaming`] has run.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming.is_some()
+    }
+
     /// Appends a slot record.
     pub fn push_slot(&mut self, record: SlotRecord) {
+        if let Some(s) = self.streaming.as_mut() {
+            s.slots += 1;
+            s.arrivals += record.arrivals as u64;
+            s.accepted += record.accepted as u64;
+            s.rejected += record.rejected as u64;
+            s.sla_violations += record.sla_violations as u64;
+            s.cost += record.total_cost();
+            s.utilization_sum += record.mean_utilization;
+            s.active_flows_sum += record.active_flows as f64;
+            s.live_instances_sum += record.live_instances as f64;
+            s.flows_disrupted += record.flows_disrupted as u64;
+            s.flows_replaced += record.flows_replaced as u64;
+            s.downtime_slots += record.nodes_down as u64;
+            return;
+        }
         self.slots.push(record);
     }
 
     /// Records an accepted request's admission latency.
     pub fn push_admission_latency(&mut self, latency_ms: f64) {
+        if let Some(s) = self.streaming.as_mut() {
+            s.latency_sum += latency_ms;
+            s.latency_count += 1;
+            s.latency_hist.push(latency_ms);
+            return;
+        }
         self.admission_latencies.push(latency_ms);
     }
 
     /// Records a decision's wall-clock duration.
     pub fn push_decision_time(&mut self, ns: u64) {
+        if let Some(s) = self.streaming.as_mut() {
+            s.decision_ns_sum += ns;
+            s.decision_count += 1;
+            return;
+        }
         self.decision_times_ns.push(ns);
     }
 
-    /// All slot records.
+    /// All slot records (empty in streaming mode — per-slot history is
+    /// exactly what streaming retention does not keep; attach a
+    /// `TelemetrySink` for a rolling snapshot tail instead).
     pub fn slots(&self) -> &[SlotRecord] {
         &self.slots
     }
 
+    fn summarize_streaming(s: &StreamingTotals) -> RunSummary {
+        RunSummary {
+            slots: s.slots,
+            total_arrivals: s.arrivals,
+            total_accepted: s.accepted,
+            total_rejected: s.rejected,
+            acceptance_ratio: if s.arrivals > 0 {
+                s.accepted as f64 / s.arrivals as f64
+            } else {
+                1.0
+            },
+            sla_violation_ratio: if s.accepted > 0 {
+                s.sla_violations as f64 / s.accepted as f64
+            } else {
+                0.0
+            },
+            mean_admission_latency_ms: if s.latency_count > 0 {
+                s.latency_sum / s.latency_count as f64
+            } else {
+                0.0
+            },
+            p50_admission_latency_ms: s.latency_hist.percentile(0.50),
+            p95_admission_latency_ms: s.latency_hist.percentile(0.95),
+            total_cost_usd: s.cost,
+            mean_slot_cost_usd: if s.slots > 0 {
+                s.cost / s.slots as f64
+            } else {
+                0.0
+            },
+            mean_utilization: if s.slots > 0 {
+                s.utilization_sum / s.slots as f64
+            } else {
+                0.0
+            },
+            mean_active_flows: if s.slots > 0 {
+                s.active_flows_sum / s.slots as f64
+            } else {
+                0.0
+            },
+            mean_live_instances: if s.slots > 0 {
+                s.live_instances_sum / s.slots as f64
+            } else {
+                0.0
+            },
+            mean_decision_time_us: if s.decision_count > 0 {
+                s.decision_ns_sum as f64 / s.decision_count as f64 / 1000.0
+            } else {
+                0.0
+            },
+            flows_disrupted: s.flows_disrupted,
+            replacement_success_rate: if s.flows_disrupted > 0 {
+                s.flows_replaced as f64 / s.flows_disrupted as f64
+            } else {
+                1.0
+            },
+            downtime_slots: s.downtime_slots,
+        }
+    }
+
     /// Finalizes into a summary.
     pub fn summarize(&self) -> RunSummary {
+        if let Some(s) = self.streaming.as_ref() {
+            return Self::summarize_streaming(s);
+        }
         let total_arrivals: u64 = self.slots.iter().map(|s| s.arrivals as u64).sum();
         let total_accepted: u64 = self.slots.iter().map(|s| s.accepted as u64).sum();
         let total_rejected: u64 = self.slots.iter().map(|s| s.rejected as u64).sum();

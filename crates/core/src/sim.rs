@@ -29,6 +29,7 @@ use crate::metrics::{MetricsCollector, RunSummary, SlotRecord};
 use crate::policy::{CandidateInfo, DecisionContext, DecisionFeedback, PlacementPolicy};
 use crate::reward::{RewardConfig, INFEASIBLE_LATENCY_MS};
 use crate::state::StateEncoder;
+use crate::telemetry::TelemetrySink;
 use crate::timeline::{EventQueue, SimEvent, SimEventKind, SimTime};
 use edgenet::capacity::CapacityLedger;
 use edgenet::node::NodeId;
@@ -46,6 +47,7 @@ use sfc::request::{Request, RequestId};
 use sfc::vnf::VnfCatalog;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+use workload::metro::TimedRequest;
 use workload::trace::{generate_trace, Trace};
 
 /// Outcome of one request's placement episode.
@@ -60,6 +62,148 @@ pub enum PlacementOutcome {
     },
     /// The request was rejected (by choice or by infeasibility).
     Rejected,
+}
+
+/// Which engine [`Simulation::drive`] uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RunEngine {
+    /// The discrete-event engine (the default): departures, network
+    /// events, retire checks, arrivals and policy decisions pop from a
+    /// deterministic timeline; idle stretches are ~free.
+    #[default]
+    Event,
+    /// The paper's original fixed-slot sweep, kept as the equivalence
+    /// oracle. Only supports slot-compatible billing with `Generated` or
+    /// `Trace` input and no telemetry.
+    SlottedOracle,
+}
+
+/// How completed slots are billed by [`Simulation::drive`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BillingMode {
+    /// Accounting matches the slot loop bit for bit (the default):
+    /// lifetimes round up to whole slots, each active flow bills full
+    /// slots. Requesting this after any sparse run on the same
+    /// simulation is an error (the two accountings cannot mix).
+    #[default]
+    SlotCompat,
+    /// Sparse accounting: sub-slot lifetimes ([`Request::duration_ms`])
+    /// are billed pro rata. Permanently leaves slot compatibility —
+    /// later `SlotCompat` runs on this simulation panic.
+    Sparse,
+}
+
+/// How run metrics are retained by [`Simulation::drive`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Keep whatever mode the collector is in (full per-slot records and
+    /// per-admission latencies unless a previous run enabled streaming).
+    #[default]
+    Full,
+    /// Fold observations into O(1)-memory streaming aggregates as they
+    /// arrive (`RunSummary` percentiles come from a log-spaced
+    /// histogram, ≈2% relative error). Once enabled the collector stays
+    /// streaming; enabling it on a collector already holding full-mode
+    /// data panics.
+    Streaming,
+}
+
+/// Options for [`Simulation::drive`] — the one knob set selecting
+/// engine, billing, metrics retention, seeding, horizon and telemetry.
+///
+/// ```
+/// # use mano::prelude::*;
+/// let mut sim = Simulation::new(&Scenario::small_test(), RewardConfig::default());
+/// let mut policy = FirstFitPolicy;
+/// let summary = sim.drive(RunInput::Generated, &mut policy, RunOptions::new());
+/// assert_eq!(summary.slots, sim.scenario().horizon_slots);
+/// ```
+#[derive(Debug, Default)]
+pub struct RunOptions<'t> {
+    /// Which engine drives the run.
+    pub engine: RunEngine,
+    /// Slot-compatible vs sparse billing.
+    pub billing: BillingMode,
+    /// Full vs streaming metrics retention.
+    pub metrics: MetricsMode,
+    /// Decorrelates repeated runs (training passes) of one scenario.
+    pub seed_offset: u64,
+    /// Horizon in slots; defaults to the trace's own horizon for
+    /// `Generated`/`Trace` input and the scenario's for the rest.
+    pub horizon_slots: Option<u64>,
+    /// Observer receiving per-flow lifecycle and per-slot snapshot
+    /// hooks. Purely observational: the `RunSummary` is bit-identical
+    /// with or without a sink. Event engine only.
+    pub telemetry: Option<&'t mut TelemetrySink>,
+}
+
+impl<'t> RunOptions<'t> {
+    /// The defaults: event engine, slot-compatible billing, full
+    /// metrics, seed offset 0, input-derived horizon, no telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the slotted-oracle engine ([`RunEngine::SlottedOracle`]).
+    pub fn slotted(mut self) -> Self {
+        self.engine = RunEngine::SlottedOracle;
+        self
+    }
+
+    /// Selects sparse billing ([`BillingMode::Sparse`]).
+    pub fn sparse(mut self) -> Self {
+        self.billing = BillingMode::Sparse;
+        self
+    }
+
+    /// Selects streaming metrics retention ([`MetricsMode::Streaming`]).
+    pub fn with_streaming_metrics(mut self) -> Self {
+        self.metrics = MetricsMode::Streaming;
+        self
+    }
+
+    /// Sets the seed offset decorrelating repeated runs.
+    pub fn with_seed_offset(mut self, seed_offset: u64) -> Self {
+        self.seed_offset = seed_offset;
+        self
+    }
+
+    /// Overrides the horizon (in slots).
+    pub fn with_horizon(mut self, horizon_slots: u64) -> Self {
+        self.horizon_slots = Some(horizon_slots);
+        self
+    }
+
+    /// Attaches a telemetry sink for the run.
+    pub fn with_telemetry(mut self, sink: &'t mut TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+}
+
+/// The workload input of one [`Simulation::drive`] call.
+pub enum RunInput<'a> {
+    /// Generate the scenario's own trace (what [`Simulation::run`] does).
+    Generated,
+    /// A pre-generated slot-resolution trace.
+    Trace(&'a Trace),
+    /// An explicit ms-resolution arrival schedule (need not be sorted).
+    Events(&'a [TimedArrival]),
+    /// A lazily generated ms-resolution arrival stream, pulled as
+    /// simulation time advances — the whole trace is never materialized.
+    /// Must yield arrivals in non-decreasing time order (checked).
+    Stream(&'a mut dyn Iterator<Item = TimedArrival>),
+}
+
+impl std::fmt::Debug for RunInput<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunInput::Generated => write!(f, "Generated"),
+            RunInput::Trace(t) => write!(f, "Trace({} requests)", t.requests.len()),
+            RunInput::Events(e) => write!(f, "Events({})", e.len()),
+            RunInput::Stream(_) => write!(f, "Stream(..)"),
+        }
+    }
 }
 
 /// A flow currently being served.
@@ -230,6 +374,10 @@ pub struct Simulation {
     /// Latest flow-activation instant (monotone). Sparse billing uses it
     /// to tell which slots' windows can still clip a flow's share.
     latest_activation_ms: u64,
+    /// The observer attached for the duration of one [`Simulation::drive`]
+    /// call (swapped in from the caller's sink and back out afterwards).
+    /// Read-only with respect to the world: hooks never affect the run.
+    telemetry: Option<TelemetrySink>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -331,6 +479,7 @@ impl Simulation {
             slot_compat: true,
             retire_checks: BTreeSet::new(),
             latest_activation_ms: 0,
+            telemetry: None,
         }
     }
 
@@ -358,6 +507,15 @@ impl Simulation {
     /// Current slot index.
     pub fn slot(&self) -> u64 {
         self.slot
+    }
+
+    /// The current instant on the ms timeline: the event clock in event
+    /// mode, the current slot's start in slot mode.
+    fn now_ms(&self) -> u64 {
+        match self.mode {
+            EngineMode::Slot => self.slot.saturating_mul(self.slot_ms),
+            EngineMode::Event => self.queue.now().ms(),
+        }
     }
 
     /// Number of currently active flows.
@@ -807,6 +965,10 @@ impl Simulation {
                         rng,
                     );
                     self.scratch.ctx = Some(ctx);
+                    let now = self.now_ms();
+                    if let Some(sink) = self.telemetry.as_mut() {
+                        sink.on_rejected(request.id, now);
+                    }
                     return PlacementOutcome::Rejected;
                 }
                 PlacementAction::Place(node) => {
@@ -893,6 +1055,9 @@ impl Simulation {
                             ),
                         }
                         self.metrics.push_admission_latency(latency_ms);
+                        if let Some(sink) = self.telemetry.as_mut() {
+                            sink.on_admitted(request.id, activated_ms, latency_ms);
+                        }
                         self.scratch.ctx = Some(ctx);
                         return PlacementOutcome::Accepted {
                             latency_ms,
@@ -1159,6 +1324,10 @@ impl Simulation {
                 duration_ms: None,
                 ..flow.request
             };
+            let now = self.now_ms();
+            if let Some(sink) = self.telemetry.as_mut() {
+                sink.on_requested(now, &retry, true);
+            }
             if let PlacementOutcome::Accepted { .. } = self.place_request(&retry, policy, rng) {
                 flows_replaced += 1;
             }
@@ -1275,24 +1444,130 @@ impl Simulation {
         )
     }
 
+    /// The unified run entry point: drives `input` through the engine,
+    /// billing, metrics retention and observer selected by `opts`, and
+    /// returns the run's [`RunSummary`].
+    ///
+    /// Every legacy entry point ([`Simulation::run`],
+    /// [`Simulation::run_slotted`], [`Simulation::run_trace`],
+    /// [`Simulation::run_trace_slotted`], [`Simulation::run_events`]) is
+    /// a thin wrapper over this method, so all of them share its
+    /// validation:
+    ///
+    /// # Panics
+    ///
+    /// * [`BillingMode::SlotCompat`] after any sparse run on the same
+    ///   simulation — the two accountings cannot mix (previously a
+    ///   doc-only warning on `run_events`).
+    /// * [`RunEngine::SlottedOracle`] combined with sparse billing,
+    ///   ms-resolution input ([`RunInput::Events`]/[`RunInput::Stream`])
+    ///   or a telemetry sink.
+    /// * [`MetricsMode::Streaming`] on a collector already holding
+    ///   full-mode data from an earlier run.
+    pub fn drive(
+        &mut self,
+        input: RunInput<'_>,
+        policy: &mut dyn PlacementPolicy,
+        mut opts: RunOptions<'_>,
+    ) -> RunSummary {
+        match opts.billing {
+            BillingMode::SlotCompat => assert!(
+                self.slot_compat,
+                "BillingMode::SlotCompat requested, but this simulation already ran sparse \
+                 (run_events / BillingMode::Sparse); the two accountings cannot mix on one \
+                 simulation — build a fresh Simulation instead"
+            ),
+            BillingMode::Sparse => {}
+        }
+        if opts.engine == RunEngine::SlottedOracle {
+            assert_eq!(
+                opts.billing,
+                BillingMode::SlotCompat,
+                "the slotted oracle only bills whole slots"
+            );
+            assert!(
+                matches!(input, RunInput::Generated | RunInput::Trace(_)),
+                "the slotted oracle needs slot-resolution input (Generated or Trace), \
+                 got {input:?}"
+            );
+            assert!(
+                opts.telemetry.is_none(),
+                "telemetry hooks are wired into the event engine; the slotted oracle does \
+                 not support a TelemetrySink"
+            );
+        }
+        if opts.metrics == MetricsMode::Streaming {
+            self.metrics.enable_streaming();
+        }
+        // Swap the caller's sink in for the run (and back out below) so
+        // the hot path tests one `Option` field instead of threading a
+        // reference through every engine frame.
+        let mut caller_sink = opts.telemetry.take();
+        if let Some(sink) = caller_sink.as_deref_mut() {
+            self.telemetry = Some(std::mem::take(sink));
+        }
+
+        let sparse = opts.billing == BillingMode::Sparse;
+        let summary = match input {
+            RunInput::Generated => {
+                let trace = self.generate_run_trace(opts.seed_offset);
+                match opts.engine {
+                    RunEngine::SlottedOracle => {
+                        self.drive_slotted(&trace, policy, opts.seed_offset, opts.horizon_slots)
+                    }
+                    RunEngine::Event => self.drive_event(
+                        RunInput::Trace(&trace),
+                        policy,
+                        opts.seed_offset,
+                        opts.horizon_slots,
+                        sparse,
+                    ),
+                }
+            }
+            input => match opts.engine {
+                RunEngine::SlottedOracle => {
+                    let RunInput::Trace(trace) = input else {
+                        unreachable!("oracle input validated above");
+                    };
+                    self.drive_slotted(trace, policy, opts.seed_offset, opts.horizon_slots)
+                }
+                RunEngine::Event => {
+                    self.drive_event(input, policy, opts.seed_offset, opts.horizon_slots, sparse)
+                }
+            },
+        };
+        if let Some(sink) = caller_sink {
+            *sink = self.telemetry.take().expect("sink attached above");
+        }
+        summary
+    }
+
     /// Runs the scenario's full horizon with a freshly generated trace.
     ///
     /// `seed_offset` decorrelates repeated runs (training passes) of the
-    /// same scenario.
+    /// same scenario. Equivalent to [`Simulation::drive`] with
+    /// [`RunInput::Generated`] and default options.
     pub fn run(&mut self, policy: &mut dyn PlacementPolicy, seed_offset: u64) -> RunSummary {
-        let trace = self.generate_run_trace(seed_offset);
-        self.run_trace(&trace, policy, seed_offset)
+        self.drive(
+            RunInput::Generated,
+            policy,
+            RunOptions::new().with_seed_offset(seed_offset),
+        )
     }
 
     /// [`Simulation::run`] driven by the legacy slotted loop instead of
     /// the event engine — the equivalence suite's reference path.
+    /// Equivalent to [`Simulation::drive`] with the slotted oracle.
     pub fn run_slotted(
         &mut self,
         policy: &mut dyn PlacementPolicy,
         seed_offset: u64,
     ) -> RunSummary {
-        let trace = self.generate_run_trace(seed_offset);
-        self.run_trace_slotted(&trace, policy, seed_offset)
+        self.drive(
+            RunInput::Generated,
+            policy,
+            RunOptions::new().slotted().with_seed_offset(seed_offset),
+        )
     }
 
     /// Runs a pre-generated trace through the discrete-event engine in
@@ -1300,60 +1575,38 @@ impl Simulation {
     /// boundary, so the output — `RunSummary` and the full `SlotRecord`
     /// stream — is bit-identical to [`Simulation::run_trace_slotted`],
     /// while idle stretches of the trace are skipped in O(1) per slot
-    /// instead of paying a full per-slot sweep.
+    /// instead of paying a full per-slot sweep. Equivalent to
+    /// [`Simulation::drive`] with [`RunInput::Trace`].
     pub fn run_trace(
         &mut self,
         trace: &Trace,
         policy: &mut dyn PlacementPolicy,
         seed_offset: u64,
     ) -> RunSummary {
-        let mut rng = self.decision_rng(seed_offset);
-        let start = self.slot;
-        let end_slot = start + trace.horizon_slots;
-        self.enter_event_mode();
-        for r in &trace.requests {
-            let slot = r.arrival_slot + start;
-            if slot >= end_slot {
-                continue; // the slot loop never reaches these either
-            }
-            let mut shifted = r.clone();
-            shifted.arrival_slot = slot;
-            self.queue.schedule_at(
-                SimTime::from_slot(slot, self.slot_ms),
-                SimEvent::FlowArrival(shifted),
-            );
-        }
-        self.schedule_window_network_events(start, end_slot);
-        self.run_event_loop(end_slot, policy, &mut rng);
-        self.metrics.summarize()
+        self.drive(
+            RunInput::Trace(trace),
+            policy,
+            RunOptions::new().with_seed_offset(seed_offset),
+        )
     }
 
     /// Runs a pre-generated trace through the paper's original slotted
     /// loop ([`Simulation::advance_slot`] per slot). Kept as the
     /// equivalence oracle for the event engine; see
-    /// `tests/event_slot_equivalence.rs`.
+    /// `tests/event_slot_equivalence.rs`. Equivalent to
+    /// [`Simulation::drive`] with the slotted oracle and
+    /// [`RunInput::Trace`].
     pub fn run_trace_slotted(
         &mut self,
         trace: &Trace,
         policy: &mut dyn PlacementPolicy,
         seed_offset: u64,
     ) -> RunSummary {
-        let mut rng = self.decision_rng(seed_offset);
-        let start = self.slot;
-        let mut arrivals_by_slot: BTreeMap<u64, Vec<Request>> = BTreeMap::new();
-        for r in &trace.requests {
-            let mut shifted = r.clone();
-            shifted.arrival_slot += start;
-            arrivals_by_slot
-                .entry(shifted.arrival_slot)
-                .or_default()
-                .push(shifted);
-        }
-        for s in start..start + trace.horizon_slots {
-            let arrivals = arrivals_by_slot.remove(&s).unwrap_or_default();
-            self.advance_slot(&arrivals, policy, &mut rng);
-        }
-        self.metrics.summarize()
+        self.drive(
+            RunInput::Trace(trace),
+            policy,
+            RunOptions::new().slotted().with_seed_offset(seed_offset),
+        )
     }
 
     /// Runs an explicit ms-resolution arrival schedule through the event
@@ -1366,8 +1619,10 @@ impl Simulation {
     /// dropped.
     ///
     /// Unlike [`Simulation::run_trace`] this permanently leaves
-    /// slot-compatibility accounting, so don't mix the two on one
-    /// simulation when bit-equivalence with the slot loop matters.
+    /// slot-compatibility accounting: a later slot-compatible run on the
+    /// same simulation panics (enforced by [`Simulation::drive`]).
+    /// Equivalent to `drive` with [`RunInput::Events`] and sparse
+    /// billing.
     pub fn run_events(
         &mut self,
         arrivals: &[TimedArrival],
@@ -1375,24 +1630,152 @@ impl Simulation {
         seed_offset: u64,
         horizon_slots: u64,
     ) -> RunSummary {
+        self.drive(
+            RunInput::Events(arrivals),
+            policy,
+            RunOptions::new()
+                .sparse()
+                .with_seed_offset(seed_offset)
+                .with_horizon(horizon_slots),
+        )
+    }
+
+    /// [`Simulation::drive`]'s slotted-oracle engine: the paper's
+    /// original per-slot sweep over a pre-generated trace.
+    fn drive_slotted(
+        &mut self,
+        trace: &Trace,
+        policy: &mut dyn PlacementPolicy,
+        seed_offset: u64,
+        horizon_slots: Option<u64>,
+    ) -> RunSummary {
         let mut rng = self.decision_rng(seed_offset);
         let start = self.slot;
-        let end_slot = start + horizon_slots;
-        let end_ms = end_slot.saturating_mul(self.slot_ms);
-        self.enter_event_mode();
-        self.slot_compat = false;
-        for arrival in arrivals {
-            if arrival.at.ms() >= end_ms || arrival.at < self.queue.now() {
-                continue;
-            }
-            let mut request = arrival.request.clone();
-            request.arrival_slot = arrival.at.slot(self.slot_ms);
-            self.queue
-                .schedule_at(arrival.at, SimEvent::FlowArrival(request));
+        let horizon = horizon_slots.unwrap_or(trace.horizon_slots);
+        let mut arrivals_by_slot: BTreeMap<u64, Vec<Request>> = BTreeMap::new();
+        for r in &trace.requests {
+            let mut shifted = r.clone();
+            shifted.arrival_slot += start;
+            arrivals_by_slot
+                .entry(shifted.arrival_slot)
+                .or_default()
+                .push(shifted);
         }
-        self.schedule_window_network_events(start, end_slot);
-        self.run_event_loop(end_slot, policy, &mut rng);
+        for s in start..start + horizon {
+            let arrivals = arrivals_by_slot.remove(&s).unwrap_or_default();
+            self.advance_slot(&arrivals, policy, &mut rng);
+        }
         self.metrics.summarize()
+    }
+
+    /// [`Simulation::drive`]'s event engine: schedules (or, for stream
+    /// input, lazily feeds) the arrivals and runs the event loop.
+    fn drive_event(
+        &mut self,
+        input: RunInput<'_>,
+        policy: &mut dyn PlacementPolicy,
+        seed_offset: u64,
+        horizon_slots: Option<u64>,
+        sparse: bool,
+    ) -> RunSummary {
+        let mut rng = self.decision_rng(seed_offset);
+        let start = self.slot;
+        self.enter_event_mode();
+        if sparse {
+            self.slot_compat = false;
+        }
+        let mut feed: Option<ArrivalFeed<'_>> = None;
+        let end_slot = match input {
+            RunInput::Generated => unreachable!("drive materializes Generated into Trace"),
+            RunInput::Trace(trace) => {
+                let end_slot = start + horizon_slots.unwrap_or(trace.horizon_slots);
+                for r in &trace.requests {
+                    let slot = r.arrival_slot + start;
+                    if slot >= end_slot {
+                        continue; // the slot loop never reaches these either
+                    }
+                    let mut shifted = r.clone();
+                    shifted.arrival_slot = slot;
+                    self.queue.schedule_at(
+                        SimTime::from_slot(slot, self.slot_ms),
+                        SimEvent::FlowArrival(shifted),
+                    );
+                }
+                end_slot
+            }
+            RunInput::Events(arrivals) => {
+                let end_slot = start + horizon_slots.unwrap_or(self.scenario.horizon_slots);
+                let end_ms = end_slot.saturating_mul(self.slot_ms);
+                for arrival in arrivals {
+                    if arrival.at.ms() >= end_ms || arrival.at < self.queue.now() {
+                        continue;
+                    }
+                    let mut request = arrival.request.clone();
+                    request.arrival_slot = arrival.at.slot(self.slot_ms);
+                    self.queue
+                        .schedule_at(arrival.at, SimEvent::FlowArrival(request));
+                }
+                end_slot
+            }
+            RunInput::Stream(stream) => {
+                feed = Some(ArrivalFeed {
+                    stream,
+                    next: None,
+                    last_ms: 0,
+                });
+                start + horizon_slots.unwrap_or(self.scenario.horizon_slots)
+            }
+        };
+        self.schedule_window_network_events(start, end_slot);
+        self.run_event_loop(end_slot, policy, &mut rng, feed);
+        self.metrics.summarize()
+    }
+
+    /// Admits every stream arrival that is due — at or before the next
+    /// queued event (all in-horizon arrivals when the queue is empty) —
+    /// onto the queue. Runs before each event pop, which guarantees a
+    /// timestamp's arrival group is complete before that group drains
+    /// (the stream is time-ordered, so nothing at the group's instant
+    /// can appear later). Sets `*feed` to `None` once exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream yields arrivals out of time order.
+    fn feed_due_arrivals(&mut self, feed: &mut Option<ArrivalFeed<'_>>, end_ms: u64) {
+        let Some(f) = feed.as_mut() else { return };
+        loop {
+            if f.next.is_none() {
+                f.next = f.stream.next();
+            }
+            let Some(head) = f.next.as_ref() else {
+                *feed = None; // exhausted
+                return;
+            };
+            let at = head.at;
+            assert!(
+                at.ms() >= f.last_ms,
+                "RunInput::Stream must be time-ordered: got an arrival at {}ms after one \
+                 at {}ms",
+                at.ms(),
+                f.last_ms
+            );
+            if at.ms() >= end_ms {
+                return; // ordered stream: the rest is beyond the horizon too
+            }
+            if let Some((t, _)) = self.queue.peek() {
+                if at > t {
+                    return; // not due yet
+                }
+            }
+            let mut arrival = f.next.take().expect("head checked above");
+            f.last_ms = arrival.at.ms();
+            if arrival.at < self.queue.now() {
+                continue; // before the clock — dropped, like run_events
+            }
+            arrival.request.arrival_slot = arrival.at.slot(self.slot_ms);
+            self.queue
+                .schedule_at(arrival.at, SimEvent::FlowArrival(arrival.request));
+        }
     }
 
     /// Flips the simulation into event mode, migrating departures that
@@ -1541,6 +1924,9 @@ impl Simulation {
                 flows_replaced: self.counters.flows_replaced,
                 nodes_down: snapshot.nodes_down,
             };
+            if let Some(sink) = self.telemetry.as_mut() {
+                sink.on_slot_billed(&record, self.slot_ms);
+            }
             self.metrics.push_slot(record);
             self.counters = SlotCounters::default();
             self.deployment_cost_this_slot = 0.0;
@@ -1563,6 +1949,9 @@ impl Simulation {
             Some(_) => {}
         }
         let flow = self.active.remove(&request.0).expect("checked present");
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.on_completed(request, at.ms());
+        }
         // Sub-slot lifetimes: a flow leaving mid-slot owes the fraction of
         // this slot it actually occupied. Zero for boundary departures, so
         // slot-compatibility runs never accrue anything here.
@@ -1603,9 +1992,17 @@ impl Simulation {
         end_slot: u64,
         policy: &mut dyn PlacementPolicy,
         rng: &mut StdRng,
+        mut feed: Option<ArrivalFeed<'_>>,
     ) {
         let end_ms = end_slot.saturating_mul(self.slot_ms);
-        while let Some((t, kind)) = self.queue.peek() {
+        loop {
+            // Stream input is admitted lazily: pull every arrival due at
+            // or before the next queued event, so a timestamp's arrival
+            // group is complete before it drains below.
+            self.feed_due_arrivals(&mut feed, end_ms);
+            let Some((t, kind)) = self.queue.peek() else {
+                break;
+            };
             if t.ms() >= end_ms {
                 break; // horizon reached; leftovers stay for chained runs
             }
@@ -1628,6 +2025,11 @@ impl Simulation {
                     }
                     let disrupted = self.apply_network_events(&events);
                     self.counters.flows_disrupted += disrupted.len() as u32;
+                    if let Some(sink) = self.telemetry.as_mut() {
+                        for flow in &disrupted {
+                            sink.on_disrupted(flow.request.id, t.ms());
+                        }
+                    }
                     let replaced = self.replace_disrupted(disrupted, policy, rng);
                     self.counters.flows_replaced += replaced;
                     self.cost_cache = None;
@@ -1648,6 +2050,11 @@ impl Simulation {
                         }
                     }
                     self.counters.arrivals += self.pending_arrivals.len() as u32;
+                    if let Some(sink) = self.telemetry.as_mut() {
+                        for request in &self.pending_arrivals {
+                            sink.on_requested(t.ms(), request, false);
+                        }
+                    }
                     // Speculative batch assembly groups the arrivals that
                     // share this timestamp (the slot loop groups per slot;
                     // on a slot-boundary schedule those coincide).
@@ -1702,14 +2109,40 @@ impl Simulation {
 }
 
 /// A request with an explicit millisecond arrival time, for
-/// [`Simulation::run_events`] — the sparse engine entry point where
-/// arrivals need not land on slot boundaries.
+/// [`Simulation::run_events`] / [`RunInput::Events`] /
+/// [`RunInput::Stream`] — the sparse engine inputs where arrivals need
+/// not land on slot boundaries.
 #[derive(Debug, Clone)]
 pub struct TimedArrival {
     /// When the request arrives.
     pub at: SimTime,
     /// The request itself (its `arrival_slot` is rewritten from `at`).
     pub request: Request,
+}
+
+impl From<TimedRequest> for TimedArrival {
+    /// Adapts a workload-side [`TimedRequest`] (e.g. from
+    /// `workload::metro::MetroProfile::stream`) into an engine arrival:
+    /// `profile.stream(..).map(TimedArrival::from)` plugs a metro stream
+    /// straight into [`RunInput::Stream`].
+    fn from(t: TimedRequest) -> Self {
+        TimedArrival {
+            at: SimTime::from_ms(t.at_ms),
+            request: t.request,
+        }
+    }
+}
+
+/// Pull-based arrival source backing [`RunInput::Stream`]: holds the
+/// stream's head so the event loop can admit arrivals exactly when the
+/// timeline reaches them. The queue stays bounded by concurrent flows
+/// plus one timestamp's arrivals instead of the whole trace.
+struct ArrivalFeed<'a> {
+    stream: &'a mut dyn Iterator<Item = TimedArrival>,
+    /// The stream's head, pulled but not yet admitted to the queue.
+    next: Option<TimedArrival>,
+    /// Monotonicity check: the last admitted arrival instant.
+    last_ms: u64,
 }
 
 #[cfg(test)]

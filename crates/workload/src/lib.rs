@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arrival;
+pub mod metro;
 pub mod pattern;
 pub mod spatial;
 pub mod trace;
@@ -37,6 +38,7 @@ pub mod trace;
 /// Convenient glob-import of the common types.
 pub mod prelude {
     pub use crate::arrival::{exponential, poisson, Mmpp2, Mmpp2State};
+    pub use crate::metro::{MetroProfile, MetroStream, RushPeak, TimedRequest};
     pub use crate::pattern::LoadPattern;
     pub use crate::spatial::SpatialDistribution;
     pub use crate::trace::{generate_trace, Trace, WorkloadSpec};

@@ -6,7 +6,7 @@
 //! RATE=10 cargo run --release --example compare_policies    # overload
 //! ```
 
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let rate: f64 = std::env::var("RATE")

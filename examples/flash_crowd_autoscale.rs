@@ -6,8 +6,7 @@
 //! cargo run --release --example flash_crowd_autoscale
 //! ```
 
-use mano::prelude::*;
-use workload::pattern::LoadPattern;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let mut scenario = Scenario::default_metro();

@@ -6,11 +6,9 @@
 //! cargo run --release --example metro_placement
 //! ```
 
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sfc::chain::ChainId;
-use sfc::request::{Request, RequestId};
 
 /// A policy that narrates every decision context before delegating to
 /// greedy-latency.

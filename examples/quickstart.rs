@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     // 1. Describe the world: 4 metro edge sites + a remote cloud,

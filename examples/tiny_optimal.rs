@@ -6,7 +6,7 @@
 //! cargo run --release --example tiny_optimal
 //! ```
 
-use mano::prelude::*;
+use drl_vnf_edge::prelude::*;
 
 fn main() {
     let mut scenario = Scenario::default_metro().with_arrival_rate(2.5);

@@ -36,11 +36,14 @@ pub use rl;
 pub use sfc;
 pub use workload;
 
-/// One prelude over the whole stack.
+/// One prelude over the whole stack — every layer's prelude merged, so
+/// examples and figure binaries need exactly one import.
 pub mod prelude {
     pub use edgenet::prelude::*;
     pub use exper::prelude::*;
     pub use mano::prelude::*;
+    pub use nn::prelude::*;
+    pub use rl::prelude::*;
     pub use sfc::prelude::*;
     pub use workload::prelude::*;
 }

@@ -24,7 +24,7 @@ cd "$(dirname "$0")"
 FIG_BINARIES=(
   fig1_convergence fig2_latency_vs_load fig3_cost_vs_load fig4_acceptance
   fig5_scalability fig6_chain_length fig7_dynamic fig8_optgap fig9_ablation
-  fig10_reward_weights fig11_pg_vs_dqn fig12_resilience
+  fig10_reward_weights fig11_pg_vs_dqn fig12_resilience fig13_metro
   table1_params table2_hyperparams table3_summary
   hotpath
 )
@@ -67,10 +67,12 @@ run_figures() {
   # resilience sweep must have produced its report, and the hotpath
   # throughput tracker (decisions/sec, batched decisions/sec and
   # train-steps/sec, with its in-report pre-optimization baseline) must
-  # have emitted its report.
+  # have emitted its report, as must the fig13 metro-scale streaming
+  # sweep (requests/sec + peak heap across the 1x→100x horizon growth).
   ls "$RESULTS_DIR"/BENCH_*.json >/dev/null
   ls "$RESULTS_DIR"/BENCH_resilience.json >/dev/null
   ls "$RESULTS_DIR"/BENCH_hotpath.json >/dev/null
+  ls "$RESULTS_DIR"/BENCH_metro.json >/dev/null
 }
 
 bench_smoke() {
