@@ -3,12 +3,16 @@
 //! (the DRL observation width depends on N, so each size trains its own
 //! manager), merged into a single report.
 //!
-//! The DRL manager appears twice: `drl` evaluates through the engine's
-//! batched-inference path (per-slot batched forwards, `parallel_eval`
-//! fan-out with one warm workspace per worker), `drl-seq` is the same
-//! trained network forced onto per-decision forwards — the figure's
-//! µs/decision column is the batched win, and both columns' quality
-//! metrics are bit-identical by construction.
+//! The DRL manager appears three times: `drl` evaluates through the
+//! engine's batched-inference path (per-slot batched forwards,
+//! `parallel_eval` fan-out with one warm workspace per worker),
+//! `drl-seq` is the same trained network forced onto per-decision
+//! forwards — the figure's µs/decision column is the batched win, and
+//! both columns' quality metrics are bit-identical by construction —
+//! and `drl-snap` re-runs the batched network under
+//! `DecisionSemantics::SlotSnapshot` (whole-slot frozen-snapshot
+//! wavefronts with joint conflict-checked apply), so the snapshot
+//! semantics' policy-quality delta is a column of the same figure.
 //!
 //! Decision time is deliberately *kept* in this figure's cells (the whole
 //! point is timing), so unlike the other figures its CSV is not covered
@@ -78,6 +82,15 @@ fn main() {
                 &cells,
                 None,
                 true,
+            ));
+            drl_cells.extend(parallel_eval_semantics(
+                &batched,
+                "drl-snap",
+                reward,
+                &cells,
+                None,
+                true,
+                DecisionSemantics::SlotSnapshot,
             ));
             let drl_report = report_from_cells(
                 format!("fig5_n{n}_drl"),

@@ -9,6 +9,7 @@
 
 use bench::{default_passes, drl_default, emit_csv, emit_report, eval_seeds, factory_of, scaled};
 use drl_vnf_edge::prelude::*;
+use std::time::Instant;
 
 fn dynamic_scenario() -> Scenario {
     let mut s = Scenario::default_metro();
@@ -98,17 +99,40 @@ fn main() {
         .iter()
         .zip(trained)
         .map(|((tag, scenario), t)| {
-            ExperimentGrid::new(format!("fig7_{tag}"))
+            let grid = ExperimentGrid::new(format!("fig7_{tag}"))
                 .scenario(*tag, 0.0, scenario.clone())
                 .reward(reward)
                 .seeds(&eval_seeds())
-                .policy_boxed("drl", factory_of(t.policy))
+                .policy_boxed("drl", factory_of(t.policy.clone()))
                 .policy("weighted-greedy", || {
                     Box::new(WeightedGreedyPolicy::default())
                 })
                 .policy("first-fit", || Box::new(FirstFitPolicy))
                 .policy("greedy-latency", || Box::new(GreedyLatencyPolicy))
-                .run()
+                .run();
+            // The same trained manager re-run under SlotSnapshot
+            // semantics: the dynamic workloads are where whole-slot
+            // frozen-snapshot waves could plausibly change quality
+            // (flash-crowd slots carry the widest wavefronts), so the
+            // delta rides the report as its own policy column.
+            let cells = cells_for_seeds(tag, 0.0, scenario, &eval_seeds());
+            let started = Instant::now();
+            let snap_cells = parallel_eval_semantics(
+                &t.policy,
+                "drl-snap",
+                reward,
+                &cells,
+                None,
+                false,
+                DecisionSemantics::SlotSnapshot,
+            );
+            let snap = report_from_cells(
+                format!("fig7_{tag}_snap"),
+                thread_count(),
+                started.elapsed().as_secs_f64(),
+                snap_cells,
+            );
+            merge_reports(format!("fig7_{tag}"), vec![grid, snap])
         })
         .collect();
     emit_report(&merge_reports("fig7_dynamic", reports));

@@ -25,6 +25,13 @@
 //!   the report carries the measured idle-overhead ratio as evidence
 //!   that sparse time is O(events), not O(slots) of work.
 //!
+//! And the serving layer (`crates/serve`):
+//!
+//! * **serve decisions/sec** — eight concurrent simulations sharing one
+//!   policy server under `DecisionSemantics::SlotSnapshot`, their
+//!   wavefronts fusing into wide forwards, against the same eight
+//!   simulations each deciding sequentially on a private policy clone.
+//!
 //! Decisions and train steps are measured twice: once through the
 //! optimized scratch-buffer engine, and once through a faithful replica
 //! of the pre-optimization pipeline (allocate-per-call tensors, the naive
@@ -490,6 +497,101 @@ fn main() {
          ({idle_slots_per_sec:.0} slots/sec billed; O(events), not O(slots))"
     );
 
+    // ---- serve: cross-simulation fused decision serving.
+    //
+    // Eight concurrent simulations share ONE policy server; every slot's
+    // decision wavefront crosses the ring and fuses with whatever the
+    // other simulations have pending, so the server's forwards run wide
+    // enough to hit the register-tiled kernels (a single simulation's
+    // sub-8-row waves cannot). The baseline is the same eight
+    // simulations each running per-decision sequential inference on a
+    // private policy clone — the pre-serving deployment shape. The two
+    // modes legitimately take different trajectories (snapshot vs
+    // speculative semantics), so each side counts its own decisions.
+    let serve_sims: usize = 8;
+    let serve_seeds: Vec<u64> = (0..serve_sims as u64).collect();
+    // A busy serving workload: wide per-slot wavefronts are the regime
+    // the serving layer exists for (many users per simulation), and they
+    // amortize the per-wave ring round-trip over more fused rows.
+    let serve_scenario = {
+        let mut s = bench_scenario(20.0);
+        s.workload.mean_duration_slots = 4.0;
+        s.horizon_slots = scaled(60, 15) as u64;
+        s
+    };
+    let serve_policy = {
+        let probe = Simulation::new(&serve_scenario, RewardConfig::default());
+        let dim = probe.encoder.dim();
+        let actions = probe.action_space.len();
+        drop(probe);
+        // A serving-scale Q-network: policy servers exist because the
+        // served model is expensive — the fleet amortizes it. Twice the
+        // reference width keeps the per-decision forward honest for the
+        // deployment shape this series models.
+        let manager = DrlManagerConfig {
+            dqn: DqnConfig {
+                network: QNetworkConfig::Standard {
+                    hidden: vec![256, 256],
+                },
+                epsilon: EpsilonSchedule::Constant(0.0),
+                ..dqn_config()
+            },
+            label: "drl".into(),
+        };
+        let mut serve_rng = StdRng::seed_from_u64(0x5EED);
+        let mut p = DrlPolicy::new(manager, dim, actions, &mut serve_rng);
+        p.set_training(false);
+        p
+    };
+    let serve_cells = cells_for_seeds("hotpath-serve", 6.0, &serve_scenario, &serve_seeds);
+    let serve_reps = 3;
+    let mut baseline_serve_rate = 0.0f64;
+    let mut serve_rate = 0.0f64;
+    let mut serve_stats = ServeStats::default();
+    for _ in 0..serve_reps {
+        let t0 = Instant::now();
+        let counts = run_indexed_with(
+            serve_sims,
+            serve_sims,
+            || {
+                let mut worker = serve_policy.clone();
+                worker.set_batched_inference(false);
+                worker
+            },
+            |worker, index| {
+                let mut sim = Simulation::new(&serve_scenario, RewardConfig::default());
+                sim.drive(
+                    RunInput::Generated,
+                    worker,
+                    RunOptions::new().with_seed_offset(serve_seeds[index]),
+                );
+                sim.metrics().decision_count()
+            },
+        );
+        let total: u64 = counts.iter().sum();
+        baseline_serve_rate =
+            baseline_serve_rate.max(rate(total as usize, t0.elapsed().as_secs_f64()));
+
+        let t0 = Instant::now();
+        let (_, stats) = serve_evaluations(
+            serve_policy.clone(),
+            ServeConfig::default(),
+            RewardConfig::default(),
+            &serve_cells,
+            Some(serve_sims),
+            DecisionSemantics::SlotSnapshot,
+        );
+        serve_rate = serve_rate.max(rate(stats.decisions as usize, t0.elapsed().as_secs_f64()));
+        serve_stats = stats;
+    }
+    let serve_speedup = serve_rate / baseline_serve_rate.max(1e-9);
+    eprintln!(
+        "[hotpath] serve decisions/sec: {serve_rate:.0} vs {baseline_serve_rate:.0} per-sim sequential \
+         ({serve_speedup:.2}x at {serve_sims} sims; {:.1} mean rows/forward, widest {})",
+        serve_stats.mean_rows_per_tick(),
+        serve_stats.max_rows_per_tick
+    );
+
     // ---- Soft comparison against the previous run (log-only: machine
     // noise must never fail CI, it just has to be visible there).
     let report_path = out_path("BENCH_hotpath.json");
@@ -564,9 +666,40 @@ fn main() {
             "idle_slots_per_sec",
             serde_json::Value::from(idle_slots_per_sec),
         );
+        m.insert(
+            "serve_decisions_per_sec",
+            serde_json::Value::from(serve_rate),
+        );
         serde_json::Value::Object(m)
     };
     doc.insert("optimized", optimized);
+    let serve = {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "concurrent_sims",
+            serde_json::Value::from(serve_sims as u64),
+        );
+        m.insert(
+            "baseline_decisions_per_sec",
+            serde_json::Value::from(baseline_serve_rate),
+        );
+        m.insert(
+            "serve_decisions_per_sec",
+            serde_json::Value::from(serve_rate),
+        );
+        m.insert("speedup", serde_json::Value::from(serve_speedup));
+        m.insert("ticks", serde_json::Value::from(serve_stats.ticks));
+        m.insert(
+            "mean_rows_per_tick",
+            serde_json::Value::from(serve_stats.mean_rows_per_tick()),
+        );
+        m.insert(
+            "max_rows_per_tick",
+            serde_json::Value::from(serve_stats.max_rows_per_tick),
+        );
+        serde_json::Value::Object(m)
+    };
+    doc.insert("serve", serve);
     let sparse = {
         let mut m = serde_json::Map::new();
         m.insert("active_slots", serde_json::Value::from(active_slots));

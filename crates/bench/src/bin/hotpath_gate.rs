@@ -2,7 +2,8 @@
 //!
 //! Reads the current hotpath report, feeds each tracked throughput series
 //! (per-decision decisions/sec, batched decisions/sec, train-steps/sec,
-//! the event engine's events/sec and idle-sweep slots/sec) through the
+//! the event engine's events/sec and idle-sweep slots/sec, and the
+//! serving layer's cross-simulation serve decisions/sec) through the
 //! persistent trend state (`hotpath_trend.json`, restored
 //! across CI runs via `actions/cache`), rewrites the state, and exits
 //! non-zero only on a *sustained* regression: two consecutive runs more
@@ -32,6 +33,7 @@ const SERIES: &[(&str, bool)] = &[
     ("train_steps_per_sec", true),
     ("events_per_sec", false),
     ("idle_slots_per_sec", false),
+    ("serve_decisions_per_sec", false),
 ];
 
 fn trend_path() -> PathBuf {
@@ -93,6 +95,13 @@ fn main() {
                 !required,
                 "BENCH_hotpath.json is missing required series optimized.{series}"
             );
+            // Optional series predate some cached reports — but a skip
+            // must never be silent, or a series can quietly fall out of
+            // the gate (e.g. a key rename) and regress unobserved.
+            eprintln!(
+                "[hotpath-gate] SKIP {series}: optimized.{series} missing from {}",
+                report_path.display()
+            );
             continue;
         };
         failed |= gate_series(&mut trend, series, rate);
@@ -112,7 +121,7 @@ fn main() {
             failed |= gate_series(&mut trend, "metro_requests_per_sec", rate);
         }
         Err(_) => eprintln!(
-            "[hotpath-gate] metro_requests_per_sec: skipped ({} not found — run fig13_metro)",
+            "[hotpath-gate] SKIP metro_requests_per_sec: {} missing (run fig13_metro)",
             metro_path.display()
         ),
     }

@@ -76,12 +76,13 @@ pub mod prelude {
     };
     pub use crate::reward::{RewardConfig, INFEASIBLE_LATENCY_MS};
     pub use crate::runner::{
-        compare_policies, evaluate_policy, evaluate_policy_with_catalogs, moving_average,
-        train_drl, train_drl_with_catalogs, PolicyResult, TrainedDrl,
+        compare_policies, evaluate_policy, evaluate_policy_with_catalogs,
+        evaluate_policy_with_semantics, moving_average, train_drl, train_drl_with_catalogs,
+        PolicyResult, TrainedDrl,
     };
     pub use crate::sim::{
-        BillingMode, MetricsMode, PlacementOutcome, RunEngine, RunInput, RunOptions, Simulation,
-        TimedArrival,
+        BillingMode, DecisionSemantics, MetricsMode, PlacementOutcome, RunEngine, RunInput,
+        RunOptions, Simulation, TimedArrival,
     };
     pub use crate::state::{StateEncoder, StateEncoderConfig};
     pub use crate::telemetry::{

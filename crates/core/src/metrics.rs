@@ -250,6 +250,15 @@ impl MetricsCollector {
         self.decision_times_ns.push(ns);
     }
 
+    /// Number of placement decisions recorded so far (works in both full
+    /// and streaming mode) — throughput denominators for benchmarks.
+    pub fn decision_count(&self) -> u64 {
+        match self.streaming.as_ref() {
+            Some(s) => s.decision_count,
+            None => self.decision_times_ns.len() as u64,
+        }
+    }
+
     /// All slot records (empty in streaming mode — per-slot history is
     /// exactly what streaming retention does not keep; attach a
     /// `TelemetrySink` for a rolling snapshot tail instead).

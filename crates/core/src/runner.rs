@@ -6,7 +6,7 @@ use crate::drl::{DrlManagerConfig, DrlPolicy};
 use crate::metrics::RunSummary;
 use crate::policy::PlacementPolicy;
 use crate::reward::RewardConfig;
-use crate::sim::Simulation;
+use crate::sim::{DecisionSemantics, RunInput, RunOptions, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -30,9 +30,34 @@ pub fn evaluate_policy(
     policy: &mut dyn PlacementPolicy,
     seed_offset: u64,
 ) -> PolicyResult {
+    evaluate_policy_with_semantics(
+        scenario,
+        reward,
+        policy,
+        seed_offset,
+        DecisionSemantics::Sequential,
+    )
+}
+
+/// [`evaluate_policy`] under explicit decision semantics (the snapshot
+/// figure columns and the serving harness evaluate with
+/// [`DecisionSemantics::SlotSnapshot`]).
+pub fn evaluate_policy_with_semantics(
+    scenario: &Scenario,
+    reward: RewardConfig,
+    policy: &mut dyn PlacementPolicy,
+    seed_offset: u64,
+    semantics: DecisionSemantics,
+) -> PolicyResult {
     policy.set_training(false);
     let mut sim = Simulation::new(scenario, reward);
-    let summary = sim.run(policy, seed_offset);
+    let summary = sim.drive(
+        RunInput::Generated,
+        policy,
+        RunOptions::new()
+            .with_seed_offset(seed_offset)
+            .with_semantics(semantics),
+    );
     PolicyResult {
         policy: policy.name(),
         summary,

@@ -108,6 +108,28 @@ pub enum MetricsMode {
     Streaming,
 }
 
+/// How a slot's (or a same-timestamp group's) arrivals are decided by
+/// [`Simulation::drive`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DecisionSemantics {
+    /// The paper's sequential loop (the default): each decision sees
+    /// every earlier placement of the same group. Batched inference is
+    /// speculative here — rows are validated bitwise against the
+    /// sequential state and die at the group's first acceptance.
+    #[default]
+    Sequential,
+    /// Snapshot-commit: all of a group's decisions are planned against
+    /// the FROZEN group-start world — chain positions advance as
+    /// wavefronts, each answered by one fused `greedy_batch` forward —
+    /// and then applied jointly in arrival order. Capacity conflicts
+    /// (a later arrival planned onto capacity an earlier one consumed)
+    /// fall back to rejection deterministically. Decision trajectories
+    /// (and thus summaries) legitimately differ from `Sequential`; a
+    /// given run stays bit-identical across engines, reruns and thread
+    /// counts.
+    SlotSnapshot,
+}
+
 /// Options for [`Simulation::drive`] — the one knob set selecting
 /// engine, billing, metrics retention, seeding, horizon and telemetry.
 ///
@@ -126,6 +148,8 @@ pub struct RunOptions<'t> {
     pub billing: BillingMode,
     /// Full vs streaming metrics retention.
     pub metrics: MetricsMode,
+    /// Sequential vs slot-snapshot decision semantics.
+    pub semantics: DecisionSemantics,
     /// Decorrelates repeated runs (training passes) of one scenario.
     pub seed_offset: u64,
     /// Horizon in slots; defaults to the trace's own horizon for
@@ -160,6 +184,18 @@ impl<'t> RunOptions<'t> {
     pub fn with_streaming_metrics(mut self) -> Self {
         self.metrics = MetricsMode::Streaming;
         self
+    }
+
+    /// Sets the decision semantics for the run.
+    pub fn with_semantics(mut self, semantics: DecisionSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Selects snapshot-commit decisions
+    /// ([`DecisionSemantics::SlotSnapshot`]).
+    pub fn snapshot(self) -> Self {
+        self.with_semantics(DecisionSemantics::SlotSnapshot)
     }
 
     /// Sets the seed offset decorrelating repeated runs.
@@ -295,6 +331,61 @@ struct ArrivalBatch {
     state_row: Vec<f32>,
 }
 
+/// One planned decision of a slot-snapshot group: the action the policy
+/// chose against the frozen group-start world, the frozen step reward,
+/// and the row of [`GroupPlans::states`] holding the frozen observation
+/// (training feedback replays it during the apply phase).
+#[derive(Debug, Clone, Copy)]
+struct PlannedStep {
+    /// Row into [`GroupPlans::states`] / [`GroupPlans::masks`].
+    row: usize,
+    /// Encoded action index (node or reject).
+    action_index: usize,
+    /// Step reward from the frozen candidates' marginals (the reject
+    /// reward for a planned rejection; completion/conflict adjustments
+    /// land at apply time).
+    reward: f32,
+}
+
+/// One arrival's plan under [`DecisionSemantics::SlotSnapshot`].
+#[derive(Debug, Default, Clone)]
+struct ArrivalPlan {
+    /// One planned decision per chain position reached (the last one is
+    /// the reject decision when `rejected`).
+    steps: Vec<PlannedStep>,
+    /// The policy chose reject at the final planned position.
+    rejected: bool,
+}
+
+/// A slot-snapshot group's jointly planned decisions: every arrival of
+/// the group is decided against ONE frozen group-start world, chain
+/// positions batched into wavefronts (one fused `greedy_batch` forward
+/// per position when the policy batches — no speculation, nothing to
+/// invalidate). The apply phase then replays the plans against the
+/// mutating world in arrival order.
+#[derive(Default)]
+struct GroupPlans {
+    /// Whether the plans cover the currently pending arrival group.
+    valid: bool,
+    /// Frozen observations, one row per planned decision.
+    states: Matrix,
+    /// Row-major masks parallel to `states` (`action_space.len()` each).
+    masks: Vec<bool>,
+    /// Per-arrival plans, indexed like the arrival group.
+    plans: Vec<ArrivalPlan>,
+    /// Wave staging: the wave's candidate marginal latencies/costs,
+    /// row-major per live arrival (`node_count` entries each).
+    cand_lat: Vec<f64>,
+    cand_cost: Vec<f64>,
+    /// Wave staging: arrival indices still planning, and the next wave's.
+    live: Vec<usize>,
+    next_live: Vec<usize>,
+    /// Wave staging: per-arrival episode cursor (current node, latency
+    /// consumed so far under the frozen marginals).
+    at_nodes: Vec<NodeId>,
+    consumed: Vec<f64>,
+}
+
 /// Engine-owned hot-path buffers, reused across every placement decision.
 ///
 /// One decision used to allocate a candidate vector, an action mask, an
@@ -320,6 +411,8 @@ struct SimScratch {
     zero_state: Vec<f32>,
     /// The slot's speculative batched-inference state.
     batch: ArrivalBatch,
+    /// The group's snapshot plans ([`DecisionSemantics::SlotSnapshot`]).
+    plans: GroupPlans,
 }
 
 /// The simulation: all mutable world state plus immutable catalogs.
@@ -348,8 +441,11 @@ pub struct Simulation {
     deployment_cost_this_slot: f64,
     metrics: MetricsCollector,
     scratch: SimScratch,
-    /// Decisions served from the slot's batched forward (validated hits).
+    /// Decisions served from the slot's batched forward (validated hits)
+    /// or from a snapshot wave's fused forward.
     batched_decisions: u64,
+    /// How arrival groups are decided ([`RunOptions::semantics`]).
+    semantics: DecisionSemantics,
     /// Duration of one slot on the ms-resolution timeline.
     slot_ms: u64,
     /// Which engine drives lifecycle bookkeeping.
@@ -450,6 +546,7 @@ impl Simulation {
             all_true: vec![true; action_space.len()],
             zero_state: encoder.zero_state(),
             batch: ArrivalBatch::default(),
+            plans: GroupPlans::default(),
         };
         Self {
             network,
@@ -468,6 +565,7 @@ impl Simulation {
             metrics: MetricsCollector::new(),
             scratch,
             batched_decisions: 0,
+            semantics: DecisionSemantics::Sequential,
             slot_ms: ((scenario.slot_seconds * 1000.0).round() as u64).max(1),
             mode: EngineMode::Slot,
             queue: EventQueue::new(),
@@ -528,6 +626,13 @@ impl Simulation {
     /// validated bitwise against the sequential state).
     pub fn batched_decisions(&self) -> u64 {
         self.batched_decisions
+    }
+
+    /// Sets the decision semantics for subsequent arrival groups.
+    /// [`Simulation::drive`] sets this from [`RunOptions::semantics`];
+    /// the setter exists for callers driving `advance_slot` directly.
+    pub fn set_decision_semantics(&mut self, semantics: DecisionSemantics) {
+        self.semantics = semantics;
     }
 
     /// Candidate details for placing `chain[position]` when the traffic is
@@ -983,22 +1088,9 @@ impl Simulation {
                     at_node = node;
 
                     if position + 1 == chain.len() {
-                        // Completed: measure true end-to-end latency.
-                        let assignment = ChainAssignment {
-                            request: request.id,
-                            instances: placed.iter().map(|&(id, _)| id).collect(),
-                        };
-                        let breakdown = assignment_latency(
-                            &assignment,
-                            &chain,
-                            request.source,
-                            &self.pool,
-                            &self.vnfs,
-                            self.network.routes(),
-                        )
-                        .expect("committed assignment is valid");
-                        let latency_ms = breakdown.total_ms();
-                        let sla_violated = latency_ms > chain.latency_budget_ms;
+                        let instances = placed.iter().map(|&(id, _)| id).collect();
+                        let (latency_ms, sla_violated) =
+                            self.admit_flow(request, &chain, instances, deployment_cost);
                         let terminal_reward =
                             reward + self.reward_config.completion_reward(sla_violated);
                         policy.observe(
@@ -1013,51 +1105,6 @@ impl Simulation {
                             },
                             rng,
                         );
-                        self.deployment_cost_this_slot += deployment_cost;
-                        // In slot mode flows activate on their arrival-slot
-                        // boundary; in event mode at the clock, which on a
-                        // slot-boundary schedule is the same instant.
-                        let activated_ms = match self.mode {
-                            EngineMode::Slot => request.arrival_slot * self.slot_ms,
-                            EngineMode::Event => self.queue.now().ms(),
-                        };
-                        let departure_ms = activated_ms
-                            + request
-                                .duration_ms
-                                .unwrap_or(request.duration_slots as u64 * self.slot_ms);
-                        self.active.insert(
-                            request.id.0,
-                            ActiveFlow {
-                                request: request.clone(),
-                                instances: assignment.instances,
-                                arrival_rate_rps: chain.arrival_rate_rps,
-                                latency_ms: if latency_ms.is_finite() {
-                                    latency_ms
-                                } else {
-                                    INFEASIBLE_LATENCY_MS
-                                },
-                                activated_ms,
-                                departure_ms,
-                            },
-                        );
-                        self.latest_activation_ms = self.latest_activation_ms.max(activated_ms);
-                        match self.mode {
-                            EngineMode::Slot => self
-                                .departures
-                                .entry(request.departure_slot())
-                                .or_default()
-                                .push(request.id),
-                            EngineMode::Event => self.queue.schedule_at(
-                                SimTime::from_ms(departure_ms),
-                                SimEvent::FlowDeparture {
-                                    request: request.id,
-                                },
-                            ),
-                        }
-                        self.metrics.push_admission_latency(latency_ms);
-                        if let Some(sink) = self.telemetry.as_mut() {
-                            sink.on_admitted(request.id, activated_ms, latency_ms);
-                        }
                         self.scratch.ctx = Some(ctx);
                         return PlacementOutcome::Accepted {
                             latency_ms,
@@ -1069,6 +1116,406 @@ impl Simulation {
             }
         }
         unreachable!("placement loop always returns from the final position");
+    }
+
+    /// Shared admission bookkeeping for a fully committed chain: measures
+    /// the true end-to-end latency, activates the flow, schedules its
+    /// departure, and records metrics/telemetry. Returns
+    /// `(latency_ms, sla_violated)`.
+    fn admit_flow(
+        &mut self,
+        request: &Request,
+        chain: &ChainSpec,
+        instances: Vec<InstanceId>,
+        deployment_cost: f64,
+    ) -> (f64, bool) {
+        let assignment = ChainAssignment {
+            request: request.id,
+            instances,
+        };
+        let breakdown = assignment_latency(
+            &assignment,
+            chain,
+            request.source,
+            &self.pool,
+            &self.vnfs,
+            self.network.routes(),
+        )
+        .expect("committed assignment is valid");
+        let latency_ms = breakdown.total_ms();
+        let sla_violated = latency_ms > chain.latency_budget_ms;
+        self.deployment_cost_this_slot += deployment_cost;
+        // In slot mode flows activate on their arrival-slot boundary; in
+        // event mode at the clock, which on a slot-boundary schedule is
+        // the same instant.
+        let activated_ms = match self.mode {
+            EngineMode::Slot => request.arrival_slot * self.slot_ms,
+            EngineMode::Event => self.queue.now().ms(),
+        };
+        let departure_ms = activated_ms
+            + request
+                .duration_ms
+                .unwrap_or(request.duration_slots as u64 * self.slot_ms);
+        self.active.insert(
+            request.id.0,
+            ActiveFlow {
+                request: request.clone(),
+                instances: assignment.instances,
+                arrival_rate_rps: chain.arrival_rate_rps,
+                latency_ms: if latency_ms.is_finite() {
+                    latency_ms
+                } else {
+                    INFEASIBLE_LATENCY_MS
+                },
+                activated_ms,
+                departure_ms,
+            },
+        );
+        self.latest_activation_ms = self.latest_activation_ms.max(activated_ms);
+        match self.mode {
+            EngineMode::Slot => self
+                .departures
+                .entry(request.departure_slot())
+                .or_default()
+                .push(request.id),
+            EngineMode::Event => self.queue.schedule_at(
+                SimTime::from_ms(departure_ms),
+                SimEvent::FlowDeparture {
+                    request: request.id,
+                },
+            ),
+        }
+        self.metrics.push_admission_latency(latency_ms);
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.on_admitted(request.id, activated_ms, latency_ms);
+        }
+        (latency_ms, sla_violated)
+    }
+
+    /// Whether `chain[position]` can commit at `node` right now with
+    /// traffic arriving from `at_node` — the snapshot apply-phase
+    /// re-check, mirroring the feasibility rule of
+    /// [`Simulation::candidates_into`] (reachability plus
+    /// reuse-or-spawn headroom) against the *current* world.
+    fn step_feasible(
+        &self,
+        chain: &ChainSpec,
+        position: usize,
+        at_node: NodeId,
+        node: NodeId,
+    ) -> bool {
+        let vnf = self.vnfs.get(chain.vnfs[position]);
+        let alive = self.network.node_alive(node) && self.network.node_alive(at_node);
+        if !alive || (at_node != node && !self.network.routes().reachable(at_node, node)) {
+            return false;
+        }
+        let reusable = self
+            .pool
+            .instances_of(vnf.id, node)
+            .into_iter()
+            .any(|inst| {
+                admits_load(
+                    vnf.service_rate_rps,
+                    inst.lambda_rps,
+                    chain.arrival_rate_rps,
+                    self.scenario.max_instance_utilization,
+                )
+            });
+        reusable
+            || self
+                .network
+                .ledger()
+                .fits(node, &vnf.demand)
+                .unwrap_or(false)
+    }
+
+    /// Plans a slot-snapshot arrival group: every chain position of every
+    /// arrival is decided against the FROZEN world as it stands at the
+    /// group's start — nothing commits here. Positions advance as a
+    /// wavefront: all live arrivals' position-`p` decisions are assembled
+    /// into one batch and answered by a single fused `greedy_batch`
+    /// forward (or per-decision `decide` calls in arrival order for
+    /// policies that cannot batch). Whole batches survive by
+    /// construction — no speculation, nothing invalidates a row.
+    fn plan_group_snapshot(
+        &mut self,
+        arrivals: &[Request],
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut StdRng,
+    ) {
+        let mut plans = std::mem::take(&mut self.scratch.plans);
+        plans.valid = false;
+        for plan in plans.plans.iter_mut() {
+            plan.steps.clear();
+            plan.rejected = false;
+        }
+        plans
+            .plans
+            .resize_with(arrivals.len(), ArrivalPlan::default);
+        if arrivals.is_empty() {
+            plans.valid = true;
+            self.scratch.plans = plans;
+            return;
+        }
+
+        let stride = self.action_space.len();
+        let node_count = self.network.topology().node_count();
+        let dim = self.encoder.dim();
+        let total_rows: usize = arrivals
+            .iter()
+            .map(|r| self.chains.get(r.chain).len())
+            .sum();
+        plans.states.begin_rows(total_rows, dim);
+        plans.masks.clear();
+        plans.live.clear();
+        plans.live.extend(0..arrivals.len());
+        plans.at_nodes.clear();
+        plans.at_nodes.extend(arrivals.iter().map(|r| r.source));
+        plans.consumed.clear();
+        plans.consumed.resize(arrivals.len(), 0.0);
+
+        let use_batch = policy.supports_greedy_batch();
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        batch.valid = false;
+        let mut position = 0usize;
+        while !plans.live.is_empty() {
+            batch.states.begin_rows(plans.live.len(), dim);
+            batch.masks.clear();
+            batch.actions.clear();
+            plans.cand_lat.clear();
+            plans.cand_cost.clear();
+            if use_batch {
+                // Assemble the whole wave, then ONE fused forward.
+                for w in 0..plans.live.len() {
+                    let i = plans.live[w];
+                    let request = &arrivals[i];
+                    let chain = self.chains.get(request.chain);
+                    self.candidates_into(chain, position, plans.at_nodes[i], &mut batch.candidates);
+                    batch.mask_row.clear();
+                    batch
+                        .mask_row
+                        .extend(batch.candidates.iter().map(|c| c.feasible));
+                    batch.mask_row.push(true); // reject always valid
+                    self.encoder.encode_into(
+                        self.network.ledger(),
+                        &self.pool,
+                        &self.vnfs,
+                        chain,
+                        position,
+                        request.source,
+                        plans.at_nodes[i],
+                        plans.consumed[i],
+                        self.scenario.max_instance_utilization,
+                        self.slot,
+                        self.network.health(),
+                        &batch.candidates,
+                        &mut batch.state_row,
+                    );
+                    batch.states.push_row(&batch.state_row);
+                    batch.masks.extend_from_slice(&batch.mask_row);
+                    plans
+                        .cand_lat
+                        .extend(batch.candidates.iter().map(|c| c.marginal_latency_ms));
+                    plans
+                        .cand_cost
+                        .extend(batch.candidates.iter().map(|c| c.marginal_cost_usd));
+                }
+                let started = Instant::now();
+                policy.greedy_batch(&batch.states, &batch.masks, &mut batch.actions);
+                let per_row_ns = started.elapsed().as_nanos() as u64 / plans.live.len() as u64;
+                for _ in 0..plans.live.len() {
+                    self.metrics.push_decision_time(per_row_ns);
+                }
+                self.batched_decisions += plans.live.len() as u64;
+            } else {
+                // Unbatched policies see the same frozen contexts,
+                // decided in arrival order.
+                for w in 0..plans.live.len() {
+                    let i = plans.live[w];
+                    let request = arrivals[i].clone();
+                    let chain = self.chains.get(request.chain).clone();
+                    let mut ctx = self.take_ctx(&request, &chain);
+                    self.fill_context(
+                        &mut ctx,
+                        &chain,
+                        position,
+                        plans.at_nodes[i],
+                        plans.consumed[i],
+                    );
+                    let started = Instant::now();
+                    let action = policy.decide(&ctx, rng);
+                    self.metrics
+                        .push_decision_time(started.elapsed().as_nanos() as u64);
+                    batch.states.push_row(&ctx.encoded_state);
+                    batch.masks.extend_from_slice(&ctx.mask);
+                    batch.actions.push(self.action_space.encode(action));
+                    plans
+                        .cand_lat
+                        .extend(ctx.candidates.iter().map(|c| c.marginal_latency_ms));
+                    plans
+                        .cand_cost
+                        .extend(ctx.candidates.iter().map(|c| c.marginal_cost_usd));
+                    self.scratch.ctx = Some(ctx);
+                }
+            }
+            // Record the wave and advance the surviving episodes.
+            plans.next_live.clear();
+            for w in 0..plans.live.len() {
+                let i = plans.live[w];
+                let action_index = batch.actions[w];
+                let row = plans.states.rows();
+                plans.states.push_row(batch.states.row(w));
+                plans
+                    .masks
+                    .extend_from_slice(&batch.masks[w * stride..(w + 1) * stride]);
+                assert!(
+                    plans.masks[row * stride + action_index],
+                    "policy {} chose masked action {action_index} at position {position}",
+                    policy.name()
+                );
+                match self.action_space.decode(action_index) {
+                    PlacementAction::Reject => {
+                        plans.plans[i].steps.push(PlannedStep {
+                            row,
+                            action_index,
+                            reward: self.reward_config.reject_reward(),
+                        });
+                        plans.plans[i].rejected = true;
+                    }
+                    PlacementAction::Place(node) => {
+                        let lat = plans.cand_lat[w * node_count + node.0];
+                        let cost = plans.cand_cost[w * node_count + node.0];
+                        plans.plans[i].steps.push(PlannedStep {
+                            row,
+                            action_index,
+                            reward: self.reward_config.step_reward(lat, cost),
+                        });
+                        plans.consumed[i] += lat;
+                        plans.at_nodes[i] = node;
+                        if position + 1 < self.chains.get(arrivals[i].chain).len() {
+                            plans.next_live.push(i);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut plans.live, &mut plans.next_live);
+            position += 1;
+        }
+        plans.valid = true;
+        self.scratch.batch = batch;
+        self.scratch.plans = plans;
+    }
+
+    /// Applies one arrival's snapshot plan against the now-mutating world
+    /// (arrival order = apply order). Every planned placement is
+    /// re-checked cheaply before committing: if a prior arrival of the
+    /// group consumed the capacity (or the node can no longer host), the
+    /// whole chain rolls back and the request is rejected — the
+    /// deterministic conflict-resolution contract. For learning policies
+    /// feedback replays the frozen observations (frozen policies skip
+    /// the replay — they discard it); the terminal reward reflects the applied
+    /// outcome (real end-to-end latency for an admission, the reject
+    /// reward for a planned rejection or a conflict). Planned decisions
+    /// past a conflict were never applied, so they get no feedback.
+    fn apply_planned_request(
+        &mut self,
+        index: usize,
+        request: &Request,
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut StdRng,
+    ) -> PlacementOutcome {
+        let plans = std::mem::take(&mut self.scratch.plans);
+        debug_assert!(plans.valid, "apply without a planned group");
+        let plan = &plans.plans[index];
+        let chain = self.chains.get(request.chain).clone();
+        let stride = self.action_space.len();
+        let mut placed: Vec<(InstanceId, bool)> = Vec::with_capacity(plan.steps.len());
+        let mut deployment_cost = 0.0f64;
+        let mut at_node = request.source;
+        let mut conflict_at: Option<usize> = None;
+        for (p, step) in plan.steps.iter().enumerate() {
+            // A planned Reject is always the final step; nothing commits.
+            if let PlacementAction::Place(node) = self.action_space.decode(step.action_index) {
+                if self.step_feasible(&chain, p, at_node, node) {
+                    let (instance, spawned, dep_cost) = self.commit_step(&chain, p, node);
+                    deployment_cost += dep_cost;
+                    placed.push((instance, spawned));
+                    at_node = node;
+                } else {
+                    conflict_at = Some(p);
+                    break;
+                }
+            }
+        }
+
+        let accepted = conflict_at.is_none() && !plan.rejected;
+        // The step carrying the episode's terminal feedback.
+        let last = conflict_at.unwrap_or(plan.steps.len() - 1);
+        let (outcome, terminal_reward) = if accepted {
+            let instances = placed.iter().map(|&(id, _)| id).collect();
+            let (latency_ms, sla_violated) =
+                self.admit_flow(request, &chain, instances, deployment_cost);
+            (
+                PlacementOutcome::Accepted {
+                    latency_ms,
+                    sla_violated,
+                },
+                plan.steps[last].reward + self.reward_config.completion_reward(sla_violated),
+            )
+        } else {
+            self.rollback(&chain, &placed);
+            let now = self.now_ms();
+            if let Some(sink) = self.telemetry.as_mut() {
+                sink.on_rejected(request.id, now);
+            }
+            let reward = if conflict_at.is_none() {
+                plan.steps[last].reward // the policy's own rejection
+            } else {
+                self.reward_config.reject_reward() // conflict fallback
+            };
+            (PlacementOutcome::Rejected, reward)
+        };
+
+        // Feedback replay costs a slice-and-struct walk per step; frozen
+        // policies (`!is_learning`) discard it, so skip the walk — this
+        // is the serving layer's hot path, where every planned row passes
+        // through here.
+        let replay_steps = if policy.is_learning() { last + 1 } else { 0 };
+        for p in 0..replay_steps {
+            let step = &plan.steps[p];
+            let state = plans.states.row(step.row);
+            let mask = &plans.masks[step.row * stride..(step.row + 1) * stride];
+            if p == last {
+                policy.observe(
+                    DecisionFeedback {
+                        state,
+                        mask,
+                        action_index: step.action_index,
+                        reward: terminal_reward,
+                        next_state: &self.scratch.zero_state,
+                        next_mask: &self.scratch.all_true,
+                        done: true,
+                    },
+                    rng,
+                );
+            } else {
+                let next = &plan.steps[p + 1];
+                policy.observe(
+                    DecisionFeedback {
+                        state,
+                        mask,
+                        action_index: step.action_index,
+                        reward: step.reward,
+                        next_state: plans.states.row(next.row),
+                        next_mask: &plans.masks[next.row * stride..(next.row + 1) * stride],
+                        done: false,
+                    },
+                    rng,
+                );
+            }
+        }
+        self.scratch.plans = plans;
+        outcome
     }
 
     /// Processes departures scheduled for the current slot.
@@ -1369,17 +1816,30 @@ impl Simulation {
 
         self.retire_idle_instances();
 
-        // All of the slot's arrivals get their position-0 decision states
-        // encoded into one batch and answered by a single batched forward;
-        // each row is consumed only if it survives bitwise validation
-        // inside the (otherwise unchanged) sequential placement loop.
-        self.prepare_arrival_batch(arrivals, policy);
+        // Sequential semantics: all of the slot's arrivals get their
+        // position-0 decision states encoded into one batch and answered
+        // by a single batched forward; each row is consumed only if it
+        // survives bitwise validation inside the (otherwise unchanged)
+        // sequential placement loop. Snapshot semantics instead plan
+        // EVERY position of every arrival against the frozen slot-start
+        // world, then apply jointly in arrival order.
+        let snapshot = self.semantics == DecisionSemantics::SlotSnapshot;
+        if snapshot {
+            self.plan_group_snapshot(arrivals, policy, rng);
+        } else {
+            self.prepare_arrival_batch(arrivals, policy);
+        }
 
         let mut accepted = 0u32;
         let mut rejected = 0u32;
         let mut sla_violations = 0u32;
         for (row, request) in arrivals.iter().enumerate() {
-            match self.place_request_hinted(request, policy, rng, Some(row)) {
+            let outcome = if snapshot {
+                self.apply_planned_request(row, request, policy, rng)
+            } else {
+                self.place_request_hinted(request, policy, rng, Some(row))
+            };
+            match outcome {
                 PlacementOutcome::Accepted { sla_violated, .. } => {
                     accepted += 1;
                     if sla_violated {
@@ -1389,7 +1849,9 @@ impl Simulation {
                 PlacementOutcome::Rejected => rejected += 1,
             }
         }
-        self.scratch.batch.valid = false; // stale once the slot's arrivals ran
+        // Stale once the slot's arrivals ran.
+        self.scratch.batch.valid = false;
+        self.scratch.plans.valid = false;
 
         let (compute, energy, traffic, mean_latency) = self.slot_costs_and_latency(None);
         let record = SlotRecord {
@@ -1499,6 +1961,7 @@ impl Simulation {
         if opts.metrics == MetricsMode::Streaming {
             self.metrics.enable_streaming();
         }
+        self.semantics = opts.semantics;
         // Swap the caller's sink in for the run (and back out below) so
         // the hot path tests one `Option` field instead of threading a
         // reference through every engine frame.
@@ -2055,11 +2518,17 @@ impl Simulation {
                             sink.on_requested(t.ms(), request, false);
                         }
                     }
-                    // Speculative batch assembly groups the arrivals that
-                    // share this timestamp (the slot loop groups per slot;
-                    // on a slot-boundary schedule those coincide).
+                    // Batch assembly groups the arrivals that share this
+                    // timestamp (the slot loop groups per slot; on a
+                    // slot-boundary schedule those coincide): speculative
+                    // position-0 rows under sequential semantics, full
+                    // frozen-world plans under snapshot semantics.
                     let pending = std::mem::take(&mut self.pending_arrivals);
-                    self.prepare_arrival_batch(&pending, policy);
+                    if self.semantics == DecisionSemantics::SlotSnapshot {
+                        self.plan_group_snapshot(&pending, policy, rng);
+                    } else {
+                        self.prepare_arrival_batch(&pending, policy);
+                    }
                     self.pending_arrivals = pending;
                     for row in 0..self.pending_arrivals.len() {
                         self.queue.schedule_at(t, SimEvent::PolicyDecision { row });
@@ -2070,7 +2539,12 @@ impl Simulation {
                         unreachable!("peeked decision vanished");
                     };
                     let request = self.pending_arrivals[row].clone();
-                    match self.place_request_hinted(&request, policy, rng, Some(row)) {
+                    let outcome = if self.semantics == DecisionSemantics::SlotSnapshot {
+                        self.apply_planned_request(row, &request, policy, rng)
+                    } else {
+                        self.place_request_hinted(&request, policy, rng, Some(row))
+                    };
+                    match outcome {
                         PlacementOutcome::Accepted { sla_violated, .. } => {
                             self.counters.accepted += 1;
                             if sla_violated {
@@ -2083,6 +2557,7 @@ impl Simulation {
                     if row + 1 == self.pending_arrivals.len() {
                         // Stale once the group's last episode ran.
                         self.scratch.batch.valid = false;
+                        self.scratch.plans.valid = false;
                     }
                 }
             }

@@ -63,6 +63,35 @@ pub fn parallel_eval<P>(
 where
     P: PlacementPolicy + Clone + Sync,
 {
+    parallel_eval_semantics(
+        policy,
+        policy_label,
+        reward,
+        cells,
+        threads,
+        keep_decision_time,
+        DecisionSemantics::Sequential,
+    )
+}
+
+/// [`parallel_eval`] under explicit decision semantics: the snapshot
+/// figure columns fan out with [`DecisionSemantics::SlotSnapshot`].
+/// Index-keyed determinism holds exactly as for `parallel_eval` — a
+/// frozen policy's snapshot evaluation is still a pure function of
+/// (scenario, seed, semantics).
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_eval_semantics<P>(
+    policy: &P,
+    policy_label: &str,
+    reward: RewardConfig,
+    cells: &[EvalCell],
+    threads: Option<usize>,
+    keep_decision_time: bool,
+    semantics: DecisionSemantics,
+) -> Vec<BenchCell>
+where
+    P: PlacementPolicy + Clone + Sync,
+{
     let threads = threads.unwrap_or_else(thread_count);
     run_indexed_with(
         cells.len(),
@@ -70,7 +99,13 @@ where
         || policy.clone(),
         |worker, index| {
             let cell = &cells[index];
-            let mut result = evaluate_policy(&cell.scenario, reward, worker, cell.seed);
+            let mut result = evaluate_policy_with_semantics(
+                &cell.scenario,
+                reward,
+                worker,
+                cell.seed,
+                semantics,
+            );
             if !keep_decision_time {
                 result.summary.mean_decision_time_us = 0.0;
             }

@@ -32,7 +32,9 @@ pub mod pool;
 
 /// Convenient glob-import of the engine's surface.
 pub mod prelude {
-    pub use crate::eval::{cells_for_seeds, parallel_eval, report_from_cells, EvalCell};
+    pub use crate::eval::{
+        cells_for_seeds, parallel_eval, parallel_eval_semantics, report_from_cells, EvalCell,
+    };
     pub use crate::grid::{
         cells_csv, merge_reports, sweep_csv, ExperimentGrid, GridScenario, PolicyFactory,
     };

@@ -618,12 +618,18 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ * other` written into `out`. The contraction runs over
-    /// `self`'s rows in blocks (ascending within and across blocks —
-    /// bit-identical accumulation to [`reference::tmatmul`]) with the
-    /// unrolled [`axpy`] inner loop. Zero `a` scalars skip their `axpy`
-    /// (see [`Matrix::matmul_into`]): in the backward pass `self` is the
-    /// layer input, whose ReLU zeros make the skip a measured win.
+    /// `selfᵀ * other` written into `out`. The training-GEMM twin of
+    /// [`Matrix::matmul_into`]: output tiles of [`ROW_TILE`] ×
+    /// [`J_TILE`] accumulators live in registers across the whole
+    /// contraction (over `self`'s *rows*, so both per-step operand slices
+    /// are contiguous), and whatever the micro-kernel cannot tile — row
+    /// tail, column tail, outputs narrower than a tile — falls through to
+    /// the historical k-blocked zero-skip [`axpy`] kernel, column-ranged.
+    /// Both paths accumulate every output element over ascending `r`, so
+    /// on finite inputs the split is invisible in the bits and the result
+    /// stays bit-identical to [`reference::tmatmul`] (the tile's dense
+    /// `±0·b` terms are no-ops on the never-`-0.0` accumulators; see
+    /// [`Matrix::matmul_tile_acc`]).
     ///
     /// # Panics
     ///
@@ -634,17 +640,78 @@ impl Matrix {
             "tmatmul shape mismatch: ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (r_total, c1, c2) = (self.rows, self.cols, other.cols);
+        let (c1, c2) = (self.cols, other.cols);
         out.reset_zeroed(c1, c2);
+        let tiled_rows = if c2 >= J_TILE { c1 - c1 % ROW_TILE } else { 0 };
+        let tiled_cols = if tiled_rows > 0 { c2 - c2 % J_TILE } else { 0 };
+        let mut j = 0;
+        while j < tiled_cols {
+            let mut i = 0;
+            while i < tiled_rows {
+                self.tmatmul_tile::<ROW_TILE>(other, out, i, j);
+                i += ROW_TILE;
+            }
+            j += J_TILE;
+        }
+        self.tmatmul_axpy_ranged(other, out, 0..tiled_rows, tiled_cols..c2);
+        self.tmatmul_axpy_ranged(other, out, tiled_rows..c1, 0..c2);
+    }
+
+    /// One register tile of `selfᵀ * other`: `R` output rows (contraction
+    /// column indices `i..i+R` of `self`) × [`J_TILE`] output columns.
+    /// Each contraction step `r` reads `R` contiguous `a` scalars and one
+    /// contiguous [`J_TILE`]-wide `b` tile, feeding all `R * J_TILE`
+    /// register accumulators — dense, branch-free, ascending `r` per
+    /// element (the bit-identity argument of [`Matrix::matmul_tile_acc`]).
+    #[inline]
+    fn tmatmul_tile<const R: usize>(&self, other: &Matrix, out: &mut Matrix, i: usize, j: usize) {
+        let (r_total, c1, c2) = (self.rows, self.cols, other.cols);
+        let mut acc = [[0.0f32; J_TILE]; R];
+        for r in 0..r_total {
+            let a_vals: &[f32; R] = self.data[r * c1 + i..r * c1 + i + R]
+                .try_into()
+                .expect("tile depth is R");
+            let b_tile: &[f32; J_TILE] = other.data[r * c2 + j..r * c2 + j + J_TILE]
+                .try_into()
+                .expect("tile width is J_TILE");
+            for (acc_row, &a) in acc.iter_mut().zip(a_vals.iter()) {
+                for t in 0..J_TILE {
+                    acc_row[t] += a * b_tile[t];
+                }
+            }
+        }
+        for (rr, acc_row) in acc.iter().enumerate() {
+            let start = (i + rr) * c2 + j;
+            out.data[start..start + J_TILE].copy_from_slice(acc_row);
+        }
+    }
+
+    /// The pre-tiling `tmatmul_into` body over a row/column sub-range of
+    /// the output: the contraction runs over `self`'s rows in `K_BLOCK`
+    /// blocks (ascending within and across blocks) with the unrolled
+    /// [`axpy`] inner loop, and zero `a` scalars skip their whole `axpy`
+    /// — in the backward pass `self` is the layer input, whose ReLU zeros
+    /// make the skip a measured win on the untiled shapes.
+    fn tmatmul_axpy_ranged(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) {
+        if rows.is_empty() || cols.is_empty() {
+            return;
+        }
+        let (r_total, c1, c2) = (self.rows, self.cols, other.cols);
         let mut r0 = 0;
         while r0 < r_total {
             let r1 = (r0 + K_BLOCK).min(r_total);
             for r in r0..r1 {
-                let a_row = &self.data[r * c1..(r + 1) * c1];
-                let b_row = &other.data[r * c2..(r + 1) * c2];
-                for (i, &a) in a_row.iter().enumerate() {
+                let a_row = &self.data[r * c1 + rows.start..r * c1 + rows.end];
+                let b_row = &other.data[r * c2 + cols.start..r * c2 + cols.end];
+                for (i, &a) in rows.clone().zip(a_row.iter()) {
                     if a != 0.0 {
-                        let out_row = &mut out.data[i * c2..(i + 1) * c2];
+                        let out_row = &mut out.data[i * c2 + cols.start..i * c2 + cols.end];
                         axpy(out_row, b_row, a);
                     }
                 }
@@ -664,18 +731,21 @@ impl Matrix {
         out
     }
 
-    /// `self * otherᵀ` written into `out`. Register-blocked over four
-    /// output columns: four rows of `other` are dotted against one row of
-    /// `self` simultaneously, giving four independent dependency chains.
-    /// Zero `a` terms are skipped (one branch feeding four lanes; in the
-    /// backward pass `self` is dL/dz, which the selected-action loss and
-    /// ReLU derivatives leave mostly zero — a measured win on the hotpath
-    /// microbench, and bit-safe since `0·b` changes no finite accumulator).
-    /// Each dot product keeps a single accumulator over ascending `k`, so
-    /// on finite inputs every output element is bit-identical to
-    /// [`reference::matmul_t`]; as with the other kernels, `0·±inf`/`0·NaN`
+    /// `self * otherᵀ` written into `out`. Register-tiled like the other
+    /// training GEMMs: [`ROW_TILE`] rows of `self` are dotted against
+    /// [`J_TILE`] rows of `other` simultaneously, every `b` element
+    /// gathered per contraction step feeding [`ROW_TILE`] accumulator
+    /// lanes. Each output element keeps a single accumulator over
+    /// ascending `k` — the tile is dense (no zero skip; `±0·b` adds are
+    /// no-ops on the never-`-0.0` accumulators for finite `b`, see
+    /// [`Matrix::matmul_tile_acc`]) — so on finite inputs every element
+    /// is bit-identical to [`reference::matmul_t`]; `0·±inf`/`0·NaN`
     /// terms are skipped rather than propagated (a diverged network is
     /// caught by the `has_non_finite` tripwires, not by kernel NaN flow).
+    /// Row/column tails fall back to the historical zero-skip dot kernel,
+    /// ranged — in the backward pass `self` is dL/dz, which the
+    /// selected-action loss and ReLU derivatives leave mostly zero, so
+    /// the skip still pays on the untiled shapes.
     ///
     /// # Panics
     ///
@@ -686,13 +756,69 @@ impl Matrix {
             "matmul_t shape mismatch: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let (m, n) = (self.rows, other.rows);
         out.reset_for_overwrite(m, n);
-        for i in 0..m {
+        let tiled_rows = if n >= J_TILE { m - m % ROW_TILE } else { 0 };
+        let tiled_cols = if tiled_rows > 0 { n - n % J_TILE } else { 0 };
+        let mut j = 0;
+        while j < tiled_cols {
+            let mut i = 0;
+            while i < tiled_rows {
+                self.matmul_t_tile::<ROW_TILE>(other, out, i, j);
+                i += ROW_TILE;
+            }
+            j += J_TILE;
+        }
+        self.matmul_t_dot_ranged(other, out, 0..tiled_rows, tiled_cols..n);
+        self.matmul_t_dot_ranged(other, out, tiled_rows..m, 0..n);
+    }
+
+    /// One register tile of `self * otherᵀ`: `R` rows of `self` against
+    /// [`J_TILE`] rows of `other`, all `R * J_TILE` dot accumulators held
+    /// across the ascending-`k` sweep. The per-step gather of the
+    /// [`J_TILE`] `b` scalars (one per `other` row) is the transpose-free
+    /// price; each gathered value then feeds `R` multiply-add lanes.
+    #[inline]
+    fn matmul_t_tile<const R: usize>(&self, other: &Matrix, out: &mut Matrix, i: usize, j: usize) {
+        let (k, n) = (self.cols, other.rows);
+        let a_rows: [&[f32]; R] = std::array::from_fn(|r| &self.data[(i + r) * k..(i + r + 1) * k]);
+        let b_rows: [&[f32]; J_TILE] =
+            std::array::from_fn(|t| &other.data[(j + t) * k..(j + t + 1) * k]);
+        let mut acc = [[0.0f32; J_TILE]; R];
+        for kk in 0..k {
+            let b_vals: [f32; J_TILE] = std::array::from_fn(|t| b_rows[t][kk]);
+            for (acc_row, a_row) in acc.iter_mut().zip(a_rows.iter()) {
+                let a = a_row[kk];
+                for t in 0..J_TILE {
+                    acc_row[t] += a * b_vals[t];
+                }
+            }
+        }
+        for (rr, acc_row) in acc.iter().enumerate() {
+            let start = (i + rr) * n + j;
+            out.data[start..start + J_TILE].copy_from_slice(acc_row);
+        }
+    }
+
+    /// The pre-tiling `matmul_t_into` body over a row/column sub-range of
+    /// the output: four independent zero-skip dot chains per column
+    /// block, then a scalar-column tail, each accumulator ascending `k`.
+    fn matmul_t_dot_ranged(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) {
+        if rows.is_empty() || cols.is_empty() {
+            return;
+        }
+        let (k, n) = (self.cols, other.rows);
+        for i in rows {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut j = 0;
-            while j + 4 <= n {
+            let mut j = cols.start;
+            while j + 4 <= cols.end {
                 let b0 = &other.data[j * k..(j + 1) * k];
                 let b1 = &other.data[(j + 1) * k..(j + 2) * k];
                 let b2 = &other.data[(j + 2) * k..(j + 3) * k];
@@ -712,7 +838,7 @@ impl Matrix {
                 out_row[j + 3] = s3;
                 j += 4;
             }
-            while j < n {
+            while j < cols.end {
                 let b_row = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {

@@ -33,7 +33,10 @@ fn sparse_random(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
 fn blocked_kernels_match_reference_bitwise() {
     let mut rng = StdRng::seed_from_u64(42);
     // Shapes straddling the unroll width (8), the register block (4), and
-    // the K block (64): remainders on every path get exercised.
+    // the K block (64): remainders on every path get exercised. The last
+    // four rows reach the 8x16 register tile of every product (output
+    // m >= 8 and n >= 16) — exact tile grids, row tails, column tails,
+    // and both at once.
     for &(m, k, n) in &[
         (1usize, 1usize, 1usize),
         (1, 74, 128),
@@ -42,6 +45,10 @@ fn blocked_kernels_match_reference_bitwise() {
         (32, 128, 10),
         (4, 130, 67),
         (2, 64, 4),
+        (8, 20, 16),
+        (16, 70, 33),
+        (9, 64, 17),
+        (24, 5, 40),
     ] {
         let a = sparse_random(m, k, &mut rng);
         let b = sparse_random(k, n, &mut rng);

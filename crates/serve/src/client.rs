@@ -1,0 +1,90 @@
+//! The client side of the serving layer: a [`PlacementPolicy`] whose
+//! forwards happen on the server thread.
+//!
+//! A [`ServedPolicy`] owns its private reply channel and a ticket
+//! counter. Both `decide` (a one-row wave) and `greedy_batch` (a whole
+//! wavefront) ship ONE [`DecisionRequest`] across the ring and block on
+//! ONE reply carrying every row's action — so an engine running
+//! [`DecisionSemantics::SlotSnapshot`](mano::prelude::DecisionSemantics)
+//! pays the channel round-trip once per wave, not once per decision,
+//! and concurrent simulations' waves fuse into wide forwards.
+
+use crate::server::{Decision, DecisionRequest, PolicyServer};
+use edgenet::node::NodeId;
+use mano::prelude::{DecisionContext, PlacementAction, PlacementPolicy};
+use nn::tensor::Matrix;
+use rand::rngs::StdRng;
+use std::sync::mpsc;
+
+/// A policy façade that forwards every greedy query to a
+/// [`PolicyServer`].
+pub struct ServedPolicy {
+    name: String,
+    sender: crate::ring::RingSender<DecisionRequest>,
+    reply_tx: mpsc::Sender<Decision>,
+    reply_rx: mpsc::Receiver<Decision>,
+    next_ticket: u64,
+}
+
+impl ServedPolicy {
+    /// A new client of `server`. Each client is single-threaded; spawn
+    /// one per simulation.
+    pub fn new(server: &PolicyServer) -> Self {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        Self {
+            name: "served".to_string(),
+            sender: server.client_sender(),
+            reply_tx,
+            reply_rx,
+            next_ticket: 0,
+        }
+    }
+
+    /// Ships one wave (any number of rows) and blocks on its fused
+    /// answer. One ring send and one reply per wave — never per row.
+    fn round_trip(&mut self, states: Matrix, masks: Vec<bool>) -> Vec<usize> {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let rows = states.rows();
+        self.sender
+            .send(DecisionRequest {
+                ticket,
+                states,
+                masks,
+                reply: self.reply_tx.clone(),
+            })
+            .unwrap_or_else(|_| panic!("policy server hung up"));
+        let decision = self.reply_rx.recv().expect("policy server hung up");
+        debug_assert_eq!(decision.ticket, ticket, "single-flight reply mismatch");
+        debug_assert_eq!(decision.actions.len(), rows, "short reply");
+        decision.actions
+    }
+}
+
+impl PlacementPolicy for ServedPolicy {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext, _rng: &mut StdRng) -> PlacementAction {
+        let actions = self.round_trip(Matrix::row_vector(&ctx.encoded_state), ctx.mask.clone());
+        let action_index = actions[0];
+        if action_index + 1 == ctx.mask.len() {
+            PlacementAction::Reject
+        } else {
+            PlacementAction::Place(NodeId(action_index))
+        }
+    }
+
+    fn supports_greedy_batch(&self) -> bool {
+        true
+    }
+
+    fn greedy_batch(&mut self, states: &Matrix, masks: &[bool], out: &mut Vec<usize>) {
+        *out = self.round_trip(states.clone(), masks.to_vec());
+    }
+
+    fn set_training(&mut self, training: bool) {
+        assert!(!training, "served policies are frozen (greedy) by design");
+    }
+}

@@ -1,0 +1,40 @@
+//! # serve — cross-simulation policy serving
+//!
+//! A request-level front-end for placement policies: ONE policy (and its
+//! warm inference workspace) lives on a dedicated server thread, and any
+//! number of concurrent simulations submit [`server::DecisionRequest`]s
+//! through a bounded MPSC [`ring`]. Each server tick drains everything
+//! pending (up to a tick capacity) and answers it with a single fused
+//! `greedy_batch` forward — the "millions of users hitting one policy
+//! server" deployment shape, where batched inference finally pays off
+//! end-to-end because batches fuse *across* simulations instead of dying
+//! at one simulation's first acceptance.
+//!
+//! * [`ring`] — the bounded MPSC ring (backpressure, cooperative close).
+//! * [`server`] — [`server::PolicyServer`]: the tick loop, fusion stats,
+//!   and the determinism contract (row answers are independent of batch
+//!   composition; scheduling cannot change results).
+//! * [`client`] — [`client::ServedPolicy`]: a `PlacementPolicy` façade
+//!   whose forwards happen on the server; pairs naturally with
+//!   `DecisionSemantics::SlotSnapshot`, which ships whole decision
+//!   wavefronts per call.
+//! * [`harness`] — [`harness::serve_evaluations`]: N concurrent
+//!   simulations against one server, index-keyed deterministic.
+//!
+//! See `docs/serving.md` for the full tick model and contract.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod harness;
+pub mod ring;
+pub mod server;
+
+/// Convenient glob-import of the common types.
+pub mod prelude {
+    pub use crate::client::ServedPolicy;
+    pub use crate::harness::serve_evaluations;
+    pub use crate::ring::{ring, RingReceiver, RingSender};
+    pub use crate::server::{Decision, DecisionRequest, PolicyServer, ServeConfig, ServeStats};
+}

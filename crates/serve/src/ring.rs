@@ -1,0 +1,196 @@
+//! A bounded multi-producer single-consumer ring on std primitives.
+//!
+//! N simulation threads push [`crate::server::DecisionRequest`]s; the one
+//! server thread drains them in arrival order, up to a tick capacity at a
+//! time. The ring is *bounded*: a full buffer blocks producers
+//! (backpressure) instead of growing, so a slow server tick cannot let
+//! queued requests pile up without limit. Closing is cooperative — the
+//! channel closes when every sender is dropped (or the receiver hangs
+//! up), and both sides observe it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct RingState<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    /// Live sender handles; 0 = closed from the producer side.
+    senders: usize,
+    /// The receiver hung up; sends fail immediately.
+    receiver_gone: bool,
+}
+
+struct RingInner<T> {
+    state: Mutex<RingState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Creates a bounded MPSC ring with room for `capacity` queued items.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let inner = Arc::new(RingInner {
+        state: Mutex::new(RingState {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receiver_gone: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        RingSender {
+            inner: Arc::clone(&inner),
+        },
+        RingReceiver { inner },
+    )
+}
+
+/// Producer handle: clonable, blocking on a full ring.
+pub struct RingSender<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// The receiver hung up before (or while) the value could be queued.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> RingSender<T> {
+    /// Queues `value`, blocking while the ring is full. Returns the value
+    /// back if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().expect("ring lock");
+        loop {
+            if state.receiver_gone {
+                return Err(SendError(value));
+            }
+            if state.buf.len() < state.capacity {
+                state.buf.push_back(value);
+                drop(state);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("ring lock");
+        }
+    }
+}
+
+impl<T> Clone for RingSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("ring lock").senders += 1;
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.inner.state.lock().expect("ring lock");
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Last producer: wake the receiver so it can observe closure.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+/// Consumer handle (single).
+pub struct RingReceiver<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+impl<T> RingReceiver<T> {
+    /// Drains up to `max` queued items into `out` (appended in arrival
+    /// order), blocking until at least one item is available. Returns
+    /// `false` — with `out` untouched — once the ring is closed (every
+    /// sender dropped) and empty.
+    pub fn recv_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        assert!(max > 0, "tick capacity must be positive");
+        let mut state = self.inner.state.lock().expect("ring lock");
+        loop {
+            if !state.buf.is_empty() {
+                let take = state.buf.len().min(max);
+                out.extend(state.buf.drain(..take));
+                drop(state);
+                // Producers blocked on a full ring can move again.
+                self.inner.not_full.notify_all();
+                return true;
+            }
+            if state.senders == 0 {
+                return false;
+            }
+            state = self.inner.not_empty.wait(state).expect("ring lock");
+        }
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        self.inner.state.lock().expect("ring lock").receiver_gone = true;
+        self.inner.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_arrival_order() {
+        let (tx, rx) = ring::<u32>(8);
+        for v in 0..5 {
+            tx.send(v).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(rx.recv_batch(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(rx.recv_batch(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn closes_when_all_senders_drop() {
+        let (tx, rx) = ring::<u32>(4);
+        let tx2 = tx.clone();
+        tx2.send(9).unwrap();
+        drop(tx);
+        drop(tx2);
+        let mut out = Vec::new();
+        assert!(rx.recv_batch(4, &mut out), "queued item still delivered");
+        assert_eq!(out, vec![9]);
+        assert!(!rx.recv_batch(4, &mut out), "closed and empty");
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = ring::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn full_ring_blocks_until_drained() {
+        let (tx, rx) = ring::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let producer = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver drains
+            tx.send(4).unwrap();
+        });
+        let mut out = Vec::new();
+        while out.len() < 4 {
+            assert!(rx.recv_batch(2, &mut out));
+        }
+        producer.join().unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}

@@ -7,6 +7,7 @@
 //! | layer | crate | contents |
 //! |---|---|---|
 //! | experiments | [`exper`] | parallel multi-seed grid engine, deterministic aggregation |
+//! | serving | [`serve`] | cross-simulation policy server: fused batched forwards per tick |
 //! | orchestrator | [`mano`] | MDP formulation, simulation engine, DRL manager, baselines |
 //! | learning | [`rl`] | DQN family, replay buffers, schedules, toy validation envs |
 //! | function approximation | [`nn`] | MLP + backprop, optimizers, gradient checking |
@@ -33,6 +34,7 @@ pub use exper;
 pub use mano;
 pub use nn;
 pub use rl;
+pub use serve;
 pub use sfc;
 pub use workload;
 
@@ -44,6 +46,7 @@ pub mod prelude {
     pub use mano::prelude::*;
     pub use nn::prelude::*;
     pub use rl::prelude::*;
+    pub use serve::prelude::*;
     pub use sfc::prelude::*;
     pub use workload::prelude::*;
 }
