@@ -9,39 +9,12 @@
 //! length for all policies; the gap between placement-aware policies and
 //! random/first-fit widens with length (more decisions to get wrong).
 
+use bench::sweep_grids::synthetic_chains;
 use bench::{
     comparison_factories, default_passes, drl_default, emit_csv, emit_report, eval_seeds,
     factory_of, fast_mode, scaled,
 };
 use drl_vnf_edge::prelude::*;
-
-fn synthetic_chains(vnfs: &VnfCatalog, max_len: usize) -> ChainCatalog {
-    let order = [
-        "nat",
-        "firewall",
-        "load-balancer",
-        "proxy",
-        "encryption-gw",
-        "wan-optimizer",
-    ];
-    let chains: Vec<ChainSpec> = (1..=max_len)
-        .map(|len| {
-            let seq = order[..len]
-                .iter()
-                .map(|n| vnfs.by_name(n).expect("standard catalog").id)
-                .collect();
-            ChainSpec::new(
-                ChainId(len - 1),
-                format!("len-{len}"),
-                seq,
-                40.0 + 25.0 * len as f64, // budget grows with length
-                0.05,
-                10.0,
-            )
-        })
-        .collect();
-    ChainCatalog::new(chains, vnfs)
-}
 
 fn main() {
     let max_len = if fast_mode() { 3 } else { 6 };

@@ -34,6 +34,9 @@ const SERIES: &[(&str, bool)] = &[
     ("events_per_sec", false),
     ("idle_slots_per_sec", false),
     ("serve_decisions_per_sec", false),
+    // Recorded by sweep_drive (the sharded multi-process sweep driver);
+    // optional because standalone hotpath runs predate/skip the sweep.
+    ("sweep_cells_per_sec", false),
 ];
 
 fn trend_path() -> PathBuf {

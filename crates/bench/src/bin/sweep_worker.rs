@@ -1,0 +1,92 @@
+//! One shard of a sharded sweep: rebuilds the named registry grid,
+//! recomputes the (pure, deterministic) shard plan locally, executes
+//! exactly its shard's cells, and writes one fragment under
+//! `results/shards/`.
+//!
+//! ```text
+//! sweep_worker --grid fig2_load --shard 1 --of 4
+//! ```
+//!
+//! Workers never talk to each other: the plan is a pure function of
+//! `(grid, shard count)`, so every process derives the same partition
+//! independently. `FAST` and `RESULTS_DIR` are read from the environment
+//! (the driver propagates its own), and `EXPER_THREADS` caps this
+//! worker's in-process pool — the driver sets it to its per-worker core
+//! budget.
+
+use bench::sweep_grids::{build_sweep_grid, sweep_grid_names};
+use sweep::prelude::*;
+
+struct Args {
+    grid: String,
+    shard: usize,
+    of: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep_worker --grid <name> --shard <k> --of <n>\n       grids: {}",
+        sweep_grid_names().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut grid = None;
+    let mut shard = None;
+    let mut of = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--grid" => grid = Some(value),
+            "--shard" => shard = value.parse().ok(),
+            "--of" => of = value.parse().ok(),
+            _ => usage(),
+        }
+    }
+    match (grid, shard, of) {
+        (Some(grid), Some(shard), Some(of)) if of > 0 && shard < of => Args { grid, shard, of },
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(grid) = build_sweep_grid(&args.grid) else {
+        eprintln!(
+            "[sweep_worker] unknown grid {:?}; known: {}",
+            args.grid,
+            sweep_grid_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let plans = plan(
+        grid.grid_name(),
+        grid.grid_fingerprint(),
+        grid.cell_count(),
+        args.of,
+    );
+    let my_plan = &plans[args.shard];
+    let indices = my_plan.cell_indices();
+    eprintln!(
+        "[sweep_worker] {} shard {}/{}: {} of {} cells",
+        grid.grid_name(),
+        args.shard,
+        args.of,
+        indices.len(),
+        grid.cell_count()
+    );
+    let cells = grid.run_cells(&indices);
+    let frag = fragment(
+        grid.grid_name(),
+        grid.grid_fingerprint(),
+        args.shard,
+        args.of,
+        cells,
+    );
+    let path = frag
+        .write_to(&bench::results_dir())
+        .expect("write fragment");
+    eprintln!("[sweep_worker] wrote {}", path.display());
+}

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod summary;
+pub mod sweep_grids;
 pub mod trend;
 
 use exper::prelude::*;

@@ -1,0 +1,161 @@
+//! Registry of sharded-sweep grids: named, self-contained grid builders
+//! every process in a sweep can reconstruct identically.
+//!
+//! The sweep protocol never ships a grid over the wire — a worker is told
+//! only a *name* (plus its shard coordinate) and rebuilds the grid from
+//! this registry. That works because each builder here is a pure function
+//! of the name and the `FAST` mode: same name, same process environment,
+//! same grid, same structural fingerprint. The fingerprint
+//! (`ExperimentGrid::auto_fingerprint`) is stamped on every plan and
+//! fragment so a merge refuses cells computed from a drifted registry
+//! (e.g. a worker built without `FAST=1` feeding a `FAST=1` driver).
+//!
+//! Registry grids are baseline-only by design: DRL policies would require
+//! every worker to train (duplicating the most expensive phase N times)
+//! or a trained-weights shipping format — the multi-host outlook in
+//! `docs/sweep.md` covers that extension.
+
+use crate::{
+    bench_scenario, comparison_factories, eval_seeds, fast_mode, load_sweep_rates, scaled,
+    standard_factories,
+};
+use exper::prelude::*;
+use mano::prelude::*;
+use sfc::chain::{ChainCatalog, ChainId, ChainSpec};
+use sfc::vnf::VnfCatalog;
+
+/// Every grid name [`build_sweep_grid`] accepts.
+pub fn sweep_grid_names() -> &'static [&'static str] {
+    &["fig2_load", "fig6_chains", "table3_baselines"]
+}
+
+/// Builds the named sweep grid with its structural fingerprint attached,
+/// or `None` for an unknown name.
+pub fn build_sweep_grid(name: &str) -> Option<ExperimentGrid> {
+    let grid = match name {
+        "fig2_load" => fig2_load(),
+        "fig6_chains" => fig6_chains(),
+        "table3_baselines" => table3_baselines(),
+        _ => return None,
+    };
+    let fp = grid.auto_fingerprint();
+    Some(grid.fingerprint(fp))
+}
+
+/// The λ-sweep comparison grid (figure 2 axes, baseline roster): every
+/// comparison baseline across [`load_sweep_rates`] × [`eval_seeds`].
+fn fig2_load() -> ExperimentGrid {
+    let mut grid = ExperimentGrid::new("fig2_load")
+        .seeds(&eval_seeds())
+        .policies(comparison_factories());
+    for &rate in &load_sweep_rates() {
+        grid = grid.scenario(format!("lambda={rate}"), rate, bench_scenario(rate));
+    }
+    grid
+}
+
+/// The chain-length grid (figure 6 axes, baseline roster): one scenario
+/// per chain length on the synthetic length-k catalog.
+fn fig6_chains() -> ExperimentGrid {
+    let max_len = if fast_mode() { 3 } else { 6 };
+    let vnfs = VnfCatalog::standard();
+    let chains = synthetic_chains(&vnfs, max_len);
+
+    let mut scenario = Scenario::default_metro().with_arrival_rate(5.0);
+    scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
+    scenario.horizon_slots = scaled(240, 30) as u64;
+
+    let mut grid = ExperimentGrid::new("fig6_chains")
+        .seeds(&eval_seeds())
+        .with_catalogs(vnfs, chains)
+        .policies(comparison_factories());
+    for len in 1..=max_len {
+        let mut s = scenario.clone();
+        s.workload.chain_mix = (0..max_len)
+            .map(|i| if i + 1 == len { 1.0 } else { 0.0 })
+            .collect();
+        grid = grid.scenario(format!("len={len}"), len as f64, s);
+    }
+    grid
+}
+
+/// The full baseline roster at the table 3 operating point (λ=8).
+fn table3_baselines() -> ExperimentGrid {
+    ExperimentGrid::new("table3_baselines")
+        .seeds(&eval_seeds())
+        .policies(standard_factories())
+        .scenario("lambda=8", 8.0, bench_scenario(8.0))
+}
+
+/// The synthetic per-length chain catalog shared by the fig6 binary and
+/// the `fig6_chains` sweep grid: chain *k* has *k* VNFs drawn in a fixed
+/// light-to-medium order, with a latency budget that grows with length.
+pub fn synthetic_chains(vnfs: &VnfCatalog, max_len: usize) -> ChainCatalog {
+    let order = [
+        "nat",
+        "firewall",
+        "load-balancer",
+        "proxy",
+        "encryption-gw",
+        "wan-optimizer",
+    ];
+    let chains: Vec<ChainSpec> = (1..=max_len)
+        .map(|len| {
+            let seq = order[..len]
+                .iter()
+                .map(|n| vnfs.by_name(n).expect("standard catalog").id)
+                .collect();
+            ChainSpec::new(
+                ChainId(len - 1),
+                format!("len-{len}"),
+                seq,
+                40.0 + 25.0 * len as f64, // budget grows with length
+                0.05,
+                10.0,
+            )
+        })
+        .collect();
+    ChainCatalog::new(chains, vnfs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_name_builds_with_a_fingerprint() {
+        for &name in sweep_grid_names() {
+            let grid = build_sweep_grid(name).expect("registry name builds");
+            assert_eq!(grid.grid_name(), name, "grid is named after its key");
+            assert!(grid.cell_count() > 0);
+            assert!(
+                grid.grid_fingerprint().starts_with(name),
+                "auto fingerprint attached"
+            );
+        }
+        assert!(build_sweep_grid("no_such_grid").is_none());
+    }
+
+    #[test]
+    fn rebuilds_are_structurally_identical() {
+        for &name in sweep_grid_names() {
+            let a = build_sweep_grid(name).unwrap();
+            let b = build_sweep_grid(name).unwrap();
+            assert_eq!(
+                a.grid_fingerprint(),
+                b.grid_fingerprint(),
+                "{name} must rebuild to the same structure in every process"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_grids() {
+        let fps: Vec<String> = sweep_grid_names()
+            .iter()
+            .map(|n| build_sweep_grid(n).unwrap().grid_fingerprint().to_string())
+            .collect();
+        let set: std::collections::HashSet<_> = fps.iter().collect();
+        assert_eq!(set.len(), fps.len());
+    }
+}

@@ -313,6 +313,31 @@ pub fn summary_from_json(v: &Value) -> Option<RunSummary> {
     })
 }
 
+/// Serializes one [`BenchCell`] with exact field names — the unit shared
+/// by the full report payload and the sharded-sweep shard fragments, so a
+/// cell that crosses a process boundary serializes identically to one
+/// that never left.
+pub fn cell_json(c: &BenchCell) -> Value {
+    let mut map = serde_json::Map::new();
+    map.insert("scenario", Value::from(c.scenario.as_str()));
+    map.insert("policy", Value::from(c.policy.as_str()));
+    map.insert("x", Value::from(c.x));
+    map.insert("seed", Value::from(c.seed));
+    map.insert("summary", summary_json(&c.summary));
+    Value::Object(map)
+}
+
+/// Parses a [`BenchCell`] back out of [`cell_json`] output.
+pub fn cell_from_json(v: &Value) -> Option<BenchCell> {
+    Some(BenchCell {
+        scenario: v.get("scenario")?.as_str()?.to_string(),
+        policy: v.get("policy")?.as_str()?.to_string(),
+        x: v.get("x")?.as_f64()?,
+        seed: v.get("seed")?.as_u64()?,
+        summary: summary_from_json(v.get("summary")?)?,
+    })
+}
+
 fn aggregate_json(agg: &SummaryAggregate) -> Value {
     let mut metrics = serde_json::Map::new();
     for (name, s) in &agg.metrics {
@@ -332,19 +357,7 @@ impl BenchReport {
     /// The deterministic payload: cells + aggregates only. Two runs of the
     /// same grid serialize this identically regardless of thread count.
     pub fn payload_json(&self) -> Value {
-        let cells: Vec<Value> = self
-            .cells
-            .iter()
-            .map(|c| {
-                let mut map = serde_json::Map::new();
-                map.insert("scenario", Value::from(c.scenario.as_str()));
-                map.insert("policy", Value::from(c.policy.as_str()));
-                map.insert("x", Value::from(c.x));
-                map.insert("seed", Value::from(c.seed));
-                map.insert("summary", summary_json(&c.summary));
-                Value::Object(map)
-            })
-            .collect();
+        let cells: Vec<Value> = self.cells.iter().map(cell_json).collect();
         let aggregates: Vec<Value> = self
             .aggregates
             .iter()
@@ -365,16 +378,31 @@ impl BenchReport {
 
     /// The full document written to `BENCH_<name>.json`.
     pub fn to_json(&self) -> Value {
+        self.doc_json(
+            self.threads,
+            self.wall_clock_secs,
+            self.throughput_slots_per_sec,
+        )
+    }
+
+    /// The full document with the run-to-run measurement metadata
+    /// (`threads`, `wall_clock_secs`, `throughput_slots_per_sec`) scrubbed
+    /// to zero. Two *different executions* of the same grid — one process,
+    /// or N worker processes merged — agree on this form byte for byte,
+    /// so it is what the sharded-sweep tooling writes and what CI diffs.
+    /// (`slots_simulated` stays: it is a deterministic sum over cells.)
+    pub fn canonical_json(&self) -> Value {
+        self.doc_json(0, 0.0, 0.0)
+    }
+
+    fn doc_json(&self, threads: usize, wall_clock_secs: f64, throughput: f64) -> Value {
         let mut map = serde_json::Map::new();
         map.insert("schema_version", Value::from(BENCH_SCHEMA_VERSION));
         map.insert("name", Value::from(self.name.as_str()));
-        map.insert("threads", Value::from(self.threads));
-        map.insert("wall_clock_secs", Value::from(self.wall_clock_secs));
+        map.insert("threads", Value::from(threads));
+        map.insert("wall_clock_secs", Value::from(wall_clock_secs));
         map.insert("slots_simulated", Value::from(self.slots_simulated));
-        map.insert(
-            "throughput_slots_per_sec",
-            Value::from(self.throughput_slots_per_sec),
-        );
+        map.insert("throughput_slots_per_sec", Value::from(throughput));
         if !self.fingerprint.is_empty() {
             map.insert("fingerprint", Value::from(self.fingerprint.as_str()));
         }
@@ -440,6 +468,23 @@ impl BenchReport {
     pub fn write_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
         let path = dir.join(format!("BENCH_{}.json", self.name));
         write_lines(&path, &[serde_json::to_string_pretty(&self.to_json())])?;
+        Ok(path)
+    }
+
+    /// Writes the pretty-printed [`BenchReport::canonical_json`] form to
+    /// `dir/BENCH_<name>.json` and returns the path — the writer the
+    /// sweep merge and its single-process reference both use, so the two
+    /// files can be compared byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_canonical_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        write_lines(
+            &path,
+            &[serde_json::to_string_pretty(&self.canonical_json())],
+        )?;
         Ok(path)
     }
 }
@@ -623,6 +668,54 @@ mod tests {
         assert!(payload.get("aggregates").is_some());
         assert!(payload.get("wall_clock_secs").is_none());
         assert!(payload.get("threads").is_none());
+    }
+
+    #[test]
+    fn cell_json_roundtrip_is_exact() {
+        let cell = report_fixture().cells[1].clone();
+        let v = serde_json::from_str(&serde_json::to_string(&cell_json(&cell))).unwrap();
+        assert_eq!(cell_from_json(&v).unwrap(), cell);
+    }
+
+    #[test]
+    fn canonical_json_scrubs_only_measurement_metadata() {
+        let mut a = report_fixture();
+        let mut b = report_fixture();
+        // Same deterministic payload, different execution circumstances.
+        a.threads = 1;
+        a.wall_clock_secs = 9.0;
+        a.throughput_slots_per_sec = 40.0 / 9.0;
+        b.threads = 8;
+        b.wall_clock_secs = 1.25;
+        b.throughput_slots_per_sec = 40.0 / 1.25;
+        assert_ne!(
+            serde_json::to_string(&a.to_json()),
+            serde_json::to_string(&b.to_json())
+        );
+        let canon_a = serde_json::to_string_pretty(&a.canonical_json());
+        assert_eq!(
+            canon_a,
+            serde_json::to_string_pretty(&b.canonical_json()),
+            "canonical form must not depend on how the grid was executed"
+        );
+        // Still a well-formed report document with the full payload.
+        let parsed = BenchReport::from_json(&serde_json::from_str(&canon_a).unwrap()).unwrap();
+        assert_eq!(parsed.cells, a.cells);
+        assert_eq!(parsed.slots_simulated, a.slots_simulated);
+        assert_eq!(parsed.threads, 0);
+    }
+
+    #[test]
+    fn write_canonical_matches_canonical_json() {
+        let dir = std::env::temp_dir().join("mano_bench_canonical_test");
+        let report = report_fixture();
+        let path = report.write_canonical_to(&dir).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            on_disk,
+            serde_json::to_string_pretty(&report.canonical_json()) + "\n"
+        );
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -162,6 +162,112 @@ impl ExperimentGrid {
         self.scenarios.len() * self.policies.len() * self.seeds.len()
     }
 
+    /// The grid's name (`BENCH_<name>.json`).
+    pub fn grid_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fingerprint attached via [`ExperimentGrid::fingerprint`]
+    /// (empty when unset).
+    pub fn grid_fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// A structural fingerprint of the grid: an FNV-1a hash over the
+    /// name, every scenario (label, coordinate, full `Debug` form), the
+    /// policy labels, the seed axis, the reward configuration, custom
+    /// catalogs and the decision-time scrub flag — everything that
+    /// determines the deterministic cell payload *except* the policy
+    /// factories themselves, which are opaque closures. Callers must keep
+    /// the label↔policy binding stable (the registry discipline: a label
+    /// names exactly one construction); under that discipline two grids
+    /// with equal fingerprints produce bit-identical cells, which is what
+    /// the sharded-sweep merge validates before trusting a fragment.
+    pub fn auto_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut desc = format!(
+            "grid;v1;name={};seeds={:?};reward={:?};scrub={}",
+            self.name, self.seeds, self.reward, self.scrub_decision_time
+        );
+        for row in &self.scenarios {
+            let _ = write!(desc, ";scenario={}|{}|{:?}", row.label, row.x, row.scenario);
+        }
+        for (label, _) in &self.policies {
+            let _ = write!(desc, ";policy={label}");
+        }
+        if let Some((vnfs, chains)) = &self.catalogs {
+            let _ = write!(desc, ";catalogs={vnfs:?}|{chains:?}");
+        }
+        format!("{}-{:016x}", self.name, fnv1a(desc.as_bytes()))
+    }
+
+    /// Executes exactly one global cell. Pure in the grid-engine sense:
+    /// the result depends only on the grid definition and `index`, never
+    /// on which other cells ran (or on which thread/process this one ran).
+    fn cell(&self, index: usize) -> BenchCell {
+        let per_policy = self.seeds.len();
+        let per_scenario = self.policies.len() * per_policy;
+        let row = &self.scenarios[index / per_scenario];
+        let (policy_label, factory) = &self.policies[(index % per_scenario) / per_policy];
+        let seed = self.seeds[index % per_policy];
+        let mut policy = factory();
+        let mut result = match &self.catalogs {
+            Some((vnfs, chains)) => evaluate_policy_with_catalogs(
+                &row.scenario,
+                self.reward,
+                policy.as_mut(),
+                seed,
+                vnfs,
+                chains,
+            ),
+            None => evaluate_policy(&row.scenario, self.reward, policy.as_mut(), seed),
+        };
+        if self.scrub_decision_time {
+            result.summary.mean_decision_time_us = 0.0;
+        }
+        BenchCell {
+            scenario: row.label.clone(),
+            policy: policy_label.clone(),
+            x: row.x,
+            seed,
+            summary: result.summary,
+        }
+    }
+
+    /// Executes exactly the given global cells (any subset, any order) on
+    /// the grid's worker pool and returns `(global index, cell)` pairs in
+    /// the order of `indices`. This is the shard-execution entry point:
+    /// a sweep worker expands its shard plan to indices and runs only
+    /// those, and because every cell is a pure function of its index the
+    /// results are bit-identical to the same cells of a full
+    /// [`ExperimentGrid::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty (like [`ExperimentGrid::run`]) or any
+    /// index is out of range.
+    pub fn run_cells(&self, indices: &[usize]) -> Vec<(usize, BenchCell)> {
+        self.assert_runnable();
+        let n = self.cell_count();
+        for &index in indices {
+            assert!(index < n, "cell index {index} outside grid of {n} cells");
+        }
+        let threads = self.threads.unwrap_or_else(thread_count);
+        run_indexed(indices.len(), threads, |slot| {
+            let index = indices[slot];
+            (index, self.cell(index))
+        })
+    }
+
+    fn assert_runnable(&self) {
+        assert!(
+            !self.scenarios.is_empty(),
+            "grid needs at least one scenario"
+        );
+        assert!(!self.policies.is_empty(), "grid needs at least one policy");
+        assert!(!self.seeds.is_empty(), "grid needs at least one seed");
+    }
+
     /// Executes the grid and returns its report.
     ///
     /// Cell order (and therefore `report.cells` order) is scenario-major,
@@ -174,46 +280,12 @@ impl ExperimentGrid {
     /// Panics if the grid has no scenarios or no policies, or if a cell's
     /// policy panics.
     pub fn run(&self) -> BenchReport {
-        assert!(
-            !self.scenarios.is_empty(),
-            "grid needs at least one scenario"
-        );
-        assert!(!self.policies.is_empty(), "grid needs at least one policy");
-        assert!(!self.seeds.is_empty(), "grid needs at least one seed");
-
+        self.assert_runnable();
         let threads = self.threads.unwrap_or_else(thread_count);
         let n = self.cell_count();
-        let per_policy = self.seeds.len();
-        let per_scenario = self.policies.len() * per_policy;
 
         let started = Instant::now();
-        let cells = run_indexed(n, threads, |index| {
-            let row = &self.scenarios[index / per_scenario];
-            let (policy_label, factory) = &self.policies[(index % per_scenario) / per_policy];
-            let seed = self.seeds[index % per_policy];
-            let mut policy = factory();
-            let mut result = match &self.catalogs {
-                Some((vnfs, chains)) => evaluate_policy_with_catalogs(
-                    &row.scenario,
-                    self.reward,
-                    policy.as_mut(),
-                    seed,
-                    vnfs,
-                    chains,
-                ),
-                None => evaluate_policy(&row.scenario, self.reward, policy.as_mut(), seed),
-            };
-            if self.scrub_decision_time {
-                result.summary.mean_decision_time_us = 0.0;
-            }
-            BenchCell {
-                scenario: row.label.clone(),
-                policy: policy_label.clone(),
-                x: row.x,
-                seed,
-                summary: result.summary,
-            }
-        });
+        let cells = run_indexed(n, threads, |index| self.cell(index));
         let wall_clock_secs = started.elapsed().as_secs_f64();
 
         let slots_simulated: u64 = cells.iter().map(|c| c.summary.slots).sum();
@@ -233,6 +305,18 @@ impl ExperimentGrid {
             aggregates,
         }
     }
+}
+
+/// FNV-1a 64-bit over bytes — dependency-free, stable across platforms,
+/// plenty for detecting grid-structure drift (this is staleness detection,
+/// not a security boundary).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Concatenates several grid reports into one (used when a sweep must be
@@ -371,6 +455,66 @@ mod tests {
         let report = tiny_grid(1);
         assert_eq!(sweep_csv(&report).len(), 1 + report.aggregates.len());
         assert_eq!(cells_csv(&report).len(), 1 + report.cells.len());
+    }
+
+    fn tiny_grid_def(threads: usize) -> ExperimentGrid {
+        ExperimentGrid::new("unit")
+            .scenario("small", 1.0, Scenario::small_test())
+            .policy("first-fit", || Box::new(FirstFitPolicy))
+            .policy("cloud-only", || Box::new(CloudOnlyPolicy))
+            .seeds(&[3, 7])
+            .threads(threads)
+    }
+
+    #[test]
+    fn run_cells_matches_full_run_for_any_subset() {
+        let grid = tiny_grid_def(2);
+        let full = grid.run();
+        // An out-of-order, non-contiguous subset.
+        let picked = grid.run_cells(&[3, 0, 2]);
+        assert_eq!(
+            picked.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![3, 0, 2],
+            "pairs come back in request order"
+        );
+        for (index, cell) in &picked {
+            assert_eq!(cell, &full.cells[*index], "cell {index} diverged");
+        }
+        assert!(grid.run_cells(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn run_cells_rejects_out_of_range_indices() {
+        let _ = tiny_grid_def(1).run_cells(&[99]);
+    }
+
+    #[test]
+    fn auto_fingerprint_is_stable_and_structure_sensitive() {
+        let fp = tiny_grid_def(1).auto_fingerprint();
+        assert_eq!(
+            fp,
+            tiny_grid_def(4).auto_fingerprint(),
+            "thread count is measurement config, not structure"
+        );
+        assert!(
+            fp.starts_with("unit-"),
+            "fingerprint is name-prefixed: {fp}"
+        );
+        let other_seeds = ExperimentGrid::new("unit")
+            .scenario("small", 1.0, Scenario::small_test())
+            .policy("first-fit", || Box::new(FirstFitPolicy))
+            .policy("cloud-only", || Box::new(CloudOnlyPolicy))
+            .seeds(&[3, 8])
+            .auto_fingerprint();
+        assert_ne!(fp, other_seeds, "seed axis is structural");
+        let other_label = ExperimentGrid::new("unit")
+            .scenario("small", 1.0, Scenario::small_test())
+            .policy("first-fit", || Box::new(FirstFitPolicy))
+            .policy("greedy-latency", || Box::new(GreedyLatencyPolicy))
+            .seeds(&[3, 7])
+            .auto_fingerprint();
+        assert_ne!(fp, other_label, "policy labels are structural");
     }
 
     #[test]

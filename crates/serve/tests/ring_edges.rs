@@ -1,0 +1,79 @@
+//! Edge-case coverage for the bounded MPSC ring backing the policy
+//! server: the blocking/close interactions that only show up under real
+//! thread interleavings — a sender parked on a full ring observing the
+//! receiver hang up, draining buffered values after every sender is gone,
+//! and capacity-1 backpressure preserving arrival order.
+
+use serve::ring::{ring, SendError};
+use std::time::Duration;
+
+#[test]
+fn sender_blocked_on_full_ring_observes_receiver_hangup() {
+    let (tx, rx) = ring::<u32>(1);
+    tx.send(0).expect("capacity available");
+    // This send cannot complete: the ring is full and nobody drains it.
+    let blocked = std::thread::spawn(move || tx.send(1));
+    // Give the sender time to actually park on the not-full condvar
+    // before hanging up; the test is about waking a *blocked* sender.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(rx);
+    let result = blocked.join().expect("sender thread must not deadlock");
+    assert_eq!(
+        result.map_err(|SendError(v)| v),
+        Err(1),
+        "the failed send hands the undelivered value back"
+    );
+}
+
+#[test]
+fn drain_after_close_preserves_arrival_order() {
+    let (tx, rx) = ring::<u32>(8);
+    let tx2 = tx.clone();
+    // Two senders interleave; arrival order is whatever the ring saw.
+    tx.send(1).unwrap();
+    tx2.send(2).unwrap();
+    tx.send(3).unwrap();
+    tx2.send(4).unwrap();
+    drop(tx);
+    drop(tx2);
+    // The channel is closed but not empty: batches must keep coming, in
+    // order, until the buffer is dry — only then does recv_batch report
+    // closure.
+    let mut out = Vec::new();
+    assert!(rx.recv_batch(2, &mut out), "buffered values outlive close");
+    assert_eq!(out, vec![1, 2]);
+    out.clear();
+    assert!(rx.recv_batch(2, &mut out));
+    assert_eq!(out, vec![3, 4]);
+    out.clear();
+    assert!(
+        !rx.recv_batch(2, &mut out),
+        "closed and drained terminates the stream"
+    );
+    assert!(out.is_empty());
+}
+
+#[test]
+fn capacity_one_backpressure_delivers_everything_in_order() {
+    const N: u32 = 100;
+    let (tx, rx) = ring::<u32>(1);
+    let producer = std::thread::spawn(move || {
+        for i in 0..N {
+            tx.send(i).expect("receiver alive until all values seen");
+        }
+    });
+    let mut seen = Vec::with_capacity(N as usize);
+    let mut out = Vec::new();
+    while rx.recv_batch(8, &mut out) {
+        assert!(
+            out.len() <= 1,
+            "a capacity-1 ring can never hold more than one value"
+        );
+        seen.append(&mut out);
+        if seen.len() == N as usize {
+            break;
+        }
+    }
+    producer.join().expect("producer finished");
+    assert_eq!(seen, (0..N).collect::<Vec<_>>(), "strict arrival order");
+}

@@ -1,0 +1,205 @@
+//! Partitioned output fragments: one worker's share of a grid run.
+//!
+//! A worker executes exactly its shard's cells and writes ONE fragment —
+//! `shards/BENCH_<name>.shard<K>of<N>.json` under the results directory —
+//! carrying `(global index, cell)` pairs plus the schema version and grid
+//! fingerprint the merge validates. Fragments are a partitioned key
+//! layout: the file name alone identifies the (grid, shard) coordinate,
+//! so a driver (or a human) can see at a glance which shards have landed.
+
+use crate::plan::SWEEP_SCHEMA_VERSION;
+use mano::report::{cell_from_json, cell_json, BenchCell};
+use serde_json::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One shard's executed cells, keyed by global grid index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFragment {
+    /// Protocol version ([`SWEEP_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Registry name of the grid.
+    pub grid_name: String,
+    /// Structural fingerprint of the grid the worker executed.
+    pub grid_fingerprint: String,
+    /// Which shard this fragment is, `0..shard_of`.
+    pub shard_id: usize,
+    /// Total shards of the run this fragment belongs to.
+    pub shard_of: usize,
+    /// `(global cell index, cell)` pairs. Order inside the fragment is
+    /// irrelevant — the merge re-keys by index.
+    pub cells: Vec<(usize, BenchCell)>,
+}
+
+/// The partitioned file name of a fragment:
+/// `BENCH_<name>.shard<K>of<N>.json` (shard ids are zero-based).
+pub fn fragment_file_name(grid_name: &str, shard_id: usize, shard_of: usize) -> String {
+    format!("BENCH_{grid_name}.shard{shard_id}of{shard_of}.json")
+}
+
+/// The shard-fragment directory under a results directory.
+pub fn shards_dir(results_dir: &Path) -> PathBuf {
+    results_dir.join("shards")
+}
+
+impl ShardFragment {
+    /// This fragment's [`fragment_file_name`].
+    pub fn file_name(&self) -> String {
+        fragment_file_name(&self.grid_name, self.shard_id, self.shard_of)
+    }
+
+    /// Serializes the fragment (the on-disk form).
+    pub fn to_json(&self) -> Value {
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|(index, cell)| {
+                let mut m = serde_json::Map::new();
+                m.insert("index", Value::from(*index as u64));
+                m.insert("cell", cell_json(cell));
+                Value::Object(m)
+            })
+            .collect();
+        let mut m = serde_json::Map::new();
+        m.insert("schema_version", Value::from(self.schema_version));
+        m.insert("grid_name", Value::from(self.grid_name.as_str()));
+        m.insert(
+            "grid_fingerprint",
+            Value::from(self.grid_fingerprint.as_str()),
+        );
+        m.insert("shard_id", Value::from(self.shard_id as u64));
+        m.insert("shard_of", Value::from(self.shard_of as u64));
+        m.insert("cells", Value::Array(cells));
+        Value::Object(m)
+    }
+
+    /// Parses a fragment back from [`ShardFragment::to_json`] output.
+    /// The JSON round-trip is exact (cells carry `f64` bit patterns
+    /// through the deterministic writer), which is what lets a merged
+    /// report match an in-process run byte for byte.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        let u = |k: &str| v.get(k).and_then(Value::as_u64);
+        let cells = v
+            .get("cells")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                Some((
+                    c.get("index")?.as_u64()? as usize,
+                    cell_from_json(c.get("cell")?)?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            schema_version: u("schema_version")?,
+            grid_name: v.get("grid_name")?.as_str()?.to_string(),
+            grid_fingerprint: v.get("grid_fingerprint")?.as_str()?.to_string(),
+            shard_id: u("shard_id")? as usize,
+            shard_of: u("shard_of")? as usize,
+            cells,
+        })
+    }
+
+    /// Writes the fragment into `shards/` under `results_dir` (created if
+    /// missing) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, results_dir: &Path) -> io::Result<PathBuf> {
+        let path = shards_dir(results_dir).join(self.file_name());
+        mano::report::write_lines(&path, &[serde_json::to_string_pretty(&self.to_json())])?;
+        Ok(path)
+    }
+}
+
+/// Builds a fragment around executed cells, stamped with the current
+/// protocol version.
+pub fn fragment(
+    grid_name: impl Into<String>,
+    grid_fingerprint: impl Into<String>,
+    shard_id: usize,
+    shard_of: usize,
+    cells: Vec<(usize, BenchCell)>,
+) -> ShardFragment {
+    ShardFragment {
+        schema_version: SWEEP_SCHEMA_VERSION,
+        grid_name: grid_name.into(),
+        grid_fingerprint: grid_fingerprint.into(),
+        shard_id,
+        shard_of,
+        cells,
+    }
+}
+
+/// Loads and parses one fragment file, if present and well-formed.
+pub fn load_fragment(path: &Path) -> Option<ShardFragment> {
+    let text = std::fs::read_to_string(path).ok()?;
+    ShardFragment::from_json(&serde_json::from_str(&text).ok()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mano::metrics::RunSummary;
+
+    fn cell(index: usize) -> (usize, BenchCell) {
+        (
+            index,
+            BenchCell {
+                scenario: format!("s{}", index / 4),
+                policy: format!("p{}", index % 2),
+                x: 1.5 + index as f64,
+                seed: 100 + index as u64,
+                summary: RunSummary {
+                    slots: 10,
+                    total_arrivals: 40 + index as u64,
+                    total_accepted: 30,
+                    total_rejected: 10 + index as u64,
+                    acceptance_ratio: 0.75,
+                    sla_violation_ratio: 0.05,
+                    mean_admission_latency_ms: 25.0 + index as f64 * 0.125,
+                    p50_admission_latency_ms: 20.0,
+                    p95_admission_latency_ms: 60.0,
+                    total_cost_usd: 5.0,
+                    mean_slot_cost_usd: 0.5,
+                    mean_utilization: 0.4,
+                    mean_active_flows: 30.0,
+                    mean_live_instances: 12.0,
+                    mean_decision_time_us: 0.0,
+                    flows_disrupted: 3,
+                    replacement_success_rate: 2.0 / 3.0,
+                    downtime_slots: 7,
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn file_name_is_the_partitioned_key() {
+        assert_eq!(
+            fragment_file_name("fig2_load", 1, 4),
+            "BENCH_fig2_load.shard1of4.json"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let f = fragment("unit", "unit-feed", 2, 3, vec![cell(5), cell(3)]);
+        let text = serde_json::to_string_pretty(&f.to_json());
+        let parsed = ShardFragment::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn write_and_load_under_shards_dir() {
+        let dir = std::env::temp_dir().join(format!("sweep_fragment_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fragment("unit", "unit-feed", 0, 2, vec![cell(0)]);
+        let path = f.write_to(&dir).unwrap();
+        assert!(path.starts_with(shards_dir(&dir)));
+        assert_eq!(load_fragment(&path).unwrap(), f);
+        assert_eq!(load_fragment(&dir.join("missing.json")), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

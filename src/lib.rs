@@ -6,6 +6,7 @@
 //!
 //! | layer | crate | contents |
 //! |---|---|---|
+//! | sweep protocol | [`sweep`] | shard planning, fragment format, byte-identical merge |
 //! | experiments | [`exper`] | parallel multi-seed grid engine, deterministic aggregation |
 //! | serving | [`serve`] | cross-simulation policy server: fused batched forwards per tick |
 //! | orchestrator | [`mano`] | MDP formulation, simulation engine, DRL manager, baselines |
@@ -36,6 +37,7 @@ pub use nn;
 pub use rl;
 pub use serve;
 pub use sfc;
+pub use sweep;
 pub use workload;
 
 /// One prelude over the whole stack — every layer's prelude merged, so

@@ -18,6 +18,10 @@
 #   ./verify.sh bench-full  # the same suite at full resolution (no FAST);
 #                           # slow — CI exposes it as a manual
 #                           # workflow_dispatch job
+#   ./verify.sh sweep-smoke # FAST=1 sharded-sweep determinism check: runs
+#                           # two figure grids single-process and as local
+#                           # multi-process worker fleets, then byte-diffs
+#                           # the merged BENCH_*.json against the reference
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -75,10 +79,46 @@ run_figures() {
   ls "$RESULTS_DIR"/BENCH_metro.json >/dev/null
 }
 
+# Byte-identity check for one grid: single-process reference vs a merged
+# N-shard × W-worker run. sweep_drive re-checks the bytes in memory; the
+# cmp here additionally pins the on-disk artifact (the thing figures and
+# the summary actually consume).
+run_sweep_grid_check() {
+  local grid="$1" shards="$2" workers="$3"
+  echo "==> sweep: $grid reference (single process)"
+  ./target/release/sweep_drive --grid "$grid" --in-process
+  cp "$RESULTS_DIR/BENCH_$grid.json" "$RESULTS_DIR/BENCH_$grid.reference.json"
+
+  echo "==> sweep: $grid sharded ($shards shards, $workers workers)"
+  ./target/release/sweep_drive --grid "$grid" --shards "$shards" --workers "$workers"
+
+  echo "==> sweep: byte-diff merged vs reference"
+  cmp "$RESULTS_DIR/BENCH_$grid.reference.json" "$RESULTS_DIR/BENCH_$grid.json"
+  rm -f "$RESULTS_DIR/BENCH_$grid.reference.json"
+}
+
+run_sweep_smoke() {
+  echo "==> cargo build --release -p bench"
+  cargo build --release -p bench
+  run_sweep_grid_check fig2_load 4 4
+  run_sweep_grid_check fig6_chains 2 2
+}
+
+sweep_smoke() {
+  export FAST=1
+  export RESULTS_DIR="${RESULTS_DIR:-results}"
+  run_sweep_smoke
+}
+
 bench_smoke() {
   export FAST=1
   export RESULTS_DIR="${RESULTS_DIR:-results}"
   run_figures
+
+  # Sharded-sweep smoke between the figures and the gate: sweep_drive
+  # records optimized.sweep_cells_per_sec into the BENCH_hotpath.json the
+  # figures just produced, so the trend gate below genuinely gates it.
+  run_sweep_smoke
 
   # Trend gate: compares BENCH_hotpath.json against the persisted series
   # state (restored across CI runs via actions/cache; accumulated in
@@ -107,12 +147,13 @@ case "${1:-all}" in
   test) test_ ;;
   bench-smoke) bench_smoke ;;
   bench-full) bench_full ;;
+  sweep-smoke) sweep_smoke ;;
   all)
     lint
     test_
     ;;
   *)
-    echo "usage: $0 [lint|test|bench-smoke|bench-full|all]" >&2
+    echo "usage: $0 [lint|test|bench-smoke|bench-full|sweep-smoke|all]" >&2
     exit 2
     ;;
 esac
