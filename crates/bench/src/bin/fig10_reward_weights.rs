@@ -1,68 +1,54 @@
 //! Figure 10 — reward-weight sensitivity: sweeping α (latency weight) vs
 //! β (cost weight) traces the latency/cost trade-off frontier of the DRL
-//! manager. The five weightings train concurrently; the frontier points
-//! are means ± 95% CI across the evaluation seeds.
+//! manager. The weight lattice lives in the checked-in
+//! `manifests/fig10_reward_weights.json` (one reward point per paired
+//! (α, β) value); this binary is just the manifest's exhaustive
+//! evaluation plus the classic frontier CSV, now with a composite
+//! `health` column. `search_drive fig10_reward_weights` runs the same
+//! manifest under successive halving instead.
 //!
 //! Expected shape: latency-heavy weights produce low latency and higher
 //! cost; cost-heavy the reverse; the points form a monotone frontier.
 
-use bench::{
-    bench_scenario, default_passes, drl_default, emit_csv, emit_report, eval_seeds, factory_of,
-};
+use bench::manifests::{load_checked_manifest, pretrained_trainer};
+use bench::{emit_csv, emit_report, fast_mode};
 use drl_vnf_edge::prelude::*;
 
 fn main() {
-    let scenario = bench_scenario(8.0);
-    let weights = [
-        (4.0f32, 0.25f32),
-        (2.0, 0.5),
-        (1.0, 1.0),
-        (0.5, 2.0),
-        (0.25, 4.0),
-    ];
+    let manifest = load_checked_manifest("fig10_reward_weights");
+    let health = HealthScore::new(manifest.health.clone());
+    let mut trainer = pretrained_trainer(&manifest);
+    let expansion = manifest.expand(fast_mode());
 
-    eprintln!(
-        "[fig10] training {} weightings on {} threads…",
-        weights.len(),
-        thread_count()
-    );
-    let trained = parallel_map(&weights, |_, &(alpha, beta)| {
-        let reward = RewardConfig {
-            alpha_latency: alpha,
-            beta_cost: beta,
-            ..RewardConfig::default()
-        };
-        let t = train_drl(&scenario, reward, drl_default(), default_passes().min(6));
-        eprintln!("[fig10] α={alpha}, β={beta}: trained");
-        t
-    });
+    let weights: Vec<(f64, f64)> = expansion.points.iter().map(|p| (p.alpha, p.beta)).collect();
+    let reports: Vec<BenchReport> = expansion
+        .points
+        .iter()
+        .map(|point| point.grid_with(&mut trainer).run())
+        .collect();
+    let report = merge_reports("fig10_reward_weights", reports);
 
-    // One grid column per weighting; physical metrics (latency, cost,
-    // acceptance) don't depend on the evaluation-time reward shaping.
-    let mut grid = ExperimentGrid::new("fig10_reward_weights")
-        .scenario("lambda=8", 8.0, scenario)
-        .seeds(&eval_seeds());
-    for (&(alpha, beta), t) in weights.iter().zip(trained) {
-        grid = grid.policy_boxed(format!("a{alpha}-b{beta}"), factory_of(t.policy));
-    }
-    let report = grid.run();
+    // One aggregate per reward point (each point grid is 1 scenario ×
+    // 1 trained column); health is normalized across the frontier.
+    assert_eq!(report.aggregates.len(), weights.len());
+    let healths = health.score_aggregates(&report.aggregates);
 
     let mut lines = vec![
         "alpha,beta,seeds,mean_latency_ms,mean_latency_ms_ci95,mean_slot_cost_usd,\
          mean_slot_cost_usd_ci95,acceptance_ratio,acceptance_ratio_ci95,\
-         sla_violation_ratio,sla_violation_ratio_ci95"
+         sla_violation_ratio,sla_violation_ratio_ci95,health"
             .to_string(),
     ];
-    for ((alpha, beta), a) in weights.iter().zip(&report.aggregates) {
+    for (((alpha, beta), a), h) in weights.iter().zip(&report.aggregates).zip(&healths) {
         let g = |name: &str| a.aggregate.get(name).expect("standard metric");
         eprintln!(
-            "[fig10]   α={alpha}, β={beta} → {:.2} ± {:.2} ms, ${:.4}/slot",
+            "[fig10]   α={alpha}, β={beta} → {:.2} ± {:.2} ms, ${:.4}/slot, health {h:.4}",
             g("mean_latency_ms").mean,
             g("mean_latency_ms").ci95,
             g("mean_slot_cost_usd").mean,
         );
         lines.push(format!(
-            "{alpha},{beta},{},{:.4},{:.4},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4}",
+            "{alpha},{beta},{},{:.4},{:.4},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4}",
             a.aggregate.runs,
             g("mean_latency_ms").mean,
             g("mean_latency_ms").ci95,
@@ -72,6 +58,7 @@ fn main() {
             g("acceptance_ratio").ci95,
             g("sla_violation_ratio").mean,
             g("sla_violation_ratio").ci95,
+            h,
         ));
     }
     emit_csv("fig10_reward_weights.csv", &lines);

@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod manifests;
 pub mod summary;
 pub mod sweep_grids;
 pub mod trend;

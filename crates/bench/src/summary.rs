@@ -33,6 +33,7 @@ pub fn results_markdown(dir: &Path) -> String {
     names.sort();
 
     let mut grid_lines: Vec<ReportLine> = Vec::new();
+    let mut searches: Vec<mano::report::SearchReport> = Vec::new();
     let mut hotpath: Option<serde_json::Value> = None;
     let mut metro: Option<serde_json::Value> = None;
     let mut skipped: Vec<String> = Vec::new();
@@ -52,6 +53,16 @@ pub fn results_markdown(dir: &Path) -> String {
         }
         if name == "BENCH_metro.json" {
             metro = Some(doc);
+            continue;
+        }
+        if let Some(search) = name
+            .strip_prefix("BENCH_search_")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            match mano::report::load_search_report(dir, search) {
+                Some(report) => searches.push(report),
+                None => skipped.push(name.clone()),
+            }
             continue;
         }
         let cells = doc
@@ -79,7 +90,12 @@ pub fn results_markdown(dir: &Path) -> String {
 
     let mut out = String::from("## Bench results\n\n");
     let shards = shards_markdown(dir);
-    if grid_lines.is_empty() && hotpath.is_none() && metro.is_none() && shards.is_empty() {
+    if grid_lines.is_empty()
+        && searches.is_empty()
+        && hotpath.is_none()
+        && metro.is_none()
+        && shards.is_empty()
+    {
         out.push_str("_no BENCH_*.json reports found_\n");
         return out;
     }
@@ -152,6 +168,9 @@ pub fn results_markdown(dir: &Path) -> String {
             num("peak_mem_ratio"),
         ));
     }
+    if !searches.is_empty() {
+        out.push_str(&searches_markdown(&searches));
+    }
     if !skipped.is_empty() {
         out.push_str(&format!(
             "\n_skipped unparseable: {}_\n",
@@ -160,6 +179,58 @@ pub fn results_markdown(dir: &Path) -> String {
     }
     out.push_str(&shards);
     out
+}
+
+/// Digest of the manifest searches (`BENCH_search_*.json`): one row per
+/// search with the winning cell and its composite health, plus a ⚠ line
+/// whenever a search's recorded manifest fingerprint no longer matches
+/// the checked-in manifest of the same name — that search's results
+/// describe a manifest that has since been edited.
+fn searches_markdown(searches: &[mano::report::SearchReport]) -> String {
+    let mut out = String::from("\n### Manifest searches (BENCH_search_*.json)\n\n");
+    out.push_str("| search | best policy | scenario | α | β | health | runs |\n");
+    out.push_str("|---|---|---|---:|---:|---:|---:|\n");
+    let mut warnings: Vec<String> = Vec::new();
+    for report in searches {
+        let best = report.best_candidate();
+        out.push_str(&format!(
+            "| {} | **{}** | {} | {} | {} | {:.4} | {}/{} |\n",
+            report.name,
+            best.policy,
+            best.scenario,
+            best.alpha,
+            best.beta,
+            best.health,
+            report.runs_evaluated,
+            report.runs_exhaustive,
+        ));
+        if let Some(expected) = checked_in_fingerprint(&report.name) {
+            if expected != report.manifest_fingerprint {
+                warnings.push(format!(
+                    "`BENCH_search_{}.json`: manifest fingerprint {} does not match \
+                     the checked-in `{}` manifest ({}) — the search ran against a \
+                     manifest that has since changed",
+                    report.name, report.manifest_fingerprint, report.name, expected
+                ));
+            }
+        }
+    }
+    for w in &warnings {
+        out.push_str(&format!("\n⚠ {w}\n"));
+    }
+    out
+}
+
+/// The fingerprint of the checked-in manifest named `name`: the file
+/// under [`crate::manifests::manifest_dir`] when readable, else the
+/// in-code definition (the golden test pins the two together, so either
+/// source gives the same answer from a clean checkout). `None` for
+/// searches over manifests this repo doesn't check in.
+fn checked_in_fingerprint(name: &str) -> Option<String> {
+    exper::manifest::ScenarioManifest::load(&crate::manifests::manifest_dir(), name)
+        .ok()
+        .or_else(|| crate::manifests::checked_in_manifest(name))
+        .map(|m| m.fingerprint())
 }
 
 /// Digest of the shard fragments parked under `<dir>/shards/` (a sharded
@@ -316,6 +387,75 @@ mod tests {
     fn no_shards_dir_adds_nothing() {
         let dir = temp_dir("noshards");
         assert!(!results_markdown(&dir).contains("shard"));
+    }
+
+    fn search_report(name: &str, fingerprint: &str) -> mano::report::SearchReport {
+        mano::report::SearchReport {
+            name: name.into(),
+            manifest_fingerprint: fingerprint.into(),
+            fast: true,
+            screen_seeds: 1,
+            full_seeds: 2,
+            promote_fraction: 0.5,
+            runs_evaluated: 9,
+            runs_exhaustive: 12,
+            health_weights: vec![("acceptance_ratio".into(), 3.0, true)],
+            candidates: vec![mano::report::SearchCandidate {
+                point: 0,
+                scenario: "lambda=2".into(),
+                policy: "first-fit".into(),
+                x: 2.0,
+                alpha: 1.0,
+                beta: 1.0,
+                screened_health: 0.7,
+                promoted: true,
+                seeds_run: 2,
+                health: 0.8125,
+            }],
+            best: 0,
+            points: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn search_digest_renders_and_flags_fingerprint_drift() {
+        let dir = temp_dir("search");
+        // A search whose recorded fingerprint drifted from the checked-in
+        // smoke manifest, and one over a manifest this repo doesn't know.
+        search_report("smoke", "smoke-0000000000000000")
+            .write_canonical_to(&dir)
+            .unwrap();
+        search_report("offbook", "offbook-1111111111111111")
+            .write_canonical_to(&dir)
+            .unwrap();
+        let md = results_markdown(&dir);
+        assert!(
+            md.contains("| smoke | **first-fit** | lambda=2 | 1 | 1 | 0.8125 | 9/12 |"),
+            "{md}"
+        );
+        assert!(md.contains("| offbook |"), "{md}");
+        assert!(
+            md.contains("⚠ `BENCH_search_smoke.json`: manifest fingerprint"),
+            "{md}"
+        );
+        assert!(
+            !md.contains("`BENCH_search_offbook.json`: manifest"),
+            "unknown manifests have nothing to drift from: {md}"
+        );
+        // Search reports must not leak into the grid headline table.
+        assert!(!md.contains("| BENCH_search_smoke.json |"), "{md}");
+    }
+
+    #[test]
+    fn search_digest_is_quiet_when_fingerprints_agree() {
+        let dir = temp_dir("search_ok");
+        let fp = crate::manifests::smoke_manifest().fingerprint();
+        search_report("smoke", &fp)
+            .write_canonical_to(&dir)
+            .unwrap();
+        let md = results_markdown(&dir);
+        assert!(md.contains("| smoke | **first-fit** |"), "{md}");
+        assert!(!md.contains('⚠'), "{md}");
     }
 
     #[test]

@@ -1,121 +1,88 @@
-//! Registry of sharded-sweep grids: named, self-contained grid builders
-//! every process in a sweep can reconstruct identically.
+//! Registry of sharded-sweep grids: named manifests every process in a
+//! sweep can expand identically.
 //!
 //! The sweep protocol never ships a grid over the wire — a worker is told
 //! only a *name* (plus its shard coordinate) and rebuilds the grid from
-//! this registry. That works because each builder here is a pure function
-//! of the name and the `FAST` mode: same name, same process environment,
-//! same grid, same structural fingerprint. The fingerprint
-//! (`ExperimentGrid::auto_fingerprint`) is stamped on every plan and
-//! fragment so a merge refuses cells computed from a drifted registry
-//! (e.g. a worker built without `FAST=1` feeding a `FAST=1` driver).
+//! this registry. Since the manifest redesign the registry holds
+//! [`ScenarioManifest`]s rather than hand-assembled builders: each entry
+//! is a pure value, expansion is a pure function of `(manifest, FAST)`,
+//! and the exact same manifests drive the in-process figure binaries and
+//! the search driver, so the definitions can no longer drift apart. The
+//! structural fingerprint (`ExperimentGrid::auto_fingerprint`) is stamped
+//! on every plan and fragment so a merge refuses cells computed from a
+//! drifted registry (e.g. a worker built without `FAST=1` feeding a
+//! `FAST=1` driver).
 //!
 //! Registry grids are baseline-only by design: DRL policies would require
 //! every worker to train (duplicating the most expensive phase N times)
 //! or a trained-weights shipping format — the multi-host outlook in
 //! `docs/sweep.md` covers that extension.
 
-use crate::{
-    bench_scenario, comparison_factories, eval_seeds, fast_mode, load_sweep_rates, scaled,
-    standard_factories,
-};
+use crate::fast_mode;
 use exper::prelude::*;
-use mano::prelude::*;
-use sfc::chain::{ChainCatalog, ChainId, ChainSpec};
-use sfc::vnf::VnfCatalog;
+
+pub use exper::manifest::synthetic_chains;
 
 /// Every grid name [`build_sweep_grid`] accepts.
 pub fn sweep_grid_names() -> &'static [&'static str] {
     &["fig2_load", "fig6_chains", "table3_baselines"]
 }
 
-/// Builds the named sweep grid with its structural fingerprint attached,
-/// or `None` for an unknown name.
-pub fn build_sweep_grid(name: &str) -> Option<ExperimentGrid> {
-    let grid = match name {
-        "fig2_load" => fig2_load(),
-        "fig6_chains" => fig6_chains(),
-        "table3_baselines" => table3_baselines(),
+/// The named registry manifest, or `None` for an unknown name. The
+/// expansion of each manifest is pinned by fingerprint tests: editing an
+/// entry is a protocol change for every consumer of its name.
+pub fn sweep_grid_manifest(name: &str) -> Option<ScenarioManifest> {
+    let manifest = match name {
+        // The λ-sweep comparison grid (figure 2 axes, baseline roster).
+        "fig2_load" => ScenarioManifest::new(
+            "fig2_load",
+            ManifestBase::bench(8.0),
+            SweepSpec::ArrivalRate {
+                values: FastScaled {
+                    full: Axis::List(vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]),
+                    fast: Axis::List(vec![2.0, 6.0]),
+                },
+            },
+        )
+        .policy(PolicySpec::Roster("comparison".into())),
+        // The chain-length grid (figure 6 axes) on the synthetic
+        // length-k catalog, at λ=5 with a shorter horizon.
+        "fig6_chains" => {
+            let mut base = ManifestBase::bench(5.0);
+            base.horizon_slots = FastScaled {
+                full: 240,
+                fast: 30,
+            };
+            ScenarioManifest::new(
+                "fig6_chains",
+                base,
+                SweepSpec::ChainLength {
+                    max: FastScaled { full: 6, fast: 3 },
+                },
+            )
+            .policy(PolicySpec::Roster("comparison".into()))
+        }
+        // The full baseline roster at the table 3 operating point (λ=8).
+        "table3_baselines" => ScenarioManifest::new(
+            "table3_baselines",
+            ManifestBase::bench(8.0),
+            SweepSpec::ArrivalRate {
+                values: FastScaled::same(Axis::single(8.0)),
+            },
+        )
+        .policy(PolicySpec::Roster("standard".into())),
         _ => return None,
     };
-    let fp = grid.auto_fingerprint();
-    Some(grid.fingerprint(fp))
+    Some(manifest)
 }
 
-/// The λ-sweep comparison grid (figure 2 axes, baseline roster): every
-/// comparison baseline across [`load_sweep_rates`] × [`eval_seeds`].
-fn fig2_load() -> ExperimentGrid {
-    let mut grid = ExperimentGrid::new("fig2_load")
-        .seeds(&eval_seeds())
-        .policies(comparison_factories());
-    for &rate in &load_sweep_rates() {
-        grid = grid.scenario(format!("lambda={rate}"), rate, bench_scenario(rate));
-    }
-    grid
-}
-
-/// The chain-length grid (figure 6 axes, baseline roster): one scenario
-/// per chain length on the synthetic length-k catalog.
-fn fig6_chains() -> ExperimentGrid {
-    let max_len = if fast_mode() { 3 } else { 6 };
-    let vnfs = VnfCatalog::standard();
-    let chains = synthetic_chains(&vnfs, max_len);
-
-    let mut scenario = Scenario::default_metro().with_arrival_rate(5.0);
-    scenario.topology_builder.edge_capacity = edgenet::node::Resources::new(32.0, 128.0);
-    scenario.horizon_slots = scaled(240, 30) as u64;
-
-    let mut grid = ExperimentGrid::new("fig6_chains")
-        .seeds(&eval_seeds())
-        .with_catalogs(vnfs, chains)
-        .policies(comparison_factories());
-    for len in 1..=max_len {
-        let mut s = scenario.clone();
-        s.workload.chain_mix = (0..max_len)
-            .map(|i| if i + 1 == len { 1.0 } else { 0.0 })
-            .collect();
-        grid = grid.scenario(format!("len={len}"), len as f64, s);
-    }
-    grid
-}
-
-/// The full baseline roster at the table 3 operating point (λ=8).
-fn table3_baselines() -> ExperimentGrid {
-    ExperimentGrid::new("table3_baselines")
-        .seeds(&eval_seeds())
-        .policies(standard_factories())
-        .scenario("lambda=8", 8.0, bench_scenario(8.0))
-}
-
-/// The synthetic per-length chain catalog shared by the fig6 binary and
-/// the `fig6_chains` sweep grid: chain *k* has *k* VNFs drawn in a fixed
-/// light-to-medium order, with a latency budget that grows with length.
-pub fn synthetic_chains(vnfs: &VnfCatalog, max_len: usize) -> ChainCatalog {
-    let order = [
-        "nat",
-        "firewall",
-        "load-balancer",
-        "proxy",
-        "encryption-gw",
-        "wan-optimizer",
-    ];
-    let chains: Vec<ChainSpec> = (1..=max_len)
-        .map(|len| {
-            let seq = order[..len]
-                .iter()
-                .map(|n| vnfs.by_name(n).expect("standard catalog").id)
-                .collect();
-            ChainSpec::new(
-                ChainId(len - 1),
-                format!("len-{len}"),
-                seq,
-                40.0 + 25.0 * len as f64, // budget grows with length
-                0.05,
-                10.0,
-            )
-        })
-        .collect();
-    ChainCatalog::new(chains, vnfs)
+/// Builds the named sweep grid with its structural fingerprint attached,
+/// or `None` for an unknown name — the manifest expansion for the current
+/// `FAST` mode.
+pub fn build_sweep_grid(name: &str) -> Option<ExperimentGrid> {
+    let manifest = sweep_grid_manifest(name)?;
+    let mut expansion = manifest.expand(fast_mode());
+    Some(expansion.points.remove(0).grid())
 }
 
 #[cfg(test)]
@@ -134,6 +101,7 @@ mod tests {
             );
         }
         assert!(build_sweep_grid("no_such_grid").is_none());
+        assert!(sweep_grid_manifest("no_such_grid").is_none());
     }
 
     #[test]
@@ -157,5 +125,44 @@ mod tests {
             .collect();
         let set: std::collections::HashSet<_> = fps.iter().collect();
         assert_eq!(set.len(), fps.len());
+    }
+
+    /// The registry fingerprints are wire protocol: a worker built from
+    /// one commit must be able to feed a driver built from another. These
+    /// literals were captured from the pre-manifest hand-built grids; the
+    /// manifest re-expression must reproduce them exactly, and any future
+    /// edit that changes them is a breaking protocol change.
+    #[test]
+    fn registry_fingerprints_are_pinned() {
+        let expected: &[(&str, &str)] = if fast_mode() {
+            &[
+                ("fig2_load", "fig2_load-4f100dca92353db9"),
+                ("fig6_chains", "fig6_chains-a3fb29a759bcbd22"),
+                ("table3_baselines", "table3_baselines-82b559ed8d801054"),
+            ]
+        } else {
+            &[
+                ("fig2_load", "fig2_load-439cad4f1329bb39"),
+                ("fig6_chains", "fig6_chains-d4412765e40bd981"),
+                ("table3_baselines", "table3_baselines-e1d81a8c389fc2f6"),
+            ]
+        };
+        for &(name, fp) in expected {
+            assert_eq!(
+                build_sweep_grid(name).unwrap().grid_fingerprint(),
+                fp,
+                "{name} drifted from its pinned pre-manifest fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_manifests_roundtrip_through_json() {
+        for &name in sweep_grid_names() {
+            let manifest = sweep_grid_manifest(name).unwrap();
+            let text = serde_json::to_string_pretty(&manifest.to_json());
+            let parsed = ScenarioManifest::parse(&text).expect("registry manifest parses");
+            assert_eq!(parsed, manifest, "{name} JSON roundtrip");
+        }
     }
 }

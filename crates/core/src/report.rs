@@ -495,6 +495,257 @@ pub fn load_bench_report(dir: &Path, name: &str) -> Option<BenchReport> {
     BenchReport::from_json(&serde_json::from_str(&text).ok()?)
 }
 
+/// Version stamp of the `BENCH_search_*.json` schema; bump on breaking
+/// changes.
+pub const SEARCH_SCHEMA_VERSION: u64 = 1;
+
+/// One (reward point, scenario, policy) candidate of a configuration
+/// search, with its health trajectory through the halving schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCandidate {
+    /// Index of the candidate's reward point.
+    pub point: usize,
+    /// Scenario label.
+    pub scenario: String,
+    /// Policy label.
+    pub policy: String,
+    /// Sweep coordinate.
+    pub x: f64,
+    /// Latency weight α of the reward point.
+    pub alpha: f64,
+    /// Cost weight β of the reward point.
+    pub beta: f64,
+    /// Health over the screening seeds (normalized across all
+    /// candidates).
+    pub screened_health: f64,
+    /// Whether the candidate was promoted to the full seed budget.
+    pub promoted: bool,
+    /// Seeds actually evaluated.
+    pub seeds_run: usize,
+    /// Final health over the evaluated seeds (normalized across all
+    /// candidates).
+    pub health: f64,
+}
+
+/// One reward point's evaluated grid inside a [`SearchReport`]: the
+/// embedded bench report plus a per-cell health score aligned with
+/// `report.cells` (the per-seed scatter behind the candidate healths).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchPointReport {
+    /// Latency weight α of the point.
+    pub alpha: f64,
+    /// Cost weight β of the point.
+    pub beta: f64,
+    /// Health of each cell, `report.cells` order, normalized across the
+    /// point's cells.
+    pub cell_health: Vec<f64>,
+    /// The point's evaluated cells and aggregates.
+    pub report: BenchReport,
+}
+
+/// The machine-readable result of one manifest search: everything
+/// `BENCH_search_<name>.json` contains. Like [`BenchReport`], the whole
+/// document except nested measurement metadata is deterministic; the
+/// canonical form scrubs that metadata so two runs of the same search
+/// agree byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Manifest name (`BENCH_search_<name>.json`).
+    pub name: String,
+    /// Mode-independent fingerprint of the searched manifest.
+    pub manifest_fingerprint: String,
+    /// Whether the `FAST` variant was searched.
+    pub fast: bool,
+    /// Seeds per candidate in the screening pass.
+    pub screen_seeds: usize,
+    /// Seeds per promoted candidate.
+    pub full_seeds: usize,
+    /// Fraction of candidates promoted.
+    pub promote_fraction: f64,
+    /// Total (cell × seed) runs evaluated.
+    pub runs_evaluated: usize,
+    /// Runs the exhaustive grid would have evaluated.
+    pub runs_exhaustive: usize,
+    /// The `(metric, weight, higher_is_better)` health weights used.
+    pub health_weights: Vec<(String, f64, bool)>,
+    /// Every candidate, expansion order.
+    pub candidates: Vec<SearchCandidate>,
+    /// Index into `candidates` of the winner.
+    pub best: usize,
+    /// Per-reward-point evaluated grids, expansion order.
+    pub points: Vec<SearchPointReport>,
+}
+
+fn search_candidate_json(c: &SearchCandidate) -> Value {
+    let mut map = serde_json::Map::new();
+    map.insert("point", Value::from(c.point));
+    map.insert("scenario", Value::from(c.scenario.as_str()));
+    map.insert("policy", Value::from(c.policy.as_str()));
+    map.insert("x", Value::from(c.x));
+    map.insert("alpha", Value::from(c.alpha));
+    map.insert("beta", Value::from(c.beta));
+    map.insert("screened_health", Value::from(c.screened_health));
+    map.insert("promoted", Value::from(c.promoted));
+    map.insert("seeds_run", Value::from(c.seeds_run));
+    map.insert("health", Value::from(c.health));
+    Value::Object(map)
+}
+
+fn search_candidate_from_json(v: &Value) -> Option<SearchCandidate> {
+    Some(SearchCandidate {
+        point: v.get("point")?.as_u64()? as usize,
+        scenario: v.get("scenario")?.as_str()?.to_string(),
+        policy: v.get("policy")?.as_str()?.to_string(),
+        x: v.get("x")?.as_f64()?,
+        alpha: v.get("alpha")?.as_f64()?,
+        beta: v.get("beta")?.as_f64()?,
+        screened_health: v.get("screened_health")?.as_f64()?,
+        promoted: v.get("promoted")?.as_bool()?,
+        seeds_run: v.get("seeds_run")?.as_u64()? as usize,
+        health: v.get("health")?.as_f64()?,
+    })
+}
+
+impl SearchReport {
+    /// The winning candidate.
+    pub fn best_candidate(&self) -> &SearchCandidate {
+        &self.candidates[self.best]
+    }
+
+    /// The full document written to `BENCH_search_<name>.json`, with
+    /// nested reports in their canonical (measurement-scrubbed) form so
+    /// two executions of the same search serialize identically.
+    pub fn canonical_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("schema_version", Value::from(SEARCH_SCHEMA_VERSION));
+        map.insert("name", Value::from(self.name.as_str()));
+        map.insert(
+            "manifest_fingerprint",
+            Value::from(self.manifest_fingerprint.as_str()),
+        );
+        map.insert("fast", Value::from(self.fast));
+        map.insert("screen_seeds", Value::from(self.screen_seeds));
+        map.insert("full_seeds", Value::from(self.full_seeds));
+        map.insert("promote_fraction", Value::from(self.promote_fraction));
+        map.insert("runs_evaluated", Value::from(self.runs_evaluated));
+        map.insert("runs_exhaustive", Value::from(self.runs_exhaustive));
+        let weights: Vec<Value> = self
+            .health_weights
+            .iter()
+            .map(|(metric, weight, up)| {
+                let mut w = serde_json::Map::new();
+                w.insert("metric", Value::from(metric.as_str()));
+                w.insert("weight", Value::from(*weight));
+                w.insert("direction", Value::from(if *up { "up" } else { "down" }));
+                Value::Object(w)
+            })
+            .collect();
+        map.insert("health_weights", Value::Array(weights));
+        map.insert(
+            "candidates",
+            Value::Array(self.candidates.iter().map(search_candidate_json).collect()),
+        );
+        map.insert("best", Value::from(self.best));
+        let points: Vec<Value> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut pm = serde_json::Map::new();
+                pm.insert("alpha", Value::from(p.alpha));
+                pm.insert("beta", Value::from(p.beta));
+                pm.insert(
+                    "cell_health",
+                    Value::Array(p.cell_health.iter().map(|&h| Value::from(h)).collect()),
+                );
+                pm.insert("report", p.report.canonical_json());
+                Value::Object(pm)
+            })
+            .collect();
+        map.insert("points", Value::Array(points));
+        Value::Object(map)
+    }
+
+    /// Parses a report back from [`SearchReport::canonical_json`] output.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        if v.get("schema_version").and_then(Value::as_u64) != Some(SEARCH_SCHEMA_VERSION) {
+            return None;
+        }
+        let health_weights = v
+            .get("health_weights")?
+            .as_array()?
+            .iter()
+            .map(|w| {
+                Some((
+                    w.get("metric")?.as_str()?.to_string(),
+                    w.get("weight")?.as_f64()?,
+                    w.get("direction")?.as_str()? == "up",
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let candidates = v
+            .get("candidates")?
+            .as_array()?
+            .iter()
+            .map(search_candidate_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let points = v
+            .get("points")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                Some(SearchPointReport {
+                    alpha: p.get("alpha")?.as_f64()?,
+                    beta: p.get("beta")?.as_f64()?,
+                    cell_health: p
+                        .get("cell_health")?
+                        .as_array()?
+                        .iter()
+                        .map(Value::as_f64)
+                        .collect::<Option<Vec<_>>>()?,
+                    report: BenchReport::from_json(p.get("report")?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            name: v.get("name")?.as_str()?.to_string(),
+            manifest_fingerprint: v.get("manifest_fingerprint")?.as_str()?.to_string(),
+            fast: v.get("fast")?.as_bool()?,
+            screen_seeds: v.get("screen_seeds")?.as_u64()? as usize,
+            full_seeds: v.get("full_seeds")?.as_u64()? as usize,
+            promote_fraction: v.get("promote_fraction")?.as_f64()?,
+            runs_evaluated: v.get("runs_evaluated")?.as_u64()? as usize,
+            runs_exhaustive: v.get("runs_exhaustive")?.as_u64()? as usize,
+            health_weights,
+            candidates,
+            best: v.get("best")?.as_u64()? as usize,
+            points,
+        })
+    }
+
+    /// Writes the pretty-printed canonical document to
+    /// `dir/BENCH_search_<name>.json` and returns the path. Byte-stable
+    /// across executions, so CI compares two runs with `cmp`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_canonical_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_search_{}.json", self.name));
+        write_lines(
+            &path,
+            &[serde_json::to_string_pretty(&self.canonical_json())],
+        )?;
+        Ok(path)
+    }
+}
+
+/// Loads and parses `dir/BENCH_search_<name>.json` if present and
+/// well-formed.
+pub fn load_search_report(dir: &Path, name: &str) -> Option<SearchReport> {
+    let text = std::fs::read_to_string(dir.join(format!("BENCH_search_{name}.json"))).ok()?;
+    SearchReport::from_json(&serde_json::from_str(&text).ok()?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +966,100 @@ mod tests {
             on_disk,
             serde_json::to_string_pretty(&report.canonical_json()) + "\n"
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn search_report_fixture() -> SearchReport {
+        let report = report_fixture();
+        let candidates = vec![
+            SearchCandidate {
+                point: 0,
+                scenario: "s0".into(),
+                policy: "drl".into(),
+                x: 8.0,
+                alpha: 1.0,
+                beta: 1.0,
+                screened_health: 0.8,
+                promoted: true,
+                seeds_run: 2,
+                health: 0.85,
+            },
+            SearchCandidate {
+                point: 0,
+                scenario: "s0".into(),
+                policy: "first-fit".into(),
+                x: 8.0,
+                alpha: 1.0,
+                beta: 1.0,
+                screened_health: 0.3,
+                promoted: false,
+                seeds_run: 1,
+                health: 0.25,
+            },
+        ];
+        SearchReport {
+            name: "unit".into(),
+            manifest_fingerprint: "unit-0123456789abcdef".into(),
+            fast: true,
+            screen_seeds: 1,
+            full_seeds: 2,
+            promote_fraction: 0.5,
+            runs_evaluated: 3,
+            runs_exhaustive: 4,
+            health_weights: vec![
+                ("acceptance_ratio".into(), 3.0, true),
+                ("p95_latency_ms".into(), 2.0, false),
+            ],
+            candidates,
+            best: 0,
+            points: vec![SearchPointReport {
+                alpha: 1.0,
+                beta: 1.0,
+                cell_health: vec![0.9, 0.8, 0.3, 0.2],
+                report,
+            }],
+        }
+    }
+
+    #[test]
+    fn search_report_json_roundtrip() {
+        let report = search_report_fixture();
+        let text = serde_json::to_string_pretty(&report.canonical_json());
+        let parsed = SearchReport::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        // The nested bench report's measurement metadata is scrubbed by
+        // the canonical form; everything else survives exactly.
+        assert_eq!(parsed.name, report.name);
+        assert_eq!(parsed.manifest_fingerprint, report.manifest_fingerprint);
+        assert_eq!(parsed.candidates, report.candidates);
+        assert_eq!(parsed.health_weights, report.health_weights);
+        assert_eq!(parsed.best_candidate().policy, "drl");
+        assert_eq!(parsed.points[0].cell_health, report.points[0].cell_health);
+        assert_eq!(parsed.points[0].report.cells, report.points[0].report.cells);
+        assert_eq!(parsed.runs_evaluated, 3);
+    }
+
+    #[test]
+    fn search_report_canonical_is_execution_independent() {
+        let a = search_report_fixture();
+        let mut b = search_report_fixture();
+        b.points[0].report.threads = 16;
+        b.points[0].report.wall_clock_secs = 99.0;
+        b.points[0].report.throughput_slots_per_sec = 1.0;
+        assert_eq!(
+            serde_json::to_string_pretty(&a.canonical_json()),
+            serde_json::to_string_pretty(&b.canonical_json())
+        );
+    }
+
+    #[test]
+    fn search_report_write_and_load() {
+        let dir = std::env::temp_dir().join("mano_search_report_test");
+        let report = search_report_fixture();
+        let path = report.write_canonical_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_search_unit.json");
+        let loaded = load_search_report(&dir, "unit").unwrap();
+        assert_eq!(loaded.candidates, report.candidates);
+        assert_eq!(load_search_report(&dir, "missing"), None);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -14,6 +14,14 @@
 //! * [`eval`] — [`eval::parallel_eval`], the greedy-evaluation fan-out
 //!   that clones one frozen policy per worker thread (one warm inference
 //!   workspace each) instead of per cell.
+//! * [`manifest`] — declarative [`manifest::ScenarioManifest`]s (JSON or
+//!   code) that expand deterministically into grids: the single
+//!   definition path shared by figure binaries, the sweep registry and
+//!   the search driver.
+//! * [`search`] — composite [`search::HealthScore`]s over
+//!   `SUMMARY_METRICS` and the successive-halving
+//!   [`search::SearchDriver`] that hunts a manifest's frontier on a
+//!   fraction of the exhaustive (cell × seed) budget.
 //!
 //! # Determinism guarantee
 //!
@@ -28,7 +36,9 @@
 
 pub mod eval;
 pub mod grid;
+pub mod manifest;
 pub mod pool;
+pub mod search;
 
 /// Convenient glob-import of the engine's surface.
 pub mod prelude {
@@ -38,5 +48,14 @@ pub mod prelude {
     pub use crate::grid::{
         cells_csv, merge_reports, sweep_csv, ExperimentGrid, GridScenario, PolicyFactory,
     };
+    pub use crate::manifest::{
+        baseline_factory, baseline_names, roster, synthetic_chains, Axis, EventSpec, ExpandedPoint,
+        Expansion, FastScaled, ManifestBase, PolicySpec, ResolvedPolicy, RewardAxes,
+        ScenarioManifest, SearchParams, SweepSpec, TopologyFamily, TrainRequest,
+        MANIFEST_SCHEMA_VERSION,
+    };
     pub use crate::pool::{parallel_map, run_indexed, run_indexed_with, thread_count, THREADS_ENV};
+    pub use crate::search::{
+        HealthScore, SearchDriver, SearchOutcome, SearchedCandidate, SearchedPoint,
+    };
 }

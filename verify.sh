@@ -22,6 +22,11 @@
 #                           # two figure grids single-process and as local
 #                           # multi-process worker fleets, then byte-diffs
 #                           # the merged BENCH_*.json against the reference
+#   ./verify.sh search-smoke# FAST=1 manifest-search determinism check:
+#                           # runs the tiny checked-in `smoke` manifest
+#                           # search twice (second run on a single worker
+#                           # thread) and byte-diffs the two
+#                           # BENCH_search_smoke.json outputs
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -104,6 +109,33 @@ run_sweep_smoke() {
   run_sweep_grid_check fig6_chains 2 2
 }
 
+# Byte-identity check for the manifest search: the checked-in two-axis
+# `smoke` manifest searched twice — the second run pinned to one worker
+# thread — must write byte-identical BENCH_search_smoke.json documents.
+# This is the successive-halving determinism contract (index-keyed
+# reduction, seeded expansion) pinned on the on-disk artifact.
+run_search_smoke() {
+  echo "==> cargo build --release -p bench"
+  cargo build --release -p bench
+
+  echo "==> search: smoke manifest (reference run)"
+  ./target/release/search_drive smoke
+  cp "$RESULTS_DIR/BENCH_search_smoke.json" "$RESULTS_DIR/BENCH_search_smoke.reference.json"
+
+  echo "==> search: smoke manifest again (EXPER_THREADS=1)"
+  EXPER_THREADS=1 ./target/release/search_drive smoke
+
+  echo "==> search: byte-diff second run vs reference"
+  cmp "$RESULTS_DIR/BENCH_search_smoke.reference.json" "$RESULTS_DIR/BENCH_search_smoke.json"
+  rm -f "$RESULTS_DIR/BENCH_search_smoke.reference.json"
+}
+
+search_smoke() {
+  export FAST=1
+  export RESULTS_DIR="${RESULTS_DIR:-results}"
+  run_search_smoke
+}
+
 sweep_smoke() {
   export FAST=1
   export RESULTS_DIR="${RESULTS_DIR:-results}"
@@ -119,6 +151,11 @@ bench_smoke() {
   # records optimized.sweep_cells_per_sec into the BENCH_hotpath.json the
   # figures just produced, so the trend gate below genuinely gates it.
   run_sweep_smoke
+
+  # Manifest-search smoke ahead of the trend gate: its
+  # BENCH_search_smoke.json lands in $RESULTS_DIR so the summary's search
+  # digest (and the fingerprint-drift ⚠) covers a fresh document.
+  run_search_smoke
 
   # Trend gate: compares BENCH_hotpath.json against the persisted series
   # state (restored across CI runs via actions/cache; accumulated in
@@ -148,12 +185,13 @@ case "${1:-all}" in
   bench-smoke) bench_smoke ;;
   bench-full) bench_full ;;
   sweep-smoke) sweep_smoke ;;
+  search-smoke) search_smoke ;;
   all)
     lint
     test_
     ;;
   *)
-    echo "usage: $0 [lint|test|bench-smoke|bench-full|sweep-smoke|all]" >&2
+    echo "usage: $0 [lint|test|bench-smoke|bench-full|sweep-smoke|search-smoke|all]" >&2
     exit 2
     ;;
 esac
